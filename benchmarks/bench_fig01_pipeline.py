@@ -1,0 +1,53 @@
+"""Figure 1 — the end-to-end testing pipeline.
+
+The figure is the approach diagram: program generator → CUDA/HIP sources →
+nvcc/hipcc binaries → NVIDIA/AMD GPUs → result comparison.  This bench
+times one full trip through that pipeline per generated test, and verifies
+every stage artifact exists.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.cuda import render_cuda
+from repro.codegen.hip import render_hip
+from repro.compilers.options import OptLevel, OptSetting
+from repro.harness.runner import DifferentialRunner
+from repro.utils.tables import Table
+from repro.varity.config import GeneratorConfig
+from repro.varity.corpus import build_corpus
+
+from conftest import emit
+
+N_TESTS = 40
+
+
+def test_fig01_pipeline_throughput(benchmark, results_dir):
+    corpus = build_corpus(
+        GeneratorConfig.fp64(inputs_per_program=2), N_TESTS, root_seed=101
+    )
+    runner = DifferentialRunner()
+    opt = OptSetting(OptLevel.O0)
+
+    def full_pipeline():
+        n_disc = 0
+        for test in corpus:
+            cu = render_cuda(test.program)  # artifact: .cu file content
+            hip = render_hip(test.program)  # artifact: .hip file content
+            assert "__global__" in cu and "hipLaunchKernelGGL" in hip
+            pair = runner.run_pair(test, opt)  # compile both + run both
+            n_disc += len(pair.discrepancies)
+        return n_disc
+
+    n_disc = benchmark.pedantic(full_pipeline, rounds=1, iterations=1)
+
+    table = Table(
+        title="Figure 1 — pipeline stages exercised end-to-end (measured)",
+        headers=["Stage", "Status"],
+    )
+    table.add_row(["Program generator (programs + inputs)", f"{N_TESTS} tests"])
+    table.add_row(["CUDA rendering (.cu)", "ok"])
+    table.add_row(["HIP rendering (.hip)", "ok"])
+    table.add_row(["nvcc model → NVIDIA GPU model", "ok"])
+    table.add_row(["hipcc model → AMD GPU model", "ok"])
+    table.add_row(["Result comparison (discrepancies found)", str(n_disc)])
+    emit(results_dir, "fig01_pipeline", table.render())

@@ -1,0 +1,52 @@
+"""Figure 5 / Case Study 2 — ceil-rooted Inf-vs-Num divergence at -O0.
+
+Paper:
+
+    Input : +1.2374E-306
+    nvcc  -O0: Inf
+    hipcc -O0: 1.34887e-306
+    ceil(1.5955E-125): nvcc → 0, hipcc → 1
+
+This reproduction is bit-exact end to end, including the printed
+``1.34887e-306``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.case_studies import isolate_divergence
+from repro.apps.paper_kernels import fig5_testcase
+from repro.compilers.options import OptLevel, OptSetting
+from repro.devices.mathlib.rounding_ops import amd_ceil, nvidia_ceil
+from repro.harness.runner import DifferentialRunner
+
+from conftest import emit
+
+
+def test_fig05_case_study_ceil(benchmark, results_dir):
+    runner = DifferentialRunner()
+    test = fig5_testcase()
+    opt = OptSetting(OptLevel.O0)
+
+    report = benchmark.pedantic(
+        lambda: isolate_divergence(runner, test, opt, 0), rounds=1, iterations=1
+    )
+
+    lines = [
+        report.render(),
+        "",
+        "Isolated expression (paper Fig. 5, third panel):",
+        f"  ceil(1.5955E-125): nvcc model → {nvidia_ceil(1.5955e-125):g}, "
+        f"hipcc model → {amd_ceil(1.5955e-125):g}",
+        "  paper            : nvcc → 0, hipcc → 1",
+        "",
+        "Outputs vs paper:",
+        f"  nvcc  -O0: {report.nvcc_printed}   (paper: Inf)",
+        f"  hipcc -O0: {report.hipcc_printed}   (paper: 1.34887e-306)",
+    ]
+    emit(results_dir, "fig05_case_ceil", "\n".join(lines))
+
+    # Bit-exact reproduction of the paper's published outputs:
+    assert report.nvcc_printed == "inf"
+    assert report.hipcc_printed == "1.34887e-306"
+    assert nvidia_ceil(1.5955e-125) == 0.0
+    assert amd_ceil(1.5955e-125) == 1.0

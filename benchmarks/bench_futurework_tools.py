@@ -1,0 +1,83 @@
+"""Future-work bench — the automated debugging tools of §VII.
+
+Not a paper table: the paper *proposes* "automated debugging tools to
+efficiently identify and resolve these inconsistencies, minimizing manual
+analysis" as future work; this repository implements them.  The bench runs
+both tools over a fresh campaign slice and reports:
+
+* triage — what fraction of discrepancies the cause-attribution engine
+  resolves automatically, and to which mechanisms;
+* reduction — how small the delta-debugger makes the reproducers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reduce import reduce_testcase
+from repro.analysis.triage import Cause, triage_table, triage_tests
+from repro.compilers.options import OptSetting
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.harness.runner import DifferentialRunner
+from repro.utils.tables import Table
+from repro.varity.corpus import build_corpus
+
+from conftest import emit
+
+
+def test_futurework_triage_and_reduce(benchmark, results_dir):
+    config = CampaignConfig(
+        seed=616, n_programs_fp64=90, inputs_per_program=3,
+        include_hipify=False, include_fp32=False,
+    )
+    runner = DifferentialRunner()
+
+    def run_tools():
+        result = run_campaign(config)
+        arm = result.arms["fp64"]
+        corpus = build_corpus(
+            config.generator_config(config.arm_fptype("fp64")),
+            config.n_programs_fp64,
+            config.arm_seed("fp64"),
+        )
+        tests_by_id = {t.test_id: t for t in corpus}
+        verdicts = triage_tests(runner, tests_by_id, arm.discrepancies, limit=20)
+        reductions = []
+        seen = set()
+        for d in arm.discrepancies:
+            if d.test_id in seen or len(reductions) >= 6:
+                continue
+            seen.add(d.test_id)
+            reductions.append(
+                reduce_testcase(
+                    tests_by_id[d.test_id],
+                    OptSetting.from_label(d.opt_label),
+                    d.input_index,
+                    runner=runner,
+                )
+            )
+        return arm, verdicts, reductions
+
+    arm, verdicts, reductions = benchmark.pedantic(run_tools, rounds=1, iterations=1)
+
+    blocks = [triage_table(verdicts, "Automated triage of campaign discrepancies").render()]
+    red_table = Table(
+        title="Delta-debugging reduction of reproducers",
+        headers=["Test", "Class", "Nodes before", "Nodes after", "Shrink"],
+    )
+    for r in reductions:
+        red_table.add_row([
+            r.original.test_id,
+            r.dclass.value,
+            r.original_size,
+            r.reduced_size,
+            f"{100 * (1 - r.shrink_factor):.0f}%",
+        ])
+    blocks.append(red_table.render())
+    emit(results_dir, "futurework_tools", "\n\n".join(blocks))
+
+    assert verdicts, "campaign produced no discrepancies to triage"
+    resolved = [v for v in verdicts if v.cause != Cause.UNKNOWN]
+    assert len(resolved) >= 0.7 * len(verdicts)
+    assert reductions
+    # Reduction never grows a test and usually shrinks it.
+    assert all(r.reduced_size <= r.original_size for r in reductions)
+    assert any(r.reduced_size < r.original_size for r in reductions)

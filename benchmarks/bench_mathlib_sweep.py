@@ -1,0 +1,48 @@
+"""Supplementary bench — per-function cross-vendor disagreement.
+
+Companion to the campaign tables, in the spirit of the paper's reference
+[4] (Innocente & Zimmermann's direct accuracy study of math functions):
+sweep every modeled function over structured ranges and report where the
+vendor models disagree.  The campaign's root causes must show up here:
+``fmod`` and ``ceil`` are the only functions with *class-changing*
+disagreements, and the exact functions never disagree.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.function_sweep import sweep_all, sweep_table
+from repro.devices.mathlib.base import EXACT_FUNCTIONS
+from repro.fp.types import FPType
+
+from conftest import emit
+
+
+def test_mathlib_disagreement_sweep(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: {
+            "fp64": sweep_all(FPType.FP64, points_per_range=60),
+            "fp32": sweep_all(FPType.FP32, points_per_range=60),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    blocks = [
+        sweep_table(res, f"Cross-vendor disagreement sweep, {name.upper()}").render()
+        for name, res in results.items()
+    ]
+    emit(results_dir, "mathlib_sweep", "\n\n".join(blocks))
+
+    for name, res in results.items():
+        by_func = {r.func: r for r in res}
+        # IEEE-exact functions are identical across vendors, always.
+        for func in EXACT_FUNCTIONS:
+            assert by_func[func].n_disagreements == 0, (name, func)
+        # The case-study functions do diverge on these ranges.
+        assert by_func["fmod"].n_disagreements > 0
+        assert by_func["ceil"].n_disagreements > 0
+        # ceil's divergence is class-relevant (0 vs 1 is Zero↔Num).
+        assert by_func["ceil"].n_class_changes > 0
+        # Transcendentals disagree sparsely, not wildly (default profiles).
+        cos = by_func["cos"]
+        assert 0 < cos.disagreement_rate < 0.25

@@ -1,0 +1,38 @@
+"""Table I — BT.S-style inconsistency/runtime tradeoff.
+
+Paper rows (BT.S, NVIDIA nvcc vs CPU clang):
+
+    nvcc  -O0                 0.104s   6.98176E-13
+    nvcc  -O3 -use_fast_math  0.052s   9.73738E-13
+    clang -O0                 0.349s   8.32928E-13
+    clang -O3 -ffast-math     0.059s   3.50905E-12
+
+Reproduced shape: per compiler model, fast math reduces modeled runtime and
+increases max relative error; the two stacks' profiles differ.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bt import run_bt_experiment
+from repro.utils.tables import Table
+
+from conftest import emit
+
+
+def test_table01_bt_tradeoff(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_bt_experiment(steps=40, repeats=1), rounds=1, iterations=1
+    )
+    table = Table(
+        title="Table I — Inconsistencies in the BT.S-style mini app (measured)",
+        headers=["Compiler", "Options", "Runtime (model)", "Max Rel. Error"],
+    )
+    for row in rows:
+        table.add_row(list(row.cells()))
+    emit(results_dir, "table01_bt", table.render())
+
+    # The paper's qualitative claims:
+    by = {(r.compiler, "fast" in r.options.lower()): r for r in rows}
+    assert by[("nvcc", True)].model_cycles < by[("nvcc", False)].model_cycles
+    assert by[("hipcc", True)].model_cycles < by[("hipcc", False)].model_cycles
+    assert by[("nvcc", True)].max_rel_error >= by[("nvcc", False)].max_rel_error

@@ -1,0 +1,34 @@
+"""Table VII — HIPIFY-converted FP64 discrepancies per optimization option.
+
+Paper row shape: O0=494, O1=O2=O3=549, O3_FM=575 — uniformly at or above
+the native-HIP FP64 rows of Table V (HIPIFY introduces additional
+discrepancies), with Num,Num still dominant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.per_opt import per_opt_counts, per_opt_table
+from repro.harness.differential import DiscrepancyClass
+
+from conftest import emit
+
+
+def test_table07_hipify_per_opt(benchmark, campaign_result, results_dir):
+    arm = campaign_result.arms["fp64_hipify"]
+    native = campaign_result.arms["fp64"]
+    table = benchmark.pedantic(
+        lambda: per_opt_table(
+            arm,
+            "Table VII — HIPIFY-converted FP64 discrepancies per optimization option (measured)",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table07_hipify", table.render())
+
+    counts = per_opt_counts(arm)
+    assert counts["O1"] == counts["O2"] == counts["O3"]
+    # Conversion adds (or at worst preserves) divergence in total.
+    assert arm.n_discrepancies >= native.n_discrepancies
+    totals = {c: sum(counts[o][c] for o in counts) for c in DiscrepancyClass}
+    assert totals[DiscrepancyClass.NUM_NUM] == max(totals.values())

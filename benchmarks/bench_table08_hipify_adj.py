@@ -1,0 +1,28 @@
+"""Table VIII — HIPIFY-converted FP64 adjacency matrices."""
+
+from __future__ import annotations
+
+from repro.analysis.adjacency import adjacency_counts, adjacency_tables
+from repro.analysis.per_opt import per_opt_counts
+from repro.fp.classify import OutcomeClass
+
+from conftest import emit
+
+
+def test_table08_hipify_adjacency(benchmark, campaign_result, results_dir):
+    arm = campaign_result.arms["fp64_hipify"]
+    tables = benchmark.pedantic(
+        lambda: adjacency_tables(
+            arm, "Table VIII — HIPIFY-converted FP64 adjacency matrix (measured)"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table08_hipify_adj", "\n\n".join(t.render() for t in tables))
+
+    counts = per_opt_counts(arm)
+    for opt in arm.opt_labels:
+        matrix = adjacency_counts(arm, opt)
+        off_diag = sum(a + b for (r, c), (a, b) in matrix.items() if r is not c)
+        num_num = matrix[(OutcomeClass.NUMBER, OutcomeClass.NUMBER)][0]
+        assert off_diag + num_num == sum(counts[opt].values())

@@ -1,0 +1,36 @@
+"""Table IX — FP32 discrepancies per optimization option.
+
+Paper row shape: O0=45, O1=86, O2=O3=90, O3_FM=13,877 — a two-orders-of-
+magnitude explosion at fast math, with classes (NaN,Zero / NaN,Num /
+Num,Zero) appearing that the lower levels never produce.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.per_opt import per_opt_counts, per_opt_table
+
+from conftest import emit
+
+
+def test_table09_fp32_per_opt(benchmark, campaign_result, results_dir):
+    arm = campaign_result.arms["fp32"]
+    table = benchmark.pedantic(
+        lambda: per_opt_table(
+            arm, "Table IX — FP32 discrepancies per optimization option (measured)"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table09_fp32", table.render())
+
+    counts = per_opt_counts(arm)
+    fm = sum(counts["O3_FM"].values())
+    o3 = sum(counts["O3"].values())
+    o0 = sum(counts["O0"].values())
+    # The fast-math explosion (paper: 13,877 vs 90).
+    assert fm > 3 * max(1, o3)
+    assert fm > 3 * max(1, o0)
+    # New class diversity at fast math: more distinct classes than at O0.
+    classes_fm = sum(1 for c, n in counts["O3_FM"].items() if n > 0)
+    classes_o0 = sum(1 for c, n in counts["O0"].items() if n > 0)
+    assert classes_fm >= classes_o0

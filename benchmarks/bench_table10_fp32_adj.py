@@ -1,0 +1,26 @@
+"""Table X — FP32 adjacency matrices."""
+
+from __future__ import annotations
+
+from repro.analysis.adjacency import adjacency_counts, adjacency_tables
+from repro.analysis.per_opt import per_opt_counts
+from repro.fp.classify import OutcomeClass
+
+from conftest import emit
+
+
+def test_table10_fp32_adjacency(benchmark, campaign_result, results_dir):
+    arm = campaign_result.arms["fp32"]
+    tables = benchmark.pedantic(
+        lambda: adjacency_tables(arm, "Table X — FP32 adjacency matrix (measured)"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table10_fp32_adj", "\n\n".join(t.render() for t in tables))
+
+    counts = per_opt_counts(arm)
+    for opt in arm.opt_labels:
+        matrix = adjacency_counts(arm, opt)
+        off_diag = sum(a + b for (r, c), (a, b) in matrix.items() if r is not c)
+        num_num = matrix[(OutcomeClass.NUMBER, OutcomeClass.NUMBER)][0]
+        assert off_diag + num_num == sum(counts[opt].values())

@@ -1,0 +1,53 @@
+"""Shared campaign fixture for the benchmark harness.
+
+The table benches (IV through X) analyze ONE shared medium-scale campaign
+run (the expensive part), so `pytest benchmarks/ --benchmark-only` finishes
+in minutes while still printing every table at a statistically meaningful
+scale.  Set ``REPRO_BENCH_SCALE=paper`` to run the full 694,400-run grid
+(hours, uses all cores) or ``REPRO_BENCH_SCALE=tiny`` for a smoke pass.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.campaign import CampaignConfig, run_campaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _bench_config() -> CampaignConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale == "paper":
+        return CampaignConfig.paper_scale(seed=2024)
+    if scale == "tiny":
+        return CampaignConfig.tiny(seed=2024)
+    return CampaignConfig(
+        seed=2024,
+        n_programs_fp64=220,
+        n_programs_fp32=180,
+        inputs_per_program=4,
+        workers=max(1, (os.cpu_count() or 2) - 1),
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_result():
+    """The shared campaign all table benches analyze."""
+    return run_campaign(_bench_config())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

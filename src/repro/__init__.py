@@ -1,0 +1,77 @@
+"""repro — differential testing of GPU numerics.
+
+A complete, self-contained reproduction of *"Testing GPU Numerics: Finding
+Numerical Differences Between NVIDIA and AMD GPUs"* (Zahid, Laguna, Le;
+SC 2024 / arXiv:2410.09172), with the hardware-gated pieces replaced by
+faithful executable models (see DESIGN.md §2):
+
+* a Varity-style random program generator (CUDA + HIP + C rendering);
+* nvcc / hipcc compiler models with optimization-level pass pipelines;
+* simulated V100 / MI250X devices: an IEEE-754 interpreter bound to vendor
+  math-library models (libdevice vs OCML) whose documented algorithmic
+  differences reproduce the paper's case studies;
+* a HIPIFY translation model;
+* the differential-testing harness, campaign driver, metadata workflow,
+  and table/report generators for every table and figure in the paper.
+
+Quickstart::
+
+    from repro import quick_differential_test
+    report = quick_differential_test(seed=7)
+    print(report)
+
+or, at the shell, ``repro-campaign --help``.
+"""
+
+from repro.fp.types import FPType
+from repro.fp.classify import OutcomeClass
+from repro.compilers.options import OptLevel, OptSetting, PAPER_OPT_SETTINGS
+from repro.compilers.nvcc import NvccCompiler
+from repro.compilers.hipcc import HipccCompiler
+from repro.devices.nvidia import nvidia_v100
+from repro.devices.amd import amd_mi250x
+from repro.varity.config import GeneratorConfig
+from repro.varity.corpus import build_corpus
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.harness.runner import DifferentialRunner
+from repro.harness.differential import DiscrepancyClass, classify_pair
+from repro.analysis.report import render_campaign_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FPType",
+    "OutcomeClass",
+    "OptLevel",
+    "OptSetting",
+    "PAPER_OPT_SETTINGS",
+    "NvccCompiler",
+    "HipccCompiler",
+    "nvidia_v100",
+    "amd_mi250x",
+    "GeneratorConfig",
+    "build_corpus",
+    "CampaignConfig",
+    "run_campaign",
+    "DifferentialRunner",
+    "DiscrepancyClass",
+    "classify_pair",
+    "render_campaign_report",
+    "quick_differential_test",
+    "__version__",
+]
+
+
+def quick_differential_test(seed: int = 2024, n_programs: int = 20) -> str:
+    """Generate a few tests, run them on both platforms, report.
+
+    The one-call demo of the whole pipeline (Fig. 1 of the paper).
+    """
+    config = CampaignConfig(
+        seed=seed,
+        n_programs_fp64=n_programs,
+        n_programs_fp32=max(4, n_programs // 2),
+        inputs_per_program=3,
+    )
+    result = run_campaign(config)
+    return render_campaign_report(result, include_adjacency=False)

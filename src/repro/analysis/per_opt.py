@@ -1,0 +1,41 @@
+"""Tables V / VII / IX — discrepancies per optimization option per class."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.campaign import ArmResult
+from repro.harness.differential import DISCREPANCY_CLASS_ORDER, DiscrepancyClass
+from repro.utils.tables import Table
+
+__all__ = ["per_opt_counts", "per_opt_table"]
+
+
+def per_opt_counts(arm: ArmResult) -> Dict[str, Dict[DiscrepancyClass, int]]:
+    """``opt label → class → count`` (zero-filled)."""
+    out: Dict[str, Dict[DiscrepancyClass, int]] = {
+        label: {c: 0 for c in DISCREPANCY_CLASS_ORDER} for label in arm.opt_labels
+    }
+    for d in arm.discrepancies:
+        out[d.opt_label][d.dclass] += 1
+    return out
+
+
+def per_opt_table(arm: ArmResult, title: str) -> Table:
+    """Render one of Tables V/VII/IX for this arm."""
+    counts = per_opt_counts(arm)
+    headers = ["Opt Flags", "Disc. Count"] + [c.value for c in DISCREPANCY_CLASS_ORDER]
+    table = Table(title=title, headers=headers)
+    totals = {c: 0 for c in DISCREPANCY_CLASS_ORDER}
+    for label in arm.opt_labels:
+        row_counts = counts[label]
+        disc_count = sum(row_counts.values())
+        table.add_row(
+            [label, disc_count] + [row_counts[c] for c in DISCREPANCY_CLASS_ORDER]
+        )
+        for c in DISCREPANCY_CLASS_ORDER:
+            totals[c] += row_counts[c]
+    table.add_footer(
+        ["Total", sum(totals.values())] + [totals[c] for c in DISCREPANCY_CLASS_ORDER]
+    )
+    return table

@@ -1,0 +1,342 @@
+"""Delta-debugging reducer for discrepancy-inducing tests.
+
+The second half of the paper's future work: shrink a failing test to the
+smallest program that still shows the same inconsistency — the difference
+between a 15-line Fig. 4 kernel and the 2-line Fig. 5 kernel.  Campaign
+reproducers are already small, but reduction makes them *minimal*, which is
+what you attach to a vendor bug report.
+
+Strategy (greedy, to a fixpoint), preserving the *discrepancy class*:
+
+1. drop whole top-level statements;
+2. unwrap control flow (``if`` → its body; ``for`` → body executed once);
+3. hoist subexpressions (replace an operator node by one of its operands,
+   a call by its argument) inside each statement;
+4. prune kernel parameters the body no longer mentions (and the matching
+   input-vector positions).
+
+Every candidate is validated and re-run on both platforms; a candidate is
+accepted only if the discrepancy class is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.compilers.options import OptSetting
+from repro.errors import ReproError, TrapError
+from repro.harness.differential import DiscrepancyClass, classify_pair
+from repro.harness.runner import DifferentialRunner
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    AugAssign,
+    BinOp,
+    Call,
+    Decl,
+    Expr,
+    FMA,
+    For,
+    If,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Kernel, Param, Program
+from repro.ir.types import IRType
+from repro.ir.validate import validate_kernel
+from repro.ir.visitor import collect, walk
+from repro.varity.inputs import InputVector
+from repro.varity.testcase import TestCase
+
+__all__ = ["ReductionResult", "reduce_testcase", "kernel_size"]
+
+
+def kernel_size(kernel: Kernel) -> int:
+    """Node count — the size metric reduction minimizes."""
+    return sum(1 for stmt in kernel.body for _ in walk(stmt))
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction."""
+
+    original: TestCase
+    reduced: TestCase
+    dclass: DiscrepancyClass
+    original_size: int
+    reduced_size: int
+    steps_accepted: int
+
+    @property
+    def shrink_factor(self) -> float:
+        return self.reduced_size / max(1, self.original_size)
+
+
+class _Oracle:
+    """Checks whether a candidate still shows the target discrepancy."""
+
+    def __init__(
+        self,
+        runner: DifferentialRunner,
+        opt: OptSetting,
+        input_index: int,
+        target: DiscrepancyClass,
+    ) -> None:
+        self.runner = runner
+        self.opt = opt
+        self.input_index = input_index
+        self.target = target
+        self.checks = 0
+
+    def still_fails(self, test: TestCase) -> bool:
+        self.checks += 1
+        if validate_kernel(test.program.kernel):
+            return False
+        try:
+            rn, ra, _, _ = self.runner.run_single(test, self.opt, self.input_index)
+        except (ReproError, TrapError):
+            return False
+        return classify_pair(rn.value, ra.value) is self.target
+
+
+# --------------------------------------------------------------------------
+# Candidate generation
+# --------------------------------------------------------------------------
+
+
+def _with_block_body(stmt: Stmt, new_body: List[Stmt]) -> Stmt:
+    if isinstance(stmt, If):
+        return If(stmt.cond, new_body)
+    assert isinstance(stmt, For)
+    return For(stmt.var, stmt.bound, new_body)
+
+
+def _statement_drop_candidates(body: Tuple[Stmt, ...]) -> Iterator[List[Stmt]]:
+    """Every variant with one statement removed, at any nesting depth."""
+    for i, stmt in enumerate(body):
+        yield list(body[:i]) + list(body[i + 1 :])
+        if isinstance(stmt, (If, For)):
+            for inner in _statement_drop_candidates(stmt.body):
+                yield list(body[:i]) + [_with_block_body(stmt, inner)] + list(body[i + 1 :])
+
+
+def _statement_unwrap_candidates(body: Tuple[Stmt, ...]) -> Iterator[List[Stmt]]:
+    """Every variant with one control-flow construct unwrapped."""
+    for i, stmt in enumerate(body):
+        if isinstance(stmt, (If, For)):
+            yield list(body[:i]) + list(stmt.body) + list(body[i + 1 :])
+            for inner in _statement_unwrap_candidates(stmt.body):
+                yield list(body[:i]) + [_with_block_body(stmt, inner)] + list(body[i + 1 :])
+
+
+def _expr_shrink_options(expr: Expr) -> Iterator[Expr]:
+    """Smaller expressions of the same value kind."""
+    if isinstance(expr, BinOp):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, UnOp):
+        yield expr.operand
+    elif isinstance(expr, FMA):
+        yield expr.a
+        yield expr.c
+    elif isinstance(expr, Call) and expr.args:
+        yield expr.args[0]
+
+
+def _rewrite_one_expr(expr: Expr, counter: List[int], target: int) -> Expr:
+    """Rebuild ``expr``, replacing the ``target``-th shrinkable node."""
+    for option in _expr_shrink_options(expr):
+        if counter[0] == target:
+            counter[0] += 1
+            return option
+        counter[0] += 1
+    # Recurse structurally.
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_one_expr(expr.left, counter, target),
+            _rewrite_one_expr(expr.right, counter, target),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rewrite_one_expr(expr.operand, counter, target))
+    if isinstance(expr, FMA):
+        return FMA(
+            _rewrite_one_expr(expr.a, counter, target),
+            _rewrite_one_expr(expr.b, counter, target),
+            _rewrite_one_expr(expr.c, counter, target),
+            expr.negate_product,
+        )
+    if isinstance(expr, Call):
+        return Call(
+            expr.func,
+            [_rewrite_one_expr(a, counter, target) for a in expr.args],
+            expr.variant,
+        )
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, _rewrite_one_expr(expr.index, counter, target))
+    return expr
+
+
+def _count_shrinkable(expr: Expr) -> int:
+    total = 0
+    for node in walk(expr):
+        total += sum(1 for _ in _expr_shrink_options(node))  # type: ignore[arg-type]
+    return total
+
+
+def _stmt_with_expr(stmt: Stmt, new_expr: Expr) -> Optional[Stmt]:
+    if isinstance(stmt, Decl):
+        return Decl(stmt.name, new_expr)
+    if isinstance(stmt, Assign):
+        return Assign(stmt.target, new_expr)
+    if isinstance(stmt, AugAssign):
+        return AugAssign(stmt.target, stmt.op, new_expr)
+    return None
+
+
+def _expr_of(stmt: Stmt) -> Optional[Expr]:
+    if isinstance(stmt, Decl):
+        return stmt.init
+    if isinstance(stmt, (Assign, AugAssign)):
+        return stmt.expr
+    return None
+
+
+def _expr_shrink_candidates(body: Tuple[Stmt, ...]) -> Iterator[List[Stmt]]:
+    """One-subexpression-hoisted variants, innermost statements included."""
+    for i, stmt in enumerate(body):
+        if isinstance(stmt, (If, For)):
+            for inner in _expr_shrink_candidates(stmt.body):
+                new = If(stmt.cond, inner) if isinstance(stmt, If) else For(
+                    stmt.var, stmt.bound, inner
+                )
+                yield list(body[:i]) + [new] + list(body[i + 1 :])
+            continue
+        expr = _expr_of(stmt)
+        if expr is None:
+            continue
+        n = _count_shrinkable(expr)
+        for target in range(n):
+            new_expr = _rewrite_one_expr(expr, [0], target)
+            new_stmt = _stmt_with_expr(stmt, new_expr)
+            if new_stmt is not None:
+                yield list(body[:i]) + [new_stmt] + list(body[i + 1 :])
+
+
+# --------------------------------------------------------------------------
+# Parameter pruning
+# --------------------------------------------------------------------------
+
+
+def _used_names(kernel: Kernel) -> set:
+    names = set()
+    for stmt in kernel.body:
+        for node in walk(stmt):
+            if isinstance(node, VarRef):
+                names.add(node.name)
+            elif isinstance(node, ArrayRef):
+                names.add(node.name)
+    return names
+
+
+def _prune_params(test: TestCase) -> TestCase:
+    kernel = test.program.kernel
+    used = _used_names(kernel)
+    keep: List[int] = []
+    for i, p in enumerate(kernel.params):
+        if p.name == "comp" or p.name in used:
+            keep.append(i)
+    if len(keep) == len(kernel.params):
+        return test
+    params = [kernel.params[i] for i in keep]
+    new_kernel = Kernel(params, kernel.body, kernel.fptype, kernel.name)
+    program = Program(
+        program_id=test.program.program_id + "-reduced",
+        kernel=new_kernel,
+        seed=test.program.seed,
+        via_hipify=test.program.via_hipify,
+        source_note=test.program.source_note + " [reduced]",
+    )
+    inputs = [
+        InputVector(
+            tuple(vec.values[i] for i in keep),
+            tuple(vec.texts[i] for i in keep),
+        )
+        for vec in test.inputs
+    ]
+    return TestCase(program, inputs)
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def reduce_testcase(
+    test: TestCase,
+    opt: OptSetting,
+    input_index: int,
+    runner: Optional[DifferentialRunner] = None,
+    max_rounds: int = 12,
+) -> ReductionResult:
+    """Greedily shrink ``test`` while its discrepancy class persists.
+
+    Raises ``ValueError`` if the test does not diverge at the given
+    (opt, input) to begin with.
+    """
+    runner = runner or DifferentialRunner()
+    rn, ra, _, _ = runner.run_single(test, opt, input_index)
+    target = classify_pair(rn.value, ra.value)
+    if target is None:
+        raise ValueError(
+            f"{test.test_id} does not diverge at {opt.label} input #{input_index}"
+        )
+    oracle = _Oracle(runner, opt, input_index, target)
+
+    current = test
+    accepted = 0
+    for _ in range(max_rounds):
+        improved = False
+        body = current.program.kernel.body
+        generators = (
+            _statement_drop_candidates(body),
+            _statement_unwrap_candidates(body),
+            _expr_shrink_candidates(body),
+        )
+        for gen in generators:
+            for candidate_body in gen:
+                candidate = TestCase(
+                    current.program.with_kernel(
+                        current.program.kernel.with_body(candidate_body)
+                    ),
+                    current.inputs,
+                )
+                if kernel_size(candidate.program.kernel) >= kernel_size(
+                    current.program.kernel
+                ):
+                    continue
+                if oracle.still_fails(candidate):
+                    current = candidate
+                    accepted += 1
+                    improved = True
+                    break  # restart from the new, smaller body
+            if improved:
+                break
+        if not improved:
+            break
+
+    pruned = _prune_params(current)
+    if pruned is not current and oracle.still_fails(pruned):
+        current = pruned
+        accepted += 1
+
+    return ReductionResult(
+        original=test,
+        reduced=current,
+        dclass=target,
+        original_size=kernel_size(test.program.kernel),
+        reduced_size=kernel_size(current.program.kernel),
+        steps_accepted=accepted,
+    )

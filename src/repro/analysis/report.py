@@ -1,0 +1,53 @@
+"""Whole-campaign report rendering.
+
+Combines Table IV, the per-optimization tables, and the adjacency matrices
+into one text report — the artifact a campaign prints at the end, and the
+source of the measured columns in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.harness.campaign import CampaignResult
+from repro.analysis.summary import ARM_TITLES, summary_table
+from repro.analysis.per_opt import per_opt_table
+from repro.analysis.adjacency import adjacency_tables
+
+__all__ = ["render_campaign_report"]
+
+_PER_OPT_TITLES = {
+    "fp64": "Table V — Discrepancies per optimization option, FP64 (measured)",
+    "fp64_hipify": "Table VII — Discrepancies per optimization option, HIPIFY-converted FP64 (measured)",
+    "fp32": "Table IX — Discrepancies per optimization option, FP32 (measured)",
+}
+_ADJACENCY_TITLES = {
+    "fp64": "Table VI — Adjacency matrices, FP64 (measured)",
+    "fp64_hipify": "Table VIII — Adjacency matrices, HIPIFY-converted FP64 (measured)",
+    "fp32": "Table X — Adjacency matrices, FP32 (measured)",
+}
+
+
+def render_campaign_report(
+    result: CampaignResult,
+    *,
+    include_adjacency: bool = True,
+    header: Optional[str] = None,
+) -> str:
+    """Render every table the campaign supports, in paper order."""
+    blocks: List[str] = []
+    if header:
+        blocks.append(header)
+    blocks.append(
+        f"campaign: {result.total_runs} total runs, "
+        f"{result.total_discrepancies} discrepancies, "
+        f"{result.elapsed_seconds:.1f}s"
+    )
+    blocks.append(summary_table(result).render())
+    for arm_name, arm in result.arms.items():
+        blocks.append(per_opt_table(arm, _PER_OPT_TITLES[arm_name]).render())
+    if include_adjacency:
+        for arm_name, arm in result.arms.items():
+            for table in adjacency_tables(arm, _ADJACENCY_TITLES[arm_name]):
+                blocks.append(table.render())
+    return "\n\n".join(blocks)

@@ -1,0 +1,69 @@
+"""Table IV — summary of experimental results.
+
+Rows: total programs, runs per option per compiler, runs per option, total
+runs, runs per compiler, total discrepancies (count and % of total runs).
+Columns: the campaign arms (FP64, FP64-with-HIPIFY, FP32).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import AnalysisError
+from repro.harness.campaign import ARM_NAMES, CampaignResult
+from repro.utils.tables import Table
+
+__all__ = ["summary_table", "summary_dict", "ARM_TITLES"]
+
+ARM_TITLES = {
+    "fp64": "FP64",
+    "fp64_hipify": "FP64 with HIPIFY",
+    "fp32": "FP32",
+}
+
+
+def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, float]]:
+    """Machine-readable Table IV (used by tests and EXPERIMENTS.md)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for arm_name, arm in result.arms.items():
+        out[arm_name] = {
+            "total_programs": arm.n_programs,
+            "runs_per_option_per_compiler": arm.runs_per_option_per_compiler,
+            "runs_per_option": arm.runs_per_option,
+            "total_runs": arm.total_runs,
+            "runs_per_compiler": arm.runs_per_compiler,
+            "total_discrepancies": arm.n_discrepancies,
+            "discrepancy_percent": arm.discrepancy_percent,
+        }
+    return out
+
+
+def summary_table(result: CampaignResult) -> Table:
+    """Render Table IV for the arms present in ``result``."""
+    arms = [a for a in ARM_NAMES if a in result.arms]
+    if not arms:
+        raise AnalysisError("campaign result has no arms")
+    table = Table(
+        title="Table IV — Summary of experimental results (measured)",
+        headers=["Metric"] + [ARM_TITLES[a] for a in arms],
+    )
+    data = summary_dict(result)
+
+    def row(label: str, key: str, fmt: str = "{:d}") -> List[str]:
+        cells = [label]
+        for a in arms:
+            v = data[a][key]
+            cells.append(fmt.format(int(v)) if fmt == "{:d}" else fmt.format(v))
+        return cells
+
+    table.add_row(row("Total Programs", "total_programs"))
+    table.add_row(row("Total Runs per Option per Compiler", "runs_per_option_per_compiler"))
+    table.add_row(row("Total Runs per Option", "runs_per_option"))
+    table.add_row(row("Total Runs", "total_runs"))
+    table.add_row(row("Runs on NVCC", "runs_per_compiler"))
+    table.add_row(row("Runs on HIPCC", "runs_per_compiler"))
+    table.add_row(row("Total Discrepancies", "total_discrepancies"))
+    table.add_row(
+        row("Total Discrepancies (% of Total Runs)", "discrepancy_percent", "{:.2f}%")
+    )
+    return table

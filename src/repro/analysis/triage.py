@@ -1,0 +1,192 @@
+"""Automated root-cause triage of discrepancies.
+
+The paper's stated future work (§VII): "develop automated debugging tools
+to efficiently identify and resolve these inconsistencies, minimizing
+manual analysis."  This module implements that tool for the modeled
+stacks.  For one discrepancy it runs three probes:
+
+1. **Optimization probe** — rerun at ``-O0``: if the platforms agree
+   there, the divergence is optimization-induced; the differing pass lists
+   name the transformation (the in-model analogue of diffing SASS).
+2. **Library probe** — rerun with the math libraries equalized
+   (:func:`repro.analysis.ablation.build_ablated_runner`): if the
+   divergence disappears, it is a math-library difference, and the first
+   divergent traced statement names the function(s) involved.
+3. **FTZ probe** (FP32 fast-math only) — rerun with the flush modes
+   equalized: attributes the flush-point asymmetry.
+
+Anything that survives all probes is reported ``unknown`` with the full
+isolation report attached — the case a human (or a vendor) should look at.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.ablation import AblationSpec, build_ablated_runner
+from repro.analysis.case_studies import CaseStudyReport, isolate_divergence
+from repro.compilers.options import OptLevel, OptSetting
+from repro.fp.classify import outcomes_equivalent
+from repro.fp.types import FPType
+from repro.harness.differential import Discrepancy
+from repro.harness.runner import DifferentialRunner
+from repro.ir.nodes import Call, Stmt
+from repro.ir.visitor import collect
+from repro.utils.tables import Table
+from repro.varity.testcase import TestCase
+
+__all__ = ["Cause", "TriageVerdict", "triage_discrepancy", "triage_tests", "triage_table"]
+
+#: Cause labels, from most to least specific.
+class Cause:
+    MATH_LIBRARY = "math-library"
+    OPTIMIZATION = "optimization-induced"
+    FTZ = "ftz-asymmetry"
+    FAST_MATH_LIBRARY = "fast-math approximation"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class TriageVerdict:
+    """Attribution for one discrepancy."""
+
+    test_id: str
+    input_index: int
+    opt_label: str
+    cause: str
+    functions: Tuple[str, ...] = ()
+    nvcc_passes: Tuple[str, ...] = ()
+    hipcc_passes: Tuple[str, ...] = ()
+    isolation: Optional[CaseStudyReport] = None
+
+    def describe(self) -> str:
+        detail = ""
+        if self.functions:
+            detail = f" via {', '.join(self.functions)}"
+        elif self.cause == Cause.OPTIMIZATION:
+            extra = set(self.nvcc_passes) ^ set(self.hipcc_passes)
+            if extra:
+                detail = f" (asymmetric passes: {', '.join(sorted(extra))})"
+        return (
+            f"{self.test_id}#{self.input_index}@{self.opt_label}: "
+            f"{self.cause}{detail}"
+        )
+
+
+def _functions_near_divergence(test: TestCase, report: CaseStudyReport) -> Tuple[str, ...]:
+    """Math functions appearing in the statement that first diverged."""
+    if report.divergence is None:
+        return ()
+    # Statement paths look like "s3.f[i=2].s1": the leading segment indexes
+    # the top-level statement; walk it and gather Call names.
+    path = report.divergence.path
+    head = path.split(".")[0]
+    if not head.startswith("s"):
+        return ()
+    try:
+        index = int(head[1:])
+    except ValueError:
+        return ()
+    body = test.program.kernel.body
+    if index >= len(body):
+        return ()
+    calls = collect(body[index], lambda n: isinstance(n, Call))
+    return tuple(sorted({c.func for c in calls}))  # type: ignore[union-attr]
+
+
+def triage_discrepancy(
+    runner: DifferentialRunner,
+    test: TestCase,
+    opt: OptSetting,
+    input_index: int,
+) -> TriageVerdict:
+    """Attribute one discrepancy to a modeled mechanism."""
+    report = isolate_divergence(runner, test, opt, input_index)
+    verdict = TriageVerdict(
+        test_id=test.test_id,
+        input_index=input_index,
+        opt_label=opt.label,
+        cause=Cause.UNKNOWN,
+        nvcc_passes=report.nvcc_passes,
+        hipcc_passes=report.hipcc_passes,
+        isolation=report,
+    )
+
+    # Probe 1: does -O0 agree?  Then optimization introduced it.
+    if opt.label != "O0":
+        o0 = OptSetting(OptLevel.O0)
+        rn0, ra0, _, _ = runner.run_single(test, o0, input_index)
+        if outcomes_equivalent(rn0.value, ra0.value):
+            # Sharpen: under fast math on FP32, check the FTZ probe first.
+            if opt.fast_math and test.fptype is FPType.FP32:
+                ftz_runner = build_ablated_runner(AblationSpec("ftz", "", same_ftz=True))
+                rn, ra, _, _ = ftz_runner.run_single(test, opt, input_index)
+                if outcomes_equivalent(rn.value, ra.value):
+                    verdict.cause = Cause.FTZ
+                    return verdict
+            verdict.cause = Cause.OPTIMIZATION
+            return verdict
+
+    # Probe 2: identical math libraries.
+    lib_runner = build_ablated_runner(
+        AblationSpec("mathlib", "", same_mathlib=True)
+    )
+    rn, ra, _, _ = lib_runner.run_single(test, opt, input_index)
+    if outcomes_equivalent(rn.value, ra.value):
+        verdict.cause = (
+            Cause.FAST_MATH_LIBRARY
+            if opt.fast_math and test.fptype is FPType.FP32
+            else Cause.MATH_LIBRARY
+        )
+        verdict.functions = _functions_near_divergence(test, report)
+        return verdict
+
+    # Probe 3 (FP32 fast math): flush-point asymmetry.
+    if opt.fast_math and test.fptype is FPType.FP32:
+        ftz_runner = build_ablated_runner(AblationSpec("ftz", "", same_ftz=True))
+        rn, ra, _, _ = ftz_runner.run_single(test, opt, input_index)
+        if outcomes_equivalent(rn.value, ra.value):
+            verdict.cause = Cause.FTZ
+            return verdict
+
+    return verdict
+
+
+def triage_tests(
+    runner: DifferentialRunner,
+    tests_by_id: Dict[str, TestCase],
+    discrepancies: Sequence[Discrepancy],
+    limit: Optional[int] = None,
+) -> List[TriageVerdict]:
+    """Triage a batch of campaign discrepancies (optionally capped)."""
+    verdicts: List[TriageVerdict] = []
+    for d in discrepancies[: limit if limit else len(discrepancies)]:
+        test = tests_by_id.get(d.test_id)
+        if test is None:
+            continue
+        verdicts.append(
+            triage_discrepancy(
+                runner, test, OptSetting.from_label(d.opt_label), d.input_index
+            )
+        )
+    return verdicts
+
+
+def triage_table(verdicts: Sequence[TriageVerdict], title: str = "") -> Table:
+    """Cause histogram plus the functions most often implicated."""
+    causes = Counter(v.cause for v in verdicts)
+    functions = Counter(f for v in verdicts for f in v.functions)
+    table = Table(
+        title=title or "Automated root-cause triage",
+        headers=["Cause", "Count", "Most implicated functions"],
+    )
+    for cause, count in causes.most_common():
+        implicated = ", ".join(
+            f"{name}×{n}"
+            for name, n in functions.most_common(3)
+            if any(v.cause == cause and name in v.functions for v in verdicts)
+        )
+        table.add_row([cause, count, implicated or "—"])
+    return table

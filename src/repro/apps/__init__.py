@@ -1,0 +1,31 @@
+"""Applications built on the library.
+
+* :mod:`repro.apps.paper_kernels` — the exact kernels of the paper's
+  Figs. 2, 4, 5, 6, hand-built in IR, with their published inputs.
+* :mod:`repro.apps.bt` — a compact BT.S-style structured-grid solver for
+  the Table I runtime/accuracy tradeoff experiment.
+* :mod:`repro.apps.stencil` — an additional stencil workload used by the
+  examples.
+"""
+
+from repro.apps.paper_kernels import (
+    fig2_program,
+    fig4_testcase,
+    fig5_testcase,
+    fig6_testcase,
+    case3_engineered_testcase,
+)
+from repro.apps.bt import build_bt_program, run_bt_experiment, BTRow
+from repro.apps.stencil import build_stencil_program
+
+__all__ = [
+    "fig2_program",
+    "fig4_testcase",
+    "fig5_testcase",
+    "fig6_testcase",
+    "case3_engineered_testcase",
+    "build_bt_program",
+    "run_bt_experiment",
+    "BTRow",
+    "build_stencil_program",
+]

@@ -1,0 +1,74 @@
+"""A 1-D diffusion stencil workload for the examples.
+
+Not part of the paper's evaluation; included as a second realistic
+"scientific kernel" (the kind the paper's intro motivates) for users who
+want to differential-test their own numerics rather than random programs.
+"""
+
+from __future__ import annotations
+
+from repro.fp.types import FPType
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import IntConst
+from repro.ir.program import Program
+
+__all__ = ["build_stencil_program", "STENCIL_POINTS"]
+
+STENCIL_POINTS = 16
+
+
+def build_stencil_program(
+    fptype: FPType = FPType.FP64, points: int = STENCIL_POINTS
+) -> Program:
+    """Explicit diffusion with a nonlinear source term.
+
+    Parameters: ``comp`` (checksum), ``var_1`` (steps), ``var_2``
+    (diffusion coefficient), ``var_3`` (source scale), ``var_4`` (field
+    array).  Each step relaxes the field toward its shifted neighbour and
+    accumulates an ``exp``-weighted checksum — enough math-library traffic
+    and mul-add shapes to show cross-vendor divergence on real inputs.
+    """
+    b = IRBuilder(fptype)
+    u = lambda idx: b.idx("var_4", idx)  # noqa: E731
+
+    body = [
+        b.loop(
+            "i",
+            "var_1",
+            [
+                b.loop(
+                    "j",
+                    IntConst(points - 1),
+                    [
+                        b.assign(
+                            u("j"),
+                            b.add(
+                                u("j"),
+                                b.mul(
+                                    "var_2",
+                                    b.sub(u(b.add(b.var("j"), IntConst(1))), u("j")),
+                                ),
+                            ),
+                        ),
+                    ],
+                ),
+                b.aug(
+                    "comp",
+                    "+",
+                    b.mul("var_3", b.call("exp", b.mul(b.lit(-1.0e-2), u(IntConst(0))))),
+                ),
+            ],
+        ),
+        b.aug("comp", "+", u(IntConst(0))),
+    ]
+    kernel = b.kernel(
+        params=[
+            b.fparam("comp"),
+            b.iparam("var_1"),
+            b.fparam("var_2"),
+            b.fparam("var_3"),
+            b.aparam("var_4"),
+        ],
+        body=body,
+    )
+    return b.program(kernel, program_id=f"stencil-{fptype.value}", note="diffusion stencil")

@@ -1,0 +1,101 @@
+"""Command-line interface: ``repro-campaign``.
+
+Runs a differential-testing campaign at a chosen scale and prints the
+paper's tables.  Examples::
+
+    repro-campaign --scale tiny
+    repro-campaign --scale default --workers 4
+    repro-campaign --scale paper --workers 8 --json results.json
+    repro-campaign --fp64-programs 500 --inputs 5 --no-hipify
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_campaign_report
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.utils.jsonio import dump_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Differential GPU-numerics testing campaign (SC'24 reproduction)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "default", "paper"],
+        default="tiny",
+        help="preset campaign size (tiny: seconds; default: minutes; paper: full 652k-run grid)",
+    )
+    parser.add_argument("--seed", type=int, default=2024, help="campaign root seed")
+    parser.add_argument("--workers", type=int, default=0, help="process-pool size (0 = serial)")
+    parser.add_argument("--fp64-programs", type=int, default=None, help="override FP64 program count")
+    parser.add_argument("--fp32-programs", type=int, default=None, help="override FP32 program count")
+    parser.add_argument("--inputs", type=int, default=None, help="inputs per program")
+    parser.add_argument("--no-hipify", action="store_true", help="skip the HIPIFY arm")
+    parser.add_argument("--no-fp32", action="store_true", help="skip the FP32 arm")
+    parser.add_argument("--no-adjacency", action="store_true", help="omit adjacency matrices")
+    parser.add_argument("--json", metavar="PATH", default=None, help="also dump results as JSON")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    if args.scale == "paper":
+        base = CampaignConfig.paper_scale(seed=args.seed, workers=args.workers or None)
+    elif args.scale == "default":
+        base = CampaignConfig.default(seed=args.seed, workers=args.workers)
+    else:
+        base = CampaignConfig.tiny(seed=args.seed)
+    return CampaignConfig(
+        seed=base.seed,
+        n_programs_fp64=args.fp64_programs or base.n_programs_fp64,
+        n_programs_fp32=args.fp32_programs or base.n_programs_fp32,
+        inputs_per_program=args.inputs or base.inputs_per_program,
+        include_hipify=not args.no_hipify,
+        include_fp32=not args.no_fp32,
+        workers=args.workers or base.workers,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _config_from_args(args)
+
+    def progress(arm: str, done: int, total: int) -> None:
+        print(f"\r[{arm}] {done}/{total} slices", end="", file=sys.stderr, flush=True)
+        if done == total:
+            print(file=sys.stderr)
+
+    result = run_campaign(config, progress=progress)
+    print(render_campaign_report(result, include_adjacency=not args.no_adjacency))
+
+    if args.json:
+        payload = {
+            "config": {
+                "seed": config.seed,
+                "n_programs_fp64": config.n_programs_fp64,
+                "n_programs_fp32": config.n_programs_fp32,
+                "inputs_per_program": config.inputs_per_program,
+            },
+            "elapsed_seconds": result.elapsed_seconds,
+            "arms": {
+                name: {
+                    "total_runs": arm.total_runs,
+                    "discrepancies": [d.to_json_dict() for d in arm.discrepancies],
+                }
+                for name, arm in result.arms.items()
+            },
+        }
+        dump_json(payload, args.json)
+        print(f"JSON results written to {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Language-neutral C-family emission of kernel bodies.
+
+CUDA, HIP and plain C share the body syntax; they differ in kernel
+qualifiers, headers, memory management, and launch syntax, which the
+per-language modules provide.  FP32 campaigns emit ``f``-suffixed math
+calls and ``F``-suffixed literals (§III-C), both handled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CodegenError
+from repro.fp.literals import format_varity_literal
+from repro.fp.types import FPType
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Decl,
+    Expr,
+    FMA,
+    For,
+    If,
+    IntConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Kernel
+
+__all__ = ["EmitterConfig", "render_kernel_body", "render_expr", "render_signature"]
+
+_PRECEDENCE = {"||": 1, "&&": 2, "==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+               "+": 5, "-": 5, "*": 6, "/": 6}
+
+#: Functions that keep their name in FP32 (no ``f`` suffix variant is used
+#: by either toolchain for these in generated code).
+_NO_SUFFIX = frozenset({"__fdividef"})
+
+
+@dataclass(frozen=True)
+class EmitterConfig:
+    """Per-language emission knobs."""
+
+    fptype: FPType
+    indent: str = "  "
+
+    @property
+    def fp_name(self) -> str:
+        return self.fptype.c_name
+
+    def math_name(self, func: str, variant: str = "default") -> str:
+        """Source spelling of a math call."""
+        if func in _NO_SUFFIX:
+            return func
+        if variant == "approx" and self.fptype is FPType.FP32:
+            # Fast-math intrinsic spelling (__cosf, __expf, ...).
+            return f"__{func}f"
+        if self.fptype is FPType.FP32:
+            return f"{func}f"
+        return func
+
+    def literal(self, node: Const) -> str:
+        if node.text is not None:
+            text = node.text
+        else:
+            try:
+                text = format_varity_literal(node.value, self.fptype)
+            except ValueError as exc:
+                raise CodegenError(f"cannot emit literal {node.value!r}") from exc
+        if self.fptype is FPType.FP32 and not text.upper().endswith("F"):
+            text += "F"
+        return text
+
+
+def render_expr(expr: Expr, cfg: EmitterConfig, parent_prec: int = 0) -> str:
+    """Emit one expression with minimal parentheses."""
+    if isinstance(expr, Const):
+        return cfg.literal(expr)
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}[{render_expr(expr.index, cfg)}]"
+    if isinstance(expr, UnOp):
+        inner = render_expr(expr.operand, cfg, 7)
+        # Avoid `--x` (decrement token) when negating a negative literal.
+        if inner.startswith("-"):
+            return f"{expr.op}({inner})" if expr.op == "-" else inner
+        return f"{expr.op}{inner}" if expr.op == "-" else inner
+    if isinstance(expr, (BinOp, Compare, BoolOp)):
+        prec = _PRECEDENCE[expr.op]
+        left = render_expr(expr.left, cfg, prec)
+        right_prec = prec + 1 if expr.op in ("-", "/") else prec
+        right = render_expr(expr.right, cfg, right_prec)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, FMA):
+        name = "fmaf" if cfg.fptype is FPType.FP32 else "fma"
+        a = render_expr(expr.a, cfg)
+        if expr.negate_product:
+            a = f"-({a})"
+        return f"{name}({a}, {render_expr(expr.b, cfg)}, {render_expr(expr.c, cfg)})"
+    if isinstance(expr, Call):
+        args = ", ".join(render_expr(a, cfg) for a in expr.args)
+        return f"{cfg.math_name(expr.func, expr.variant)}({args})"
+    raise CodegenError(f"cannot emit {type(expr).__name__}")
+
+
+def _stmt_lines(stmt: Stmt, cfg: EmitterConfig, depth: int) -> List[str]:
+    pad = cfg.indent * depth
+    if isinstance(stmt, Decl):
+        return [f"{pad}{cfg.fp_name} {stmt.name} = {render_expr(stmt.init, cfg)};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{render_expr(stmt.target, cfg)} = {render_expr(stmt.expr, cfg)};"]
+    if isinstance(stmt, AugAssign):
+        return [
+            f"{pad}{render_expr(stmt.target, cfg)} {stmt.op}= {render_expr(stmt.expr, cfg)};"
+        ]
+    if isinstance(stmt, For):
+        lines = [
+            f"{pad}for (int {stmt.var} = 0; {stmt.var} < "
+            f"{render_expr(stmt.bound, cfg)}; ++{stmt.var}) {{"
+        ]
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, cfg, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({render_expr(stmt.cond, cfg)}) {{"]
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, cfg, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise CodegenError(f"cannot emit {type(stmt).__name__}")
+
+
+def render_signature(kernel: Kernel, cfg: EmitterConfig) -> str:
+    """Parameter list of the compute kernel."""
+    return ", ".join(p.c_decl(cfg.fp_name) for p in kernel.params)
+
+
+def render_kernel_body(kernel: Kernel, cfg: EmitterConfig, depth: int = 1) -> str:
+    """Body statements plus the final %.17g printf (§III-B)."""
+    lines: List[str] = []
+    for stmt in kernel.body:
+        lines.extend(_stmt_lines(stmt, cfg, depth))
+    lines.append(f'{cfg.indent * depth}printf("%.17g\\n", comp);')
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-C rendering — host/reference builds.
+
+Varity's original host-vs-device mode compiles the same computation as
+plain C; we keep the renderer for that workflow and for eyeballing tests
+without a GPU toolchain.  The kernel becomes an ordinary function (array
+parameters stay pointers; the caller owns allocation).
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.ir.types import IRType
+from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.codegen.cuda import ARRAY_EXTENT_MACRO
+
+__all__ = ["render_c"]
+
+
+def render_c(program: Program) -> str:
+    """Render a complete self-contained .c test file."""
+    kernel = program.kernel
+    cfg = EmitterConfig(fptype=kernel.fptype)
+    fp = cfg.fp_name
+    nparams = len(kernel.params)
+    lines = [
+        f"/* Varity test {program.program_id} ({kernel.fptype.value}) — host build */",
+        "#include <stdio.h>",
+        "#include <stdlib.h>",
+        "#include <math.h>",
+        "",
+        f"#define {ARRAY_EXTENT_MACRO} 64",
+        "",
+        f"void {kernel.name}({render_signature(kernel, cfg)}) {{",
+        render_kernel_body(kernel, cfg),
+        "}",
+        "",
+        "int main(int argc, char** argv) {",
+        f"  if (argc != {nparams + 1}) return 1;",
+    ]
+    argi = 1
+    for p in kernel.params:
+        if p.type is IRType.INT:
+            lines.append(f"  int {p.name} = atoi(argv[{argi}]);")
+        elif p.type is IRType.FLOAT:
+            lines.append(f"  {fp} {p.name} = ({fp})atof(argv[{argi}]);")
+        else:
+            lines.append(f"  {fp} {p.name}_fill = ({fp})atof(argv[{argi}]);")
+        argi += 1
+    for p in kernel.array_params:
+        n = ARRAY_EXTENT_MACRO
+        lines.append(f"  {fp}* {p.name} = ({fp}*)malloc({n} * sizeof({fp}));")
+        lines.append(f"  for (int _i = 0; _i < {n}; ++_i) {p.name}[_i] = {p.name}_fill;")
+    args = ", ".join(p.name for p in kernel.params)
+    lines.append(f"  {kernel.name}({args});")
+    for p in kernel.array_params:
+        lines.append(f"  free({p.name});")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

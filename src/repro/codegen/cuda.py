@@ -1,0 +1,83 @@
+"""CUDA (.cu) rendering — the artifact nvcc compiles on System 1."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fp.types import FPType
+from repro.ir.program import Kernel, Program
+from repro.ir.types import IRType
+from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+
+__all__ = ["render_cuda", "ARRAY_EXTENT_MACRO"]
+
+#: Compile-time array extent of generated tests (ample for var_1 ≤ 8).
+ARRAY_EXTENT_MACRO = "VARITY_ARRAY_N"
+
+
+def _host_setup(kernel: Kernel, cfg: EmitterConfig, *, api: str) -> List[str]:
+    """Input parsing + array allocation, shared by CUDA and HIP mains.
+
+    ``api`` is "cuda" or "hip" — the only difference is the runtime-call
+    prefix, which is exactly what HIPIFY rewrites.
+    """
+    fp = cfg.fp_name
+    lines: List[str] = []
+    argi = 1
+    for p in kernel.params:
+        if p.type is IRType.INT:
+            lines.append(f"  int {p.name} = atoi(argv[{argi}]);")
+        elif p.type is IRType.FLOAT:
+            lines.append(f"  {fp} {p.name} = ({fp})atof(argv[{argi}]);")
+        else:
+            lines.append(f"  {fp} {p.name}_fill = ({fp})atof(argv[{argi}]);")
+        argi += 1
+    for p in kernel.array_params:
+        n = ARRAY_EXTENT_MACRO
+        lines.append(f"  {fp}* {p.name}_h = ({fp}*)malloc({n} * sizeof({fp}));")
+        lines.append(f"  for (int _i = 0; _i < {n}; ++_i) {p.name}_h[_i] = {p.name}_fill;")
+        lines.append(f"  {fp}* {p.name};")
+        lines.append(f"  {api}Malloc((void**)&{p.name}, {n} * sizeof({fp}));")
+        lines.append(
+            f"  {api}Memcpy({p.name}, {p.name}_h, {n} * sizeof({fp}), "
+            f"{api}MemcpyHostToDevice);"
+        )
+    return lines
+
+
+def _host_teardown(kernel: Kernel, *, api: str) -> List[str]:
+    lines: List[str] = [f"  {api}DeviceSynchronize();"]
+    for p in kernel.array_params:
+        lines.append(f"  {api}Free({p.name});")
+        lines.append(f"  free({p.name}_h);")
+    lines.append("  return 0;")
+    return lines
+
+
+def render_cuda(program: Program) -> str:
+    """Render a complete self-contained .cu test file."""
+    kernel = program.kernel
+    cfg = EmitterConfig(fptype=kernel.fptype)
+    args = ", ".join(p.name for p in kernel.params)
+    nparams = len(kernel.params)
+    lines = [
+        f"/* Varity test {program.program_id} ({kernel.fptype.value}) */",
+        "#include <stdio.h>",
+        "#include <stdlib.h>",
+        "#include <cuda_runtime.h>",
+        "",
+        f"#define {ARRAY_EXTENT_MACRO} 64",
+        "",
+        "__global__",
+        f"void {kernel.name}({render_signature(kernel, cfg)}) {{",
+        render_kernel_body(kernel, cfg),
+        "}",
+        "",
+        "int main(int argc, char** argv) {",
+        f"  if (argc != {nparams + 1}) return 1;",
+    ]
+    lines.extend(_host_setup(kernel, cfg, api="cuda"))
+    lines.append(f"  {kernel.name}<<<1, 1>>>({args});")
+    lines.extend(_host_teardown(kernel, api="cuda"))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,47 @@
+"""HIP (.hip) rendering — the native-HIP artifact our Varity extension
+emits (§III-D).
+
+HIP is close to a subset of CUDA: the kernel is declared ``__global__`` in
+both; the differences are the runtime header, the runtime-call prefix, and
+the launch syntax (``hipLaunchKernelGGL`` instead of ``<<< >>>``) — exactly
+the items listed in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.codegen.cuda import ARRAY_EXTENT_MACRO, _host_setup, _host_teardown
+
+__all__ = ["render_hip"]
+
+
+def render_hip(program: Program) -> str:
+    """Render a complete self-contained .hip test file."""
+    kernel = program.kernel
+    cfg = EmitterConfig(fptype=kernel.fptype)
+    args = ", ".join(p.name for p in kernel.params)
+    nparams = len(kernel.params)
+    lines = [
+        f"/* Varity test {program.program_id} ({kernel.fptype.value}) */",
+        "#include <stdio.h>",
+        "#include <stdlib.h>",
+        "#include <hip/hip_runtime.h>",
+        "",
+        f"#define {ARRAY_EXTENT_MACRO} 64",
+        "",
+        "__global__",
+        f"void {kernel.name}({render_signature(kernel, cfg)}) {{",
+        render_kernel_body(kernel, cfg),
+        "}",
+        "",
+        "int main(int argc, char** argv) {",
+        f"  if (argc != {nparams + 1}) return 1;",
+    ]
+    lines.extend(_host_setup(kernel, cfg, api="hip"))
+    lines.append(
+        f"  hipLaunchKernelGGL({kernel.name}, dim3(1), dim3(1), 0, 0, {args});"
+    )
+    lines.extend(_host_teardown(kernel, api="hip"))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

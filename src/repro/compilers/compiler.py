@@ -1,0 +1,88 @@
+"""Compiler base: pass pipelines → compiled kernels."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import CompileError
+from repro.fp.env import FlushMode
+from repro.fp.types import FPType
+from repro.ir.program import Kernel, Program
+from repro.ir.validate import validate_kernel
+from repro.devices.interpreter import ExecOptions
+from repro.devices.vendor import Vendor
+from repro.compilers.options import OptSetting
+from repro.compilers.passes.base import Pass
+
+__all__ = ["CompiledKernel", "Compiler"]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """The model's "binary": transformed IR + execution environment.
+
+    ``passes_applied`` records the pipeline for metadata files and the
+    case-study reports (the analogue of inspecting SASS/GCN ISA in the
+    paper's root-cause analysis).
+    """
+
+    kernel: Kernel
+    vendor: Vendor
+    opt: OptSetting
+    exec_options: ExecOptions
+    passes_applied: Tuple[str, ...] = ()
+    program_id: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.vendor.compiler_name} -{self.opt.label}"
+
+
+class Compiler(abc.ABC):
+    """Common compile driver; subclasses define pipelines and FTZ policy."""
+
+    #: e.g. "nvcc" / "hipcc"
+    name: str = "cc"
+    vendor: Vendor
+
+    def compile(self, program: Program, opt: OptSetting) -> CompiledKernel:
+        """Compile one program at one optimization setting."""
+        kernel = self.preprocess(program)
+        issues = validate_kernel(kernel)
+        if issues:
+            raise CompileError(
+                f"{self.name}: program {program.program_id!r} is malformed: "
+                + "; ".join(str(i) for i in issues[:5])
+            )
+        applied: List[str] = []
+        for p in self.pipeline(opt, kernel.fptype):
+            new_kernel = p.run(kernel)
+            if new_kernel is not kernel:
+                applied.append(p.name)
+            kernel = new_kernel
+        return CompiledKernel(
+            kernel=kernel,
+            vendor=self.vendor,
+            opt=opt,
+            exec_options=ExecOptions(flush=self.flush_mode(opt, kernel.fptype)),
+            passes_applied=tuple(applied),
+            program_id=program.program_id,
+        )
+
+    # -- customization points -------------------------------------------------
+    def preprocess(self, program: Program) -> Kernel:
+        """Source-level preparation before the pass pipeline (default: none)."""
+        return program.kernel
+
+    @abc.abstractmethod
+    def pipeline(self, opt: OptSetting, fptype: FPType) -> Sequence[Pass]:
+        """The pass list for one optimization setting."""
+
+    @abc.abstractmethod
+    def flush_mode(self, opt: OptSetting, fptype: FPType) -> FlushMode:
+        """Subnormal handling of the generated code."""
+
+    def __repr__(self) -> str:
+        return f"<{self.name} compiler model>"

@@ -1,0 +1,75 @@
+"""Optimization settings.
+
+The paper evaluates five settings per compiler (§IV-B): ``-O0``, ``-O1``,
+``-O2``, ``-O3``, and ``-O3`` with fast math.  Fast math means
+``-use_fast_math`` for nvcc and — following the ROCm guidance the paper
+cites in §III-D — ``-DHIP_FAST_MATH`` rather than ``-ffast-math`` for
+hipcc (plain ``-ffast-math`` breaks HIP programs that produce NaN/Inf via
+``-ffinite-math-only``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["OptLevel", "OptSetting", "PAPER_OPT_SETTINGS"]
+
+
+class OptLevel(enum.IntEnum):
+    O0 = 0
+    O1 = 1
+    O2 = 2
+    O3 = 3
+
+    @property
+    def flag(self) -> str:
+        return f"-O{int(self)}"
+
+
+@dataclass(frozen=True)
+class OptSetting:
+    """One column of the paper's experiment grid."""
+
+    level: OptLevel
+    fast_math: bool = False
+
+    @property
+    def label(self) -> str:
+        """Paper-style label: O0 … O3, O3_FM."""
+        base = f"O{int(self.level)}"
+        return f"{base}_FM" if self.fast_math else base
+
+    def flags_for(self, compiler_name: str) -> Tuple[str, ...]:
+        """Command-line rendering for metadata files (Fig. 3)."""
+        flags: Tuple[str, ...] = (self.level.flag,)
+        if self.fast_math:
+            if compiler_name == "nvcc":
+                flags += ("-use_fast_math",)
+            else:
+                flags += ("-DHIP_FAST_MATH",)
+        return flags
+
+    @classmethod
+    def from_label(cls, label: str) -> "OptSetting":
+        label = label.strip().upper()
+        fast = label.endswith("_FM")
+        if fast:
+            label = label[: -len("_FM")]
+        if not (len(label) == 2 and label[0] == "O" and label[1] in "0123"):
+            raise ValueError(f"bad optimization label {label!r}")
+        return cls(OptLevel(int(label[1])), fast)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: The exact grid of §IV-B, in table order.
+PAPER_OPT_SETTINGS: Tuple[OptSetting, ...] = (
+    OptSetting(OptLevel.O0),
+    OptSetting(OptLevel.O1),
+    OptSetting(OptLevel.O2),
+    OptSetting(OptLevel.O3),
+    OptSetting(OptLevel.O3, fast_math=True),
+)

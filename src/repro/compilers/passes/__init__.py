@@ -1,0 +1,21 @@
+"""IR optimization passes used by the compiler models."""
+
+from repro.compilers.passes.base import Pass
+from repro.compilers.passes.constant_folding import ConstantFolding
+from repro.compilers.passes.fma_contraction import FMAContraction, NVCC_PATTERNS, HIPCC_PATTERNS
+from repro.compilers.passes.reassociation import Reassociation
+from repro.compilers.passes.reciprocal import ReciprocalDivision
+from repro.compilers.passes.algebraic import AlgebraicSimplify
+from repro.compilers.passes.approx import ApproxSubstitution
+
+__all__ = [
+    "Pass",
+    "ConstantFolding",
+    "FMAContraction",
+    "NVCC_PATTERNS",
+    "HIPCC_PATTERNS",
+    "Reassociation",
+    "ReciprocalDivision",
+    "AlgebraicSimplify",
+    "ApproxSubstitution",
+]

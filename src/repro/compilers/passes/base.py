@@ -1,0 +1,28 @@
+"""Pass interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.ir.program import Kernel
+
+__all__ = ["Pass"]
+
+
+class Pass(abc.ABC):
+    """A kernel-to-kernel transformation.
+
+    Passes must be pure: same input kernel → same output kernel, no
+    mutation of the input (the harness compiles one program at five
+    settings from the same IR).
+    """
+
+    #: Short identifier recorded in CompiledKernel.passes_applied.
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, kernel: Kernel) -> Kernel:
+        """Return the transformed kernel (may be the input if unchanged)."""
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"

@@ -1,0 +1,25 @@
+"""Simulated GPU devices.
+
+Substitute for the paper's Lassen (NVIDIA V100) and Tioga (AMD MI250X)
+clusters: each device couples an IEEE-754 IR interpreter with a vendor
+math-library model.  See DESIGN.md §2 for the substitution argument and §5
+for the divergence mechanisms.
+"""
+
+from repro.devices.vendor import Vendor
+from repro.devices.device import Device, DeviceSpec, ExecutionResult
+from repro.devices.nvidia import nvidia_v100
+from repro.devices.amd import amd_mi250x
+from repro.devices.interpreter import Interpreter, ExecOptions, TraceEntry
+
+__all__ = [
+    "Vendor",
+    "Device",
+    "DeviceSpec",
+    "ExecutionResult",
+    "nvidia_v100",
+    "amd_mi250x",
+    "Interpreter",
+    "ExecOptions",
+    "TraceEntry",
+]

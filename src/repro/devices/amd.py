@@ -1,0 +1,27 @@
+"""The simulated AMD system (paper §IV-A2: Tioga, MI250X, ROCm 6.1.2)."""
+
+from __future__ import annotations
+
+from repro.devices.device import Device, DeviceSpec
+from repro.devices.interpreter import CostModel
+from repro.devices.mathlib.ocml import OcmlMath
+from repro.devices.vendor import Vendor
+
+__all__ = ["amd_mi250x", "TIOGA_SPEC", "MI250X_COST_MODEL"]
+
+#: MI250X-flavoured issue costs: OCML calls go through a real call (not
+#: inlined SASS), divisions are a touch pricier; plain ALU ops match.
+MI250X_COST_MODEL = CostModel(call=34, call_fmod=38, call_sqrt=18, div=16)
+
+TIOGA_SPEC = DeviceSpec(
+    name="tioga-sim",
+    vendor=Vendor.AMD,
+    gpu_model="AMD MI250X (model)",
+    cluster="Tioga (LLNL) — simulated",
+    toolchain="hipcc / ROCm 6.1.2 (model)",
+)
+
+
+def amd_mi250x(salt: int = 0) -> Device:
+    """A fresh simulated MI250X device."""
+    return Device(TIOGA_SPEC, OcmlMath(salt=salt), MI250X_COST_MODEL)

@@ -1,0 +1,88 @@
+"""Device abstraction: a vendor math library plus an interpreter.
+
+A :class:`Device` stands in for "a GPU node of one of the two clusters".
+The harness compiles a program with the device's matching compiler model
+and calls :meth:`Device.execute` with the compiled kernel (anything
+exposing ``kernel`` and ``exec_options`` — see
+:class:`repro.compilers.compiler.CompiledKernel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Union
+
+from repro.devices.interpreter import CostModel, ExecOptions, ExecutionResult, Interpreter
+from repro.devices.mathlib.base import MathLibrary
+from repro.devices.vendor import Vendor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compilers.compiler import CompiledKernel
+
+__all__ = ["DeviceSpec", "Device", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Identity of a simulated GPU (mirrors the paper's §IV-A systems)."""
+
+    name: str
+    vendor: Vendor
+    gpu_model: str
+    cluster: str
+    toolchain: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.gpu_model} ({self.vendor.value}), "
+            f"cluster {self.cluster}, toolchain {self.toolchain}"
+        )
+
+
+class Device:
+    """One simulated GPU: spec + vendor math library + interpreter."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        mathlib: MathLibrary,
+        cost_model: "CostModel | None" = None,
+    ) -> None:
+        self.spec = spec
+        self.mathlib = mathlib
+        self.interpreter = Interpreter(mathlib, cost_model)
+
+    @property
+    def vendor(self) -> Vendor:
+        return self.spec.vendor
+
+    def execute(
+        self,
+        compiled: "CompiledKernel",
+        inputs: Sequence[Union[float, int]],
+        *,
+        trace: bool = False,
+    ) -> ExecutionResult:
+        """Run a compiled kernel on this device.
+
+        The compiled kernel must target this device's vendor — running an
+        nvcc binary on an AMD GPU is exactly the mistake real clusters
+        reject at load time, so we reject it too.
+        """
+        if compiled.vendor is not self.vendor:
+            raise ValueError(
+                f"binary compiled for {compiled.vendor.value} cannot run on "
+                f"{self.vendor.value} device {self.spec.name!r}"
+            )
+        options = compiled.exec_options
+        if trace and not options.trace:
+            options = ExecOptions(
+                flush=options.flush,
+                trace=True,
+                max_steps=options.max_steps,
+                min_array_size=options.min_array_size,
+            )
+        return self.interpreter.run(compiled.kernel, inputs, options)
+
+    def __repr__(self) -> str:
+        return f"Device({self.spec.name!r}, mathlib={self.mathlib.name})"

@@ -1,0 +1,40 @@
+"""Vendor math-library models.
+
+Real divergences in the paper were root-caused to the device math
+libraries: NVIDIA's ``libdevice`` (inlined PTX/SASS bit manipulation) vs
+AMD's OCML (``__ocml_*_f64`` calls).  We model each library as
+
+* **exact IEEE operations** where both real stacks are correctly rounded
+  (``sqrt``, ``fabs``, ``floor``, ``trunc``, ``fmin``, ``fmax``);
+* **vendor-specific algorithms** for the functions the paper's case studies
+  root-cause (``fmod``: exact bitwise remainder on NVIDIA vs chunked
+  scaled-division reduction on AMD; ``ceil``: magic-add fast path on NVIDIA
+  that loses tiny operands vs IEEE-correct on AMD);
+* a **deterministic bounded-ULP error model** for transcendentals, with
+  per-vendor accuracy budgets and error positions keyed to the operand bit
+  pattern (so the same input always gives the same answer on a vendor, and
+  the two vendors disagree on a sparse, value-dependent input subset — the
+  behaviour differential testing observes on real GPUs).
+"""
+
+from repro.devices.mathlib.base import (
+    MathLibrary,
+    reference_call,
+    SUPPORTED_FUNCTIONS,
+    UNARY_FUNCTIONS,
+    BINARY_FUNCTIONS,
+    EXACT_FUNCTIONS,
+)
+from repro.devices.mathlib.libdevice import LibdeviceMath
+from repro.devices.mathlib.ocml import OcmlMath
+
+__all__ = [
+    "MathLibrary",
+    "reference_call",
+    "SUPPORTED_FUNCTIONS",
+    "UNARY_FUNCTIONS",
+    "BINARY_FUNCTIONS",
+    "EXACT_FUNCTIONS",
+    "LibdeviceMath",
+    "OcmlMath",
+]

@@ -1,0 +1,145 @@
+"""Math library interface and the correctly-rounded reference.
+
+``reference_call`` is the library-independent "ideal" result: the operation
+evaluated in binary64 and rounded once into the campaign precision.  Vendor
+models start from it and apply their modeled algorithm/error.  The
+differential harness never compares against the reference — only vendor
+against vendor, as the paper does — but the analysis layer uses it to say
+*which* vendor moved.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.fp.types import FPType
+
+__all__ = [
+    "MathLibrary",
+    "reference_call",
+    "SUPPORTED_FUNCTIONS",
+    "UNARY_FUNCTIONS",
+    "BINARY_FUNCTIONS",
+    "EXACT_FUNCTIONS",
+    "APPROX_CAPABLE",
+]
+
+
+def _exp2(x: np.float64) -> np.float64:
+    return np.exp2(x)
+
+
+def _cbrt(x: np.float64) -> np.float64:
+    return np.cbrt(x)
+
+
+#: func name -> binary64 implementation (NumPy: returns NaN/Inf silently).
+_UNARY_IMPL: Dict[str, Callable[[np.float64], np.float64]] = {
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "asin": np.arcsin,
+    "acos": np.arccos,
+    "atan": np.arctan,
+    "sinh": np.sinh,
+    "cosh": np.cosh,
+    "tanh": np.tanh,
+    "exp": np.exp,
+    "exp2": _exp2,
+    "log": np.log,
+    "log2": np.log2,
+    "log10": np.log10,
+    "sqrt": np.sqrt,
+    "cbrt": _cbrt,
+    "fabs": np.fabs,
+    "ceil": np.ceil,
+    "floor": np.floor,
+    "trunc": np.trunc,
+}
+
+_BINARY_IMPL: Dict[str, Callable[[np.float64, np.float64], np.float64]] = {
+    "fmod": lambda x, y: np.fmod(x, y),
+    "pow": lambda x, y: np.power(x, y),
+    "fmin": lambda x, y: np.fmin(x, y),
+    "fmax": lambda x, y: np.fmax(x, y),
+    "atan2": lambda x, y: np.arctan2(x, y),
+}
+
+#: Functions the generator may emit and both device models implement.
+UNARY_FUNCTIONS: Tuple[str, ...] = tuple(sorted(_UNARY_IMPL))
+BINARY_FUNCTIONS: Tuple[str, ...] = tuple(sorted(_BINARY_IMPL))
+SUPPORTED_FUNCTIONS: Tuple[str, ...] = UNARY_FUNCTIONS + BINARY_FUNCTIONS
+
+#: Correctly rounded on both real GPU stacks (IEEE-754 required operations
+#: or trivially exact) — modeled identically for both vendors.
+EXACT_FUNCTIONS = frozenset({"sqrt", "fabs", "floor", "trunc", "fmin", "fmax"})
+
+#: Functions with fast-math approximate variants (FP32 intrinsics like
+#: ``__cosf``): the fast-math compiler pass substitutes these.
+APPROX_CAPABLE = frozenset(
+    {"sin", "cos", "tan", "exp", "exp2", "log", "log2", "log10", "pow"}
+)
+
+#: Internal names introduced by compiler passes (not in the generator
+#: grammar).  ``__fdividef`` is nvcc's fast FP32 division intrinsic.
+INTERNAL_FUNCTIONS: Tuple[str, ...] = ("__fdividef", "rsqrt")
+
+
+def reference_call(func: str, args: Sequence[float], fptype: FPType) -> float:
+    """Evaluate ``func`` in binary64, then round once to ``fptype``.
+
+    This is the model's notion of the correctly-rounded result.  (For FP32
+    a double-evaluation + single rounding can differ from true correct
+    rounding only in double-rounding corner cases, which is far below the
+    ULP budgets of either vendor model.)
+    """
+    with np.errstate(all="ignore"):
+        if len(args) == 1:
+            try:
+                impl = _UNARY_IMPL[func]
+            except KeyError:
+                raise KeyError(f"unknown unary math function {func!r}") from None
+            result = impl(np.float64(args[0]))
+        elif len(args) == 2:
+            try:
+                impl2 = _BINARY_IMPL[func]
+            except KeyError:
+                raise KeyError(f"unknown binary math function {func!r}") from None
+            result = impl2(np.float64(args[0]), np.float64(args[1]))
+        else:
+            raise ValueError(f"{func} called with {len(args)} arguments")
+        if fptype is FPType.FP32:
+            return float(np.float32(result))
+        return float(result)
+
+
+class MathLibrary(abc.ABC):
+    """Interface of a vendor device math library model."""
+
+    #: Human-readable library name ("libdevice" / "ocml").
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def call(
+        self,
+        func: str,
+        args: Sequence[float],
+        fptype: FPType,
+        variant: str = "default",
+    ) -> float:
+        """Evaluate one math call with this vendor's semantics.
+
+        ``variant`` is one of ``"default"``, ``"approx"`` (fast-math
+        intrinsic) or ``"hipify"`` (HIPIFY compatibility wrapper; only
+        meaningful on the AMD library).
+        """
+
+    def supports(self, func: str) -> bool:
+        return func in _UNARY_IMPL or func in _BINARY_IMPL or func in INTERNAL_FUNCTIONS
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,84 @@
+"""NVIDIA math library model ("libdevice").
+
+Composition of:
+
+* exact IEEE functions (shared with AMD): ``sqrt``, ``fabs``, ``floor``,
+  ``trunc``, ``fmin``, ``fmax``;
+* vendor algorithms: exact bitwise ``fmod`` (:mod:`.fmod`), magic-add
+  ``ceil`` fast path (:mod:`.rounding_ops`);
+* bounded-ULP error placement for transcendentals with the NVIDIA key;
+* fast-math intrinsics: ``approx`` variants of :data:`APPROX_CAPABLE`
+  functions and the FP32 ``__fdividef`` intrinsic, whose documented quirk —
+  returning 0 instead of a finite quotient when the divisor's magnitude
+  exceeds 2**126 — the model includes (it is one source of the paper's
+  FP32 fast-math Num-vs-Zero discrepancies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.fp.types import FPType
+from repro.devices.mathlib.base import (
+    EXACT_FUNCTIONS,
+    MathLibrary,
+    reference_call,
+)
+from repro.devices.mathlib.accuracy import AccuracyModel
+from repro.devices.mathlib.fmod import nvidia_fmod
+from repro.devices.mathlib.rounding_ops import nvidia_ceil
+
+__all__ = ["LibdeviceMath"]
+
+#: ``__fdividef(x, y)`` returns 0 for 2**126 < |y| < 2**128 (CUDA docs).
+_FDIVIDEF_LIMIT = 2.0**126
+
+
+class LibdeviceMath(MathLibrary):
+    """NVIDIA device math library model."""
+
+    name = "libdevice"
+
+    def __init__(self, salt: int = 0) -> None:
+        self.accuracy = AccuracyModel("nvidia-libdevice", salt=salt)
+
+    def call(
+        self,
+        func: str,
+        args: Sequence[float],
+        fptype: FPType,
+        variant: str = "default",
+    ) -> float:
+        if func == "__fdividef":
+            return self._fdividef(args[0], args[1], fptype)
+        if func == "fmod":
+            return nvidia_fmod(args[0], args[1], fptype)
+        if func == "ceil":
+            return nvidia_ceil(args[0], fptype)
+        reference = reference_call(func, args, fptype)
+        if func in EXACT_FUNCTIONS:
+            return reference
+        if math.isnan(reference) or math.isinf(reference):
+            # Exceptional library results agree across vendors: both real
+            # libraries return NaN outside the domain and Inf on overflow.
+            return reference
+        return self.accuracy.apply(func, args, reference, fptype, variant)
+
+    # -- intrinsics -----------------------------------------------------------
+    def _fdividef(self, x: float, y: float, fptype: FPType) -> float:
+        """nvcc's fast FP32 division (``-use_fast_math`` rewrites ``/``)."""
+        if fptype is not FPType.FP32:
+            raise ValueError("__fdividef is an FP32-only intrinsic")
+        xf, yf = np.float32(x), np.float32(y)
+        yv = float(yf)
+        if not math.isnan(yv) and not math.isinf(yv) and abs(yv) > _FDIVIDEF_LIMIT:
+            # Documented quirk: reciprocal underflows, quotient becomes ±0.
+            quotient_sign = math.copysign(1.0, float(xf)) * math.copysign(1.0, yv)
+            return float(np.float32(math.copysign(0.0, quotient_sign)))
+        with np.errstate(all="ignore"):
+            # x * (1/y): two roundings instead of one.
+            recip = np.float32(np.float32(1.0) / yf)
+            return float(np.float32(xf * recip))

@@ -1,0 +1,41 @@
+"""Vendor-neutral reference math library.
+
+Used as the high-accuracy baseline for error measurements (the Table I
+mini-app's "max relative error" column): every function returns the
+correctly-rounded reference with no vendor error placement, and the exact
+``fmod``/IEEE ``ceil``.  Never used in differential campaigns — the paper
+compares vendor against vendor, not against truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fp.types import FPType
+from repro.devices.mathlib.base import MathLibrary, reference_call
+from repro.devices.mathlib.fmod import nvidia_fmod
+
+__all__ = ["ReferenceMath"]
+
+
+class ReferenceMath(MathLibrary):
+    """Correctly-rounded library (model's ground truth)."""
+
+    name = "reference"
+
+    def call(
+        self,
+        func: str,
+        args: Sequence[float],
+        fptype: FPType,
+        variant: str = "default",
+    ) -> float:
+        if func == "__fdividef":
+            # Reference semantics of division: a single rounding.
+            import numpy as np
+
+            with np.errstate(all="ignore"):
+                return float(fptype.dtype.type(args[0]) / fptype.dtype.type(args[1]))
+        if func == "fmod":
+            return nvidia_fmod(args[0], args[1], fptype)  # exact remainder
+        return reference_call(func, args, fptype)

@@ -1,0 +1,22 @@
+"""The simulated NVIDIA system (paper §IV-A1: Lassen, V100, CUDA 12.2.2)."""
+
+from __future__ import annotations
+
+from repro.devices.device import Device, DeviceSpec
+from repro.devices.mathlib.libdevice import LibdeviceMath
+from repro.devices.vendor import Vendor
+
+__all__ = ["nvidia_v100", "LASSEN_SPEC"]
+
+LASSEN_SPEC = DeviceSpec(
+    name="lassen-sim",
+    vendor=Vendor.NVIDIA,
+    gpu_model="NVIDIA V100 (model)",
+    cluster="Lassen (LLNL) — simulated",
+    toolchain="nvcc / CUDA 12.2.2 (model)",
+)
+
+
+def nvidia_v100(salt: int = 0) -> Device:
+    """A fresh simulated V100 device."""
+    return Device(LASSEN_SPEC, LibdeviceMath(salt=salt))

@@ -1,0 +1,30 @@
+"""GPU vendor identity."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Vendor"]
+
+
+class Vendor(enum.Enum):
+    """The two GPU classes the paper studies."""
+
+    NVIDIA = "nvidia"
+    AMD = "amd"
+
+    @property
+    def compiler_name(self) -> str:
+        return "nvcc" if self is Vendor.NVIDIA else "hipcc"
+
+    @property
+    def mathlib_name(self) -> str:
+        """Name of the vendor device math library modeled here."""
+        return "libdevice" if self is Vendor.NVIDIA else "ocml"
+
+    @property
+    def source_extension(self) -> str:
+        return ".cu" if self is Vendor.NVIDIA else ".hip"
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by misuse still propagate as-is where
+that is the clearer contract).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GrammarError",
+    "GenerationError",
+    "CodegenError",
+    "HipifyError",
+    "CompileError",
+    "UnsupportedConstructError",
+    "ExecutionError",
+    "TrapError",
+    "HarnessError",
+    "MetadataError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GrammarError(ReproError):
+    """A generator configuration describes an impossible grammar."""
+
+
+class GenerationError(ReproError):
+    """Random program generation failed (e.g. retries exhausted)."""
+
+
+class CodegenError(ReproError):
+    """IR could not be rendered to the requested source language."""
+
+
+class HipifyError(ReproError):
+    """CUDA source could not be translated to HIP."""
+
+
+class CompileError(ReproError):
+    """A compiler model rejected the program or options."""
+
+
+class UnsupportedConstructError(CompileError):
+    """The IR contains a node a backend does not implement."""
+
+
+class ExecutionError(ReproError):
+    """The device interpreter failed while running a kernel."""
+
+
+class TrapError(ExecutionError):
+    """A modeled hardware trap (e.g. iteration budget exceeded)."""
+
+    def __init__(self, message: str, *, steps: int = 0) -> None:
+        super().__init__(message)
+        self.steps = steps
+
+
+class HarnessError(ReproError):
+    """Differential-testing harness misconfiguration or failure."""
+
+
+class MetadataError(HarnessError):
+    """Campaign metadata could not be loaded, merged, or validated."""
+
+
+class AnalysisError(ReproError):
+    """Result analysis failed (e.g. inconsistent table accounting)."""

@@ -1,0 +1,76 @@
+"""Raw bit-pattern conversions for IEEE-754 binary32/binary64.
+
+Used by the ULP utilities, the deterministic error-placement hash in the
+vendor math-library models, and the metadata store (exact value
+round-tripping).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+__all__ = [
+    "float_to_bits",
+    "bits_to_float",
+    "float32_to_bits",
+    "bits_to_float32",
+    "is_negative",
+    "sign_exponent_mantissa",
+    "compose_float",
+]
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 binary64 bit pattern of ``value`` as an unsigned int."""
+    (bits,) = struct.unpack("<Q", struct.pack("<d", float(value)))
+    return bits
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    (value,) = struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))
+    return value
+
+
+def float32_to_bits(value: float) -> int:
+    """IEEE-754 binary32 bit pattern (value is first rounded to float32)."""
+    (bits,) = struct.unpack("<I", struct.pack("<f", np.float32(value)))
+    return bits
+
+
+def bits_to_float32(bits: int) -> np.float32:
+    (value,) = struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))
+    return np.float32(value)
+
+
+def is_negative(value: float) -> bool:
+    """Sign bit of ``value`` — distinguishes ``-0.0`` and ``-nan``.
+
+    ``math.copysign`` is the only portable way to see the sign of a NaN.
+    """
+    return math.copysign(1.0, float(value)) < 0
+
+
+def sign_exponent_mantissa(value: float, *, bits: int = 64):
+    """Split a value into (sign, biased exponent, mantissa) integer fields."""
+    if bits == 64:
+        raw = float_to_bits(value)
+        return (raw >> 63) & 1, (raw >> 52) & 0x7FF, raw & ((1 << 52) - 1)
+    if bits == 32:
+        raw = float32_to_bits(value)
+        return (raw >> 31) & 1, (raw >> 23) & 0xFF, raw & ((1 << 23) - 1)
+    raise ValueError(f"bits must be 32 or 64, got {bits}")
+
+
+def compose_float(sign: int, exponent: int, mantissa: int, *, bits: int = 64) -> float:
+    """Rebuild a float from its fields (inverse of sign_exponent_mantissa)."""
+    if bits == 64:
+        raw = ((sign & 1) << 63) | ((exponent & 0x7FF) << 52) | (mantissa & ((1 << 52) - 1))
+        return bits_to_float(raw)
+    if bits == 32:
+        raw = ((sign & 1) << 31) | ((exponent & 0xFF) << 23) | (mantissa & ((1 << 23) - 1))
+        return float(bits_to_float32(raw))
+    raise ValueError(f"bits must be 32 or 64, got {bits}")

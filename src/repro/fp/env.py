@@ -1,0 +1,148 @@
+"""IEEE-754 exception tracking and subnormal flushing.
+
+Table II of the paper lists the five IEEE-754 exception events (Inexact,
+Underflow, Overflow, DivideByZero, Invalid).  NVIDIA GPUs expose no status
+register for them (§II-B); our interpreter *does* track them, which is what
+lets the analysis layer explain where exceptional quantities came from.
+
+:class:`FlushMode` models the flush-to-zero behaviour GPUs apply to
+subnormals: real nvcc enables FTZ for FP32 under ``--use_fast_math`` (it
+flushes both inputs and outputs of arithmetic), while the AMD stack flushes
+outputs only in the mode we model.  The asymmetry is one of the paper's
+divergence sources for FP32 fast-math (Table IX's Num/Zero class).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.fp.types import FPType
+from repro.fp.classify import is_subnormal
+
+__all__ = ["FPExceptionFlags", "FlushMode", "FPEnv"]
+
+
+class FlushMode(enum.Enum):
+    """Subnormal handling of the execution environment."""
+
+    NONE = "none"  # full IEEE subnormal support
+    FLUSH_OUTPUTS = "flush-outputs"  # subnormal results become ±0
+    FLUSH_INPUTS_OUTPUTS = "flush-inputs-outputs"  # operands too
+
+    @property
+    def flushes_inputs(self) -> bool:
+        return self is FlushMode.FLUSH_INPUTS_OUTPUTS
+
+    @property
+    def flushes_outputs(self) -> bool:
+        return self is not FlushMode.NONE
+
+
+@dataclass
+class FPExceptionFlags:
+    """Sticky accumulation of the five IEEE-754 exception events (Table II)."""
+
+    inexact: int = 0
+    underflow: int = 0
+    overflow: int = 0
+    divide_by_zero: int = 0
+    invalid: int = 0
+
+    EVENTS = ("inexact", "underflow", "overflow", "divide_by_zero", "invalid")
+
+    def raise_event(self, name: str) -> None:
+        if name not in self.EVENTS:
+            raise ValueError(f"unknown IEEE-754 event {name!r}")
+        setattr(self, name, getattr(self, name) + 1)
+
+    def merge(self, other: "FPExceptionFlags") -> None:
+        for name in self.EVENTS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def any_raised(self) -> bool:
+        # Inexact fires constantly in numerical code and the paper treats it
+        # as uninteresting (§II-B1), so it does not count here.
+        return bool(self.underflow or self.overflow or self.divide_by_zero or self.invalid)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.EVENTS}
+
+    def reset(self) -> None:
+        for name in self.EVENTS:
+            setattr(self, name, 0)
+
+
+@dataclass
+class FPEnv:
+    """Floating-point environment a kernel executes under.
+
+    Combines the precision, the flush mode, and the sticky exception flags.
+    The interpreter calls :meth:`observe_binary` / :meth:`observe_call`
+    after every operation so the flags describe the whole run.
+    """
+
+    fptype: FPType = FPType.FP64
+    flush: FlushMode = FlushMode.NONE
+    flags: FPExceptionFlags = field(default_factory=FPExceptionFlags)
+
+    # -- subnormal flushing -------------------------------------------------
+    def flush_input(self, value):
+        """Apply input flushing (operand side) if enabled."""
+        if self.flush.flushes_inputs and is_subnormal(value, self.fptype):
+            return self.fptype.dtype.type(math.copysign(0.0, float(value)))
+        return value
+
+    def flush_output(self, value):
+        """Apply output flushing (result side) if enabled."""
+        if self.flush.flushes_outputs and is_subnormal(value, self.fptype):
+            self.flags.raise_event("underflow")
+            return self.fptype.dtype.type(math.copysign(0.0, float(value)))
+        return value
+
+    # -- exception observation ----------------------------------------------
+    def observe_result(self, result, *operands) -> None:
+        """Record IEEE events implied by an operation's result.
+
+        Without hardware status registers we infer events from values, the
+        same way GPU-FPX-style tools do on NVIDIA hardware:
+
+        * result NaN with no NaN operand → Invalid;
+        * result Inf with finite operands → Overflow or DivideByZero;
+        * non-zero result below the normal range → Underflow (to subnormal).
+        """
+        r = float(result)
+        ops = [float(o) for o in operands]
+        if math.isnan(r) and not any(math.isnan(o) for o in ops):
+            self.flags.raise_event("invalid")
+        elif math.isinf(r) and all(math.isfinite(o) for o in ops):
+            if any(o == 0.0 for o in ops):
+                self.flags.raise_event("divide_by_zero")
+            else:
+                self.flags.raise_event("overflow")
+        elif is_subnormal(r, self.fptype):
+            self.flags.raise_event("underflow")
+
+    def observe_division(self, result, numerator, denominator) -> None:
+        """Division gets its own rule: x/0 with finite non-zero x is DivideByZero."""
+        r = float(result)
+        num, den = float(numerator), float(denominator)
+        if den == 0.0 and num != 0.0 and not math.isnan(num):
+            self.flags.raise_event("divide_by_zero")
+        elif math.isnan(r) and not (math.isnan(num) or math.isnan(den)):
+            self.flags.raise_event("invalid")
+        elif math.isinf(r) and math.isfinite(num) and math.isfinite(den):
+            self.flags.raise_event("overflow")
+        elif is_subnormal(r, self.fptype):
+            self.flags.raise_event("underflow")
+
+    def cast(self, value):
+        """Round a Python/NumPy value into this environment's precision."""
+        return self.fptype.dtype.type(value)
+
+    def snapshot(self) -> Dict[str, int]:
+        return self.flags.as_dict()

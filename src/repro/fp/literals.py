@@ -1,0 +1,77 @@
+"""Varity-style floating-point literal formatting and parsing.
+
+Generated sources in the paper print constants like ``+1.3065E-306``,
+``-1.7744E-2``, ``+0.0`` (Figs. 2, 4–6): an explicit sign, one integer
+digit, four fractional digits, and an uppercase-E exponent (omitted when
+zero).  FP32 campaigns append ``F``.  We reproduce that format exactly so
+rendered ``.cu``/``.hip`` files look like Varity's, and so the HIPIFY
+translator can be tested on realistic text.
+
+Formatting is value-preserving in the sense used by the generator: the
+literal is *defined* by its decimal text (both compilers parse the same
+text), so round-tripping text → value → text is what must be stable, and it
+is, because we generate values *from* this format.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Union
+
+import numpy as np
+
+from repro.fp.types import FPType
+
+__all__ = ["format_varity_literal", "parse_varity_literal", "VARITY_LITERAL_RE"]
+
+#: Regex matching literals we emit (sign mandatory, as in Varity output).
+VARITY_LITERAL_RE = re.compile(
+    r"[+-]\d\.\d+(?:E[+-]?\d+)?F?", re.IGNORECASE
+)
+
+
+def format_varity_literal(
+    value: Union[float, np.floating],
+    fptype: FPType = FPType.FP64,
+    *,
+    digits: int = 4,
+) -> str:
+    """Format ``value`` the way Varity prints constants in generated code.
+
+    ``+0.0`` / ``-0.0`` are special-cased (no exponent).  NaN/Inf never
+    appear as literals in generated programs, so they are rejected.
+    """
+    v = float(value)
+    if math.isnan(v) or math.isinf(v):
+        raise ValueError("Varity literals are always finite")
+    suffix = fptype.literal_suffix
+    if v == 0.0:
+        sign = "-" if math.copysign(1.0, v) < 0 else "+"
+        return f"{sign}0.0{suffix}"
+    sign = "-" if v < 0 else "+"
+    mag = abs(v)
+    # Let the runtime do the decimal scaling: this is correct down to the
+    # smallest subnormal, where explicit 10**exponent arithmetic underflows.
+    sci = f"{mag:.{digits}E}"  # e.g. "4.9407E-324"
+    body, exp_text = sci.split("E")
+    exponent = int(exp_text)
+    if exponent == 0:
+        return f"{sign}{body}{suffix}"
+    return f"{sign}{body}E{exponent}{suffix}"
+
+
+def parse_varity_literal(text: str, fptype: FPType = FPType.FP64):
+    """Parse a literal produced by :func:`format_varity_literal`.
+
+    Returns a NumPy scalar of the campaign precision (the value both real
+    compilers would embed in the binary).
+    """
+    text = text.strip()
+    if text.upper().endswith("F"):
+        text = text[:-1]
+        if fptype is not FPType.FP32:
+            # An F-suffixed literal in an FP64 program would be a generator
+            # bug; accept it but honour the suffix.
+            return np.float32(float(text))
+    return fptype.dtype.type(float(text))

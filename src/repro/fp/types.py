@@ -1,0 +1,106 @@
+"""Floating-point precision types used throughout the library.
+
+The paper's campaigns are run in two configurations: FP64 (all variables
+``double``) and FP32 (all variables ``float``, math functions with the ``f``
+suffix, literals with the ``F`` suffix) — see §III-C.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+__all__ = ["FPType", "dtype_of", "finfo_of", "suffix_of", "c_name_of"]
+
+
+class FPType(enum.Enum):
+    """Precision of a Varity test campaign (or of one IR value)."""
+
+    FP32 = "fp32"
+    FP64 = "fp64"
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float32) if self is FPType.FP32 else np.dtype(np.float64)
+
+    @property
+    def c_name(self) -> str:
+        """C/CUDA/HIP type name."""
+        return "float" if self is FPType.FP32 else "double"
+
+    @property
+    def literal_suffix(self) -> str:
+        """Suffix appended to constants (``1.23F`` in FP32, none in FP64)."""
+        return "F" if self is FPType.FP32 else ""
+
+    @property
+    def math_suffix(self) -> str:
+        """Suffix appended to C math functions (``cosf`` in FP32)."""
+        return "f" if self is FPType.FP32 else ""
+
+    @property
+    def bits(self) -> int:
+        return 32 if self is FPType.FP32 else 64
+
+    @property
+    def mantissa_bits(self) -> int:
+        """Explicitly stored mantissa bits (23 / 52)."""
+        return 23 if self is FPType.FP32 else 52
+
+    @property
+    def exponent_bits(self) -> int:
+        return 8 if self is FPType.FP32 else 11
+
+    @property
+    def smallest_normal(self) -> float:
+        return float(np.finfo(self.dtype).tiny)
+
+    @property
+    def smallest_subnormal(self) -> float:
+        return float(np.finfo(self.dtype).smallest_subnormal)
+
+    @property
+    def max(self) -> float:
+        return float(np.finfo(self.dtype).max)
+
+    @property
+    def eps(self) -> float:
+        return float(np.finfo(self.dtype).eps)
+
+    @classmethod
+    def from_string(cls, name: str) -> "FPType":
+        name = name.strip().lower()
+        aliases = {
+            "fp32": cls.FP32,
+            "float": cls.FP32,
+            "single": cls.FP32,
+            "f32": cls.FP32,
+            "fp64": cls.FP64,
+            "double": cls.FP64,
+            "f64": cls.FP64,
+        }
+        try:
+            return aliases[name]
+        except KeyError:
+            raise ValueError(f"unknown FP type {name!r}") from None
+
+
+def dtype_of(fptype: Union[FPType, str]) -> np.dtype:
+    """NumPy dtype for a precision (accepts enum or string alias)."""
+    if isinstance(fptype, str):
+        fptype = FPType.from_string(fptype)
+    return fptype.dtype
+
+
+def finfo_of(fptype: Union[FPType, str]) -> np.finfo:
+    return np.finfo(dtype_of(fptype))
+
+
+def suffix_of(fptype: FPType) -> str:
+    return fptype.math_suffix
+
+
+def c_name_of(fptype: FPType) -> str:
+    return fptype.c_name

@@ -1,0 +1,90 @@
+"""ULP (unit in the last place) arithmetic.
+
+The vendor math-library models express accuracy as "result within N ULPs of
+the correctly-rounded value", matching how NVIDIA's libdevice and AMD's OCML
+document their functions.  These helpers convert between values and ULP
+counts for both binary32 and binary64.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.fp.types import FPType
+from repro.fp.bits import float_to_bits, float32_to_bits
+
+__all__ = ["ulp_distance", "nextafter_n", "perturb_ulps", "ulp_of"]
+
+
+def _ordered_bits64(value: float) -> int:
+    """Map binary64 to a monotone integer line (two's-complement style)."""
+    bits = float_to_bits(value)
+    if bits & (1 << 63):
+        return (1 << 63) - (bits & ~(1 << 63)) - 1
+    return bits + (1 << 63) - 1
+
+
+def _ordered_bits32(value: float) -> int:
+    bits = float32_to_bits(value)
+    if bits & (1 << 31):
+        return (1 << 31) - (bits & ~(1 << 31)) - 1
+    return bits + (1 << 31) - 1
+
+
+def ulp_distance(a: float, b: float, fptype: FPType = FPType.FP64) -> int:
+    """Number of representable values between ``a`` and ``b`` (symmetric).
+
+    NaN against anything (including NaN) raises ``ValueError`` — callers
+    must classify non-finite outcomes first, as the harness does.
+    ``+0.0`` and ``-0.0`` coincide on the ordered line (distance 0): they
+    compare equal, and the paper's rules never treat them as different.
+    """
+    af, bf = float(a), float(b)
+    if math.isnan(af) or math.isnan(bf):
+        raise ValueError("ulp_distance is undefined for NaN")
+    if fptype is FPType.FP64:
+        return abs(_ordered_bits64(af) - _ordered_bits64(bf))
+    return abs(_ordered_bits32(np.float32(af)) - _ordered_bits32(np.float32(bf)))
+
+
+def nextafter_n(value: float, n: int, fptype: FPType = FPType.FP64):
+    """Step ``value`` by ``n`` representable values (n may be negative).
+
+    Saturates at ±inf like repeated ``nextafter`` toward ±inf would.
+    Returns a numpy scalar of the requested precision.
+    """
+    dtype = fptype.dtype
+    x = dtype.type(value)
+    if n == 0:
+        return x
+    direction = dtype.type(np.inf if n > 0 else -np.inf)
+    for _ in range(abs(n)):
+        if np.isinf(x) and (x > 0) == (n > 0):
+            break
+        x = np.nextafter(x, direction, dtype=dtype)
+    return x
+
+
+def perturb_ulps(value: float, n: int, fptype: FPType = FPType.FP64) -> float:
+    """Like :func:`nextafter_n` but NaN/Inf pass through unchanged.
+
+    This is the primitive the vendor error model applies to a
+    correctly-rounded result; exceptional values are never perturbed
+    (a library returning NaN returns NaN on both vendors).
+    """
+    if math.isnan(value) or math.isinf(value):
+        return float(value)
+    return float(nextafter_n(value, n, fptype))
+
+
+def ulp_of(value: float, fptype: FPType = FPType.FP64) -> float:
+    """Magnitude of one ULP at ``value`` (gap to the next float away from 0)."""
+    dtype = fptype.dtype
+    x = dtype.type(value)
+    if np.isnan(x) or np.isinf(x):
+        raise ValueError("ulp_of is undefined for non-finite values")
+    away = dtype.type(np.inf) if x >= 0 else dtype.type(-np.inf)
+    return float(abs(np.nextafter(x, away, dtype=dtype) - x))

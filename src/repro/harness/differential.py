@@ -1,0 +1,138 @@
+"""Discrepancy taxonomy and pair comparison (§IV-B).
+
+Seven discrepancy classes over the four outcome classes; sign-only
+differences (``-NaN`` vs ``+NaN``, ``±Inf``, ``±0``) are excluded, and a
+Num/Num pair is a discrepancy only when the printed values differ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.fp.classify import OutcomeClass, classify_value, outcomes_equivalent
+from repro.harness.outcomes import RunRecord
+
+__all__ = [
+    "DiscrepancyClass",
+    "Discrepancy",
+    "classify_pair",
+    "compare_runs",
+    "DISCREPANCY_CLASS_ORDER",
+]
+
+
+class DiscrepancyClass(enum.Enum):
+    """The seven classes, labeled as the paper's table columns."""
+
+    NAN_INF = "NaN, Inf"
+    NAN_ZERO = "NaN, Zero"
+    NAN_NUM = "NaN, Num"
+    INF_ZERO = "Inf, Zero"
+    INF_NUM = "Inf, Num"
+    NUM_ZERO = "Num, Zero"
+    NUM_NUM = "Num, Num"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Column order of Tables V / VII / IX.
+DISCREPANCY_CLASS_ORDER: Tuple[DiscrepancyClass, ...] = (
+    DiscrepancyClass.NAN_INF,
+    DiscrepancyClass.NAN_ZERO,
+    DiscrepancyClass.NAN_NUM,
+    DiscrepancyClass.INF_ZERO,
+    DiscrepancyClass.INF_NUM,
+    DiscrepancyClass.NUM_ZERO,
+    DiscrepancyClass.NUM_NUM,
+)
+
+_PAIR_TO_CLASS: Dict[FrozenSet[OutcomeClass], DiscrepancyClass] = {
+    frozenset({OutcomeClass.NAN, OutcomeClass.INF}): DiscrepancyClass.NAN_INF,
+    frozenset({OutcomeClass.NAN, OutcomeClass.ZERO}): DiscrepancyClass.NAN_ZERO,
+    frozenset({OutcomeClass.NAN, OutcomeClass.NUMBER}): DiscrepancyClass.NAN_NUM,
+    frozenset({OutcomeClass.INF, OutcomeClass.ZERO}): DiscrepancyClass.INF_ZERO,
+    frozenset({OutcomeClass.INF, OutcomeClass.NUMBER}): DiscrepancyClass.INF_NUM,
+    frozenset({OutcomeClass.NUMBER, OutcomeClass.ZERO}): DiscrepancyClass.NUM_ZERO,
+    frozenset({OutcomeClass.NUMBER}): DiscrepancyClass.NUM_NUM,
+}
+
+
+def classify_pair(nvcc_value: float, hipcc_value: float) -> Optional[DiscrepancyClass]:
+    """Discrepancy class of a result pair, or None when equivalent."""
+    if outcomes_equivalent(nvcc_value, hipcc_value):
+        return None
+    a = classify_value(nvcc_value)
+    b = classify_value(hipcc_value)
+    return _PAIR_TO_CLASS[frozenset({a, b})]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One confirmed numerical inconsistency between the platforms.
+
+    Keeps both directional outcomes (needed by the adjacency matrices,
+    whose cells count NVCC-row/HIPCC-column orderings separately).
+    """
+
+    test_id: str
+    input_index: int
+    opt_label: str
+    dclass: DiscrepancyClass
+    nvcc_printed: str
+    hipcc_printed: str
+    nvcc_outcome: OutcomeClass
+    hipcc_outcome: OutcomeClass
+
+    @classmethod
+    def from_records(cls, nvcc: RunRecord, hipcc: RunRecord) -> Optional["Discrepancy"]:
+        if (nvcc.test_id, nvcc.input_index, nvcc.opt_label) != (
+            hipcc.test_id,
+            hipcc.input_index,
+            hipcc.opt_label,
+        ):
+            raise ValueError("mismatched run records")
+        dclass = classify_pair(nvcc.value, hipcc.value)
+        if dclass is None:
+            return None
+        return cls(
+            test_id=nvcc.test_id,
+            input_index=nvcc.input_index,
+            opt_label=nvcc.opt_label,
+            dclass=dclass,
+            nvcc_printed=nvcc.printed,
+            hipcc_printed=hipcc.printed,
+            nvcc_outcome=nvcc.outcome,
+            hipcc_outcome=hipcc.outcome,
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "test_id": self.test_id,
+            "input_index": self.input_index,
+            "opt": self.opt_label,
+            "class": self.dclass.value,
+            "nvcc": self.nvcc_printed,
+            "hipcc": self.hipcc_printed,
+        }
+
+
+def compare_runs(
+    nvcc_runs: Iterable[RunRecord], hipcc_runs: Iterable[RunRecord]
+) -> List[Discrepancy]:
+    """Join two run streams on (test, input, opt) and keep discrepancies."""
+    index: Dict[Tuple[str, int, str], RunRecord] = {
+        (r.test_id, r.input_index, r.opt_label): r for r in hipcc_runs
+    }
+    out: List[Discrepancy] = []
+    for nv in nvcc_runs:
+        key = (nv.test_id, nv.input_index, nv.opt_label)
+        hip = index.get(key)
+        if hip is None:
+            raise ValueError(f"no hipcc run for {key}")
+        d = Discrepancy.from_records(nv, hip)
+        if d is not None:
+            out.append(d)
+    return out

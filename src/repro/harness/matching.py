@@ -1,0 +1,51 @@
+"""Compiler matching by file extension (§III-D).
+
+"Compiler matching is done automatically depending on the program
+extensions — a random test file ends with ``.cu`` is automatically
+compiled with nvcc, while HIP files are compiled with hipcc."  The same
+dispatch, for workflows that start from on-disk artifacts (e.g. a tree
+produced by :mod:`repro.varity.writer`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.compilers.compiler import Compiler
+from repro.compilers.hipcc import HipccCompiler
+from repro.compilers.nvcc import NvccCompiler
+from repro.devices.amd import amd_mi250x
+from repro.devices.device import Device
+from repro.devices.nvidia import nvidia_v100
+from repro.errors import HarnessError
+
+__all__ = ["match_compiler", "match_device", "EXTENSION_TABLE"]
+
+#: extension → compiler factory
+EXTENSION_TABLE = {
+    ".cu": NvccCompiler,
+    ".hip": HipccCompiler,
+}
+
+
+def match_compiler(path: Union[str, Path]) -> Compiler:
+    """The compiler model responsible for a test source file."""
+    suffix = Path(path).suffix.lower()
+    try:
+        return EXTENSION_TABLE[suffix]()
+    except KeyError:
+        raise HarnessError(
+            f"no compiler matches extension {suffix!r} "
+            f"(known: {sorted(EXTENSION_TABLE)})"
+        ) from None
+
+
+def match_device(path: Union[str, Path]) -> Device:
+    """The device a matched binary would run on."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".cu":
+        return nvidia_v100()
+    if suffix == ".hip":
+        return amd_mi250x()
+    raise HarnessError(f"no device matches extension {suffix!r}")

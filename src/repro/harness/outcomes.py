@@ -1,0 +1,41 @@
+"""Per-run records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.fp.classify import OutcomeClass, classify_value
+
+__all__ = ["RunRecord"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One kernel execution on one device.
+
+    ``printed`` is the ``%.17g`` line the real harness captures from
+    stdout; ``value`` is its parsed float (17 significant digits
+    round-trips binary64, so nothing is lost).
+    """
+
+    test_id: str
+    input_index: int
+    opt_label: str
+    compiler: str  # "nvcc" / "hipcc"
+    printed: str
+    value: float
+    flags: Optional[Dict[str, int]] = None
+
+    @property
+    def outcome(self) -> OutcomeClass:
+        return classify_value(self.value)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "test_id": self.test_id,
+            "input_index": self.input_index,
+            "opt": self.opt_label,
+            "compiler": self.compiler,
+            "printed": self.printed,
+        }

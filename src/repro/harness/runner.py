@@ -1,0 +1,107 @@
+"""Single-test differential execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compilers.compiler import CompiledKernel, Compiler
+from repro.compilers.hipcc import HipccCompiler
+from repro.compilers.nvcc import NvccCompiler
+from repro.compilers.options import OptSetting
+from repro.devices.amd import amd_mi250x
+from repro.devices.device import Device
+from repro.devices.nvidia import nvidia_v100
+from repro.errors import TrapError
+from repro.harness.differential import Discrepancy
+from repro.harness.outcomes import RunRecord
+from repro.varity.testcase import TestCase
+
+__all__ = ["DifferentialRunner", "PairResult"]
+
+
+@dataclass
+class PairResult:
+    """Both platforms' runs for one (test, opt) across all inputs."""
+
+    nvcc_runs: List[RunRecord]
+    hipcc_runs: List[RunRecord]
+    discrepancies: List[Discrepancy]
+    skipped_inputs: List[int]
+
+
+class DifferentialRunner:
+    """Owns one device + compiler per vendor and runs tests through both.
+
+    ``record_flags=True`` attaches the IEEE exception snapshot to each run
+    record (slower; used by the analysis examples, not by campaigns).
+    """
+
+    def __init__(
+        self,
+        nvidia: Optional[Device] = None,
+        amd: Optional[Device] = None,
+        record_flags: bool = False,
+    ) -> None:
+        self.nvidia = nvidia or nvidia_v100()
+        self.amd = amd or amd_mi250x()
+        self.nvcc: Compiler = NvccCompiler()
+        self.hipcc: Compiler = HipccCompiler()
+        self.record_flags = record_flags
+
+    # ------------------------------------------------------------------ api
+    def compile_pair(
+        self, test: TestCase, opt: OptSetting
+    ) -> Tuple[CompiledKernel, CompiledKernel]:
+        return self.nvcc.compile(test.program, opt), self.hipcc.compile(test.program, opt)
+
+    def run_pair(self, test: TestCase, opt: OptSetting) -> PairResult:
+        """Compile once per compiler, run every input on both devices."""
+        ck_nv, ck_amd = self.compile_pair(test, opt)
+        nv_runs: List[RunRecord] = []
+        amd_runs: List[RunRecord] = []
+        skipped: List[int] = []
+        for idx, vec in enumerate(test.inputs):
+            try:
+                rn = self.nvidia.execute(ck_nv, vec.values)
+                ra = self.amd.execute(ck_amd, vec.values)
+            except TrapError:
+                # A runaway test (step budget) is dropped on both sides,
+                # like a timed-out job in the real campaign.
+                skipped.append(idx)
+                continue
+            nv_runs.append(self._record(test, idx, opt, "nvcc", rn))
+            amd_runs.append(self._record(test, idx, opt, "hipcc", ra))
+        discrepancies = [
+            d
+            for nv, am in zip(nv_runs, amd_runs)
+            if (d := Discrepancy.from_records(nv, am)) is not None
+        ]
+        return PairResult(nv_runs, amd_runs, discrepancies, skipped)
+
+    def run_single(
+        self, test: TestCase, opt: OptSetting, input_index: int, *, trace: bool = False
+    ):
+        """One input on both platforms; returns the raw ExecutionResults.
+
+        Used by the case-study tooling, which needs traces.
+        """
+        ck_nv, ck_amd = self.compile_pair(test, opt)
+        vec = test.inputs[input_index]
+        rn = self.nvidia.execute(ck_nv, vec.values, trace=trace)
+        ra = self.amd.execute(ck_amd, vec.values, trace=trace)
+        return rn, ra, ck_nv, ck_amd
+
+    # ------------------------------------------------------------- internals
+    def _record(
+        self, test: TestCase, idx: int, opt: OptSetting, compiler: str, result
+    ) -> RunRecord:
+        return RunRecord(
+            test_id=test.test_id,
+            input_index=idx,
+            opt_label=opt.label,
+            compiler=compiler,
+            printed=result.printed,
+            value=result.value,
+            flags=dict(result.flags) if self.record_flags else None,
+        )

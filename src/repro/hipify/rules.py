@@ -1,0 +1,58 @@
+"""Translation rule table (the subset generated tests exercise).
+
+Modeled after hipify-perl's substitution tables: straight identifier
+renames plus one structural rule (kernel launch).  Rules are ordered;
+longer/more specific names first so e.g. ``cudaMemcpyHostToDevice`` is not
+half-rewritten by the ``cudaMemcpy`` rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["HipifyRule", "HIPIFY_RULES", "LAUNCH_RE"]
+
+
+@dataclass(frozen=True)
+class HipifyRule:
+    """One identifier rename."""
+
+    cuda: str
+    hip: str
+
+    def apply(self, source: str) -> str:
+        return re.sub(rf"\b{re.escape(self.cuda)}\b", self.hip, source)
+
+
+#: Ordered rename table.
+HIPIFY_RULES: Tuple[HipifyRule, ...] = (
+    HipifyRule("cuda_runtime.h", "hip/hip_runtime.h"),
+    HipifyRule("cudaMemcpyHostToDevice", "hipMemcpyHostToDevice"),
+    HipifyRule("cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost"),
+    HipifyRule("cudaDeviceSynchronize", "hipDeviceSynchronize"),
+    HipifyRule("cudaMallocManaged", "hipMallocManaged"),
+    HipifyRule("cudaMemcpy", "hipMemcpy"),
+    HipifyRule("cudaMalloc", "hipMalloc"),
+    HipifyRule("cudaFree", "hipFree"),
+    HipifyRule("cudaGetLastError", "hipGetLastError"),
+    HipifyRule("cudaSuccess", "hipSuccess"),
+    HipifyRule("cudaError_t", "hipError_t"),
+    HipifyRule("cudaStream_t", "hipStream_t"),
+    HipifyRule("cudaEvent_t", "hipEvent_t"),
+    HipifyRule("cudaEventCreate", "hipEventCreate"),
+    HipifyRule("cudaEventRecord", "hipEventRecord"),
+    HipifyRule("cudaEventSynchronize", "hipEventSynchronize"),
+    HipifyRule("cudaEventElapsedTime", "hipEventElapsedTime"),
+)
+
+#: ``name<<<grid, block>>>(args);`` → ``hipLaunchKernelGGL``.  Generated
+#: tests always launch with integer literals and no shared-mem/stream
+#: arguments, which this pattern covers (hipify-perl handles the general
+#: case; we translate what our generator emits plus simple variations).
+LAUNCH_RE = re.compile(
+    r"(?P<name>\w+)\s*<<<\s*(?P<grid>[^,>]+?)\s*,\s*(?P<block>[^,>]+?)\s*>>>\s*"
+    r"\((?P<args>.*?)\)\s*;",
+    re.DOTALL,
+)

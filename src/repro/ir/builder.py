@@ -1,0 +1,155 @@
+"""Fluent construction helpers for hand-written IR.
+
+The generator builds IR directly; humans (tests, case studies, the BT mini
+app) use :class:`IRBuilder`, which provides short factory methods and
+handles Varity literal formatting.
+
+Example — the paper's Figure 5 kernel::
+
+    b = IRBuilder(FPType.FP64)
+    kernel = b.kernel(
+        params=[b.fparam("comp")],
+        body=[
+            b.decl("tmp_1", b.lit(1.1147e-307)),
+            b.aug("comp", "+", b.div(b.var("tmp_1"), b.call("ceil", b.lit(1.5955e-125)))),
+        ],
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.fp.literals import format_varity_literal
+from repro.fp.types import FPType
+from repro.ir.types import IRType
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Decl,
+    Expr,
+    For,
+    If,
+    IntConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Kernel, Param, Program
+
+__all__ = ["IRBuilder"]
+
+ExprLike = Union[Expr, float, int, str]
+
+
+class IRBuilder:
+    """Constructs IR nodes for one precision."""
+
+    def __init__(self, fptype: FPType = FPType.FP64) -> None:
+        self.fptype = fptype
+
+    # -- coercion -------------------------------------------------------------
+    def expr(self, value: ExprLike) -> Expr:
+        """Coerce Python values: float → Const, int → IntConst, str → VarRef."""
+        if isinstance(value, Expr):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("bool is not an IR value")
+        if isinstance(value, float):
+            return self.lit(value)
+        if isinstance(value, int):
+            return IntConst(value)
+        if isinstance(value, str):
+            return VarRef(value)
+        raise TypeError(f"cannot coerce {type(value).__name__} to Expr")
+
+    # -- leaves ---------------------------------------------------------------
+    def lit(self, value: float) -> Const:
+        """Floating constant with canonical Varity text."""
+        return Const(float(value), format_varity_literal(value, self.fptype))
+
+    def raw_lit(self, text: str, value: float) -> Const:
+        """Constant with explicit source text (for verbatim paper kernels)."""
+        return Const(float(value), text)
+
+    def var(self, name: str) -> VarRef:
+        return VarRef(name)
+
+    def idx(self, name: str, index: ExprLike) -> ArrayRef:
+        return ArrayRef(name, self.expr(index))
+
+    # -- operators ------------------------------------------------------------
+    def neg(self, x: ExprLike) -> UnOp:
+        return UnOp("-", self.expr(x))
+
+    def add(self, a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("+", self.expr(a), self.expr(b))
+
+    def sub(self, a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("-", self.expr(a), self.expr(b))
+
+    def mul(self, a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("*", self.expr(a), self.expr(b))
+
+    def div(self, a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("/", self.expr(a), self.expr(b))
+
+    def call(self, func: str, *args: ExprLike) -> Call:
+        return Call(func, [self.expr(a) for a in args])
+
+    def cmp(self, op: str, a: ExprLike, b: ExprLike) -> Compare:
+        return Compare(op, self.expr(a), self.expr(b))
+
+    def land(self, a: Expr, b: Expr) -> BoolOp:
+        return BoolOp("&&", a, b)
+
+    def lor(self, a: Expr, b: Expr) -> BoolOp:
+        return BoolOp("||", a, b)
+
+    # -- statements -----------------------------------------------------------
+    def decl(self, name: str, init: ExprLike) -> Decl:
+        return Decl(name, self.expr(init))
+
+    def assign(self, target: Union[str, VarRef, ArrayRef], expr: ExprLike) -> Assign:
+        if isinstance(target, str):
+            target = VarRef(target)
+        return Assign(target, self.expr(expr))
+
+    def aug(self, target: Union[str, VarRef, ArrayRef], op: str, expr: ExprLike) -> AugAssign:
+        if isinstance(target, str):
+            target = VarRef(target)
+        return AugAssign(target, op, self.expr(expr))
+
+    def loop(self, var: str, bound: ExprLike, body: Sequence[Stmt]) -> For:
+        return For(var, self.expr(bound), list(body))
+
+    def when(self, cond: Expr, body: Sequence[Stmt]) -> If:
+        return If(cond, list(body))
+
+    # -- signatures -----------------------------------------------------------
+    def fparam(self, name: str) -> Param:
+        return Param(name, IRType.FLOAT)
+
+    def iparam(self, name: str) -> Param:
+        return Param(name, IRType.INT)
+
+    def aparam(self, name: str) -> Param:
+        return Param(name, IRType.FLOAT_PTR)
+
+    def kernel(self, params: Sequence[Param], body: Sequence[Stmt], name: str = "compute") -> Kernel:
+        return Kernel(params, body, self.fptype, name)
+
+    def program(
+        self,
+        kernel: Kernel,
+        program_id: str = "manual",
+        seed: int = 0,
+        note: str = "hand-built",
+    ) -> Program:
+        return Program(program_id=program_id, kernel=kernel, seed=seed, source_note=note)

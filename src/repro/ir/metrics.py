@@ -1,0 +1,184 @@
+"""Structural metrics of generated programs.
+
+Backs the Table III reproduction: the bench audits a generated corpus and
+reports how many programs exercise each grammar feature (precisions,
+operator mix, math calls, loop-nesting depth, conditionals, temporaries,
+arrays) — i.e. it *measures* that the generator covers the characteristics
+the paper lists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.ir.nodes import (
+    ArrayRef,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Decl,
+    FMA,
+    For,
+    If,
+    Node,
+    Stmt,
+)
+from repro.ir.program import Kernel, Program
+from repro.ir.visitor import walk
+
+__all__ = ["ProgramMetrics", "compute_metrics", "aggregate_metrics"]
+
+
+@dataclass
+class ProgramMetrics:
+    """Feature counts for one kernel."""
+
+    n_statements: int = 0
+    n_binops: Counter = field(default_factory=Counter)
+    n_math_calls: Counter = field(default_factory=Counter)
+    n_conditionals: int = 0
+    n_loops: int = 0
+    max_loop_depth: int = 0
+    n_temporaries: int = 0
+    n_array_params: int = 0
+    n_scalar_params: int = 0
+    n_array_accesses: int = 0
+    n_constants: int = 0
+    n_bool_ops: int = 0
+    n_compares: int = 0
+    n_fma: int = 0
+
+    @property
+    def uses_math(self) -> bool:
+        return sum(self.n_math_calls.values()) > 0
+
+    @property
+    def uses_division(self) -> bool:
+        return self.n_binops.get("/", 0) > 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_statements": self.n_statements,
+            "n_binops": dict(self.n_binops),
+            "n_math_calls": dict(self.n_math_calls),
+            "n_conditionals": self.n_conditionals,
+            "n_loops": self.n_loops,
+            "max_loop_depth": self.max_loop_depth,
+            "n_temporaries": self.n_temporaries,
+            "n_array_params": self.n_array_params,
+            "n_scalar_params": self.n_scalar_params,
+            "n_array_accesses": self.n_array_accesses,
+            "n_constants": self.n_constants,
+            "n_bool_ops": self.n_bool_ops,
+            "n_compares": self.n_compares,
+            "n_fma": self.n_fma,
+        }
+
+
+def _count_stmts(body: Iterable[Stmt]) -> int:
+    total = 0
+    for stmt in body:
+        total += 1
+        if isinstance(stmt, (For, If)):
+            total += _count_stmts(stmt.body)
+    return total
+
+
+def _loop_depth(body: Iterable[Stmt], depth: int = 0) -> int:
+    deepest = depth
+    for stmt in body:
+        if isinstance(stmt, For):
+            deepest = max(deepest, _loop_depth(stmt.body, depth + 1))
+        elif isinstance(stmt, If):
+            deepest = max(deepest, _loop_depth(stmt.body, depth))
+    return deepest
+
+
+def compute_metrics(kernel: Kernel) -> ProgramMetrics:
+    """Walk one kernel and tally grammar-feature usage."""
+    m = ProgramMetrics()
+    m.n_statements = _count_stmts(kernel.body)
+    m.max_loop_depth = _loop_depth(kernel.body)
+    m.n_array_params = len(kernel.array_params)
+    m.n_scalar_params = len(kernel.float_params) - 1  # exclude comp
+    for stmt in kernel.body:
+        for node in _walk_body(stmt):
+            _tally(node, m)
+    return m
+
+
+def _walk_body(stmt: Stmt):
+    yield from walk(stmt)
+
+
+def _tally(node: Node, m: ProgramMetrics) -> None:
+    if isinstance(node, BinOp):
+        m.n_binops[node.op] += 1
+    elif isinstance(node, Call):
+        m.n_math_calls[node.func] += 1
+    elif isinstance(node, If):
+        m.n_conditionals += 1
+    elif isinstance(node, For):
+        m.n_loops += 1
+    elif isinstance(node, Decl):
+        m.n_temporaries += 1
+    elif isinstance(node, ArrayRef):
+        m.n_array_accesses += 1
+    elif isinstance(node, Const):
+        m.n_constants += 1
+    elif isinstance(node, BoolOp):
+        m.n_bool_ops += 1
+    elif isinstance(node, Compare):
+        m.n_compares += 1
+    elif isinstance(node, FMA):
+        m.n_fma += 1
+
+
+def aggregate_metrics(programs: Iterable[Program]) -> Dict[str, object]:
+    """Corpus-level audit used by the Table III bench.
+
+    Returns coverage fractions for each Table III characteristic plus
+    aggregate operator/math-call histograms.
+    """
+    n = 0
+    with_loops = with_nested_loops = with_conditionals = 0
+    with_math = with_arrays = with_temps = with_bool = 0
+    binops: Counter = Counter()
+    math_calls: Counter = Counter()
+    max_depth = 0
+    by_precision: Counter = Counter()
+    for prog in programs:
+        n += 1
+        by_precision[prog.fptype.value] += 1
+        m = compute_metrics(prog.kernel)
+        binops.update(m.n_binops)
+        math_calls.update(m.n_math_calls)
+        max_depth = max(max_depth, m.max_loop_depth)
+        with_loops += m.n_loops > 0
+        with_nested_loops += m.max_loop_depth > 1
+        with_conditionals += m.n_conditionals > 0
+        with_math += m.uses_math
+        with_arrays += m.n_array_params > 0
+        with_temps += m.n_temporaries > 0
+        with_bool += (m.n_bool_ops + m.n_compares) > 0
+    if n == 0:
+        raise ValueError("empty corpus")
+    return {
+        "n_programs": n,
+        "by_precision": dict(by_precision),
+        "frac_with_loops": with_loops / n,
+        "frac_with_nested_loops": with_nested_loops / n,
+        "frac_with_conditionals": with_conditionals / n,
+        "frac_with_math_calls": with_math / n,
+        "frac_with_arrays": with_arrays / n,
+        "frac_with_temporaries": with_temps / n,
+        "frac_with_boolean_exprs": with_bool / n,
+        "max_loop_depth": max_depth,
+        "binop_histogram": dict(binops),
+        "math_call_histogram": dict(math_calls),
+    }

@@ -1,0 +1,113 @@
+"""Debug pretty-printer for IR.
+
+Produces a compact C-like rendering with no language specifics — used in
+error messages, test assertions, and the case-study reports.  For real
+source output use :mod:`repro.codegen`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fp.literals import format_varity_literal
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Decl,
+    Expr,
+    FMA,
+    For,
+    If,
+    IntConst,
+    Node,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Kernel
+
+__all__ = ["print_ir", "expr_to_str"]
+
+# Precedence for parenthesization (higher binds tighter).
+_PRECEDENCE = {"||": 1, "&&": 2, "==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+               "+": 5, "-": 5, "*": 6, "/": 6}
+
+
+def expr_to_str(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Const):
+        if expr.text is not None:
+            return expr.text
+        try:
+            return format_varity_literal(expr.value)
+        except ValueError:
+            return repr(expr.value)
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}[{expr_to_str(expr.index)}]"
+    if isinstance(expr, UnOp):
+        inner = expr_to_str(expr.operand, 7)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, (BinOp, Compare, BoolOp)):
+        prec = _PRECEDENCE[expr.op]
+        left = expr_to_str(expr.left, prec)
+        # Right side of - and / needs parens at equal precedence.
+        right_prec = prec + 1 if expr.op in ("-", "/") else prec
+        right = expr_to_str(expr.right, right_prec)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, FMA):
+        fn = "fma" if not expr.negate_product else "fnma"
+        return f"{fn}({expr_to_str(expr.a)}, {expr_to_str(expr.b)}, {expr_to_str(expr.c)})"
+    if isinstance(expr, Call):
+        args = ", ".join(expr_to_str(a) for a in expr.args)
+        tag = "" if expr.variant == "default" else f"/*{expr.variant}*/"
+        return f"{expr.func}{tag}({args})"
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _stmt_lines(stmt: Stmt, indent: int, fp_name: str) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Decl):
+        return [f"{pad}{fp_name} {stmt.name} = {expr_to_str(stmt.init)};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{expr_to_str(stmt.target)} = {expr_to_str(stmt.expr)};"]
+    if isinstance(stmt, AugAssign):
+        return [f"{pad}{expr_to_str(stmt.target)} {stmt.op}= {expr_to_str(stmt.expr)};"]
+    if isinstance(stmt, For):
+        head = (
+            f"{pad}for (int {stmt.var} = 0; {stmt.var} < "
+            f"{expr_to_str(stmt.bound)}; ++{stmt.var}) {{"
+        )
+        lines = [head]
+        for s in stmt.body:
+            lines.extend(_stmt_lines(s, indent + 1, fp_name))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({expr_to_str(stmt.cond)}) {{"]
+        for s in stmt.body:
+            lines.extend(_stmt_lines(s, indent + 1, fp_name))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def print_ir(kernel: Kernel) -> str:
+    """Render a whole kernel as readable pseudo-C."""
+    fp_name = kernel.fptype.c_name
+    params = ", ".join(p.c_decl(fp_name) for p in kernel.params)
+    lines = [f"void {kernel.name}({params}) {{"]
+    for stmt in kernel.body:
+        lines.extend(_stmt_lines(stmt, 1, fp_name))
+    lines.append("}")
+    return "\n".join(lines)

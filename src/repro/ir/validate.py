@@ -1,0 +1,209 @@
+"""Structural validation of kernels.
+
+The generator should only ever produce well-formed kernels; validation is
+the safety net run by the harness before compiling (a malformed kernel
+would otherwise surface as a confusing interpreter error thousands of tests
+into a campaign) and by property-based tests over the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.ir.types import IRType
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Decl,
+    Expr,
+    FMA,
+    For,
+    If,
+    IntConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Kernel
+
+__all__ = ["ValidationIssue", "validate_kernel"]
+
+#: Math functions the device models implement (superset of what the
+#: generator emits; see repro.devices.mathlib.base.SUPPORTED_FUNCTIONS).
+_KNOWN_BOOL_PRODUCERS = (Compare, BoolOp)
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a kernel."""
+
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.message}"
+
+
+class _Scope:
+    def __init__(self) -> None:
+        self.scalars: Set[str] = set()
+        self.arrays: Set[str] = set()
+        self.ints: Set[str] = set()
+
+
+def validate_kernel(kernel: Kernel, known_functions: Sequence[str] = ()) -> List[ValidationIssue]:
+    """Check a kernel; returns a (possibly empty) list of issues.
+
+    Rules enforced:
+
+    * first parameter is the FLOAT accumulator ``comp``;
+    * parameter names are unique;
+    * every referenced name resolves to a parameter, a prior ``Decl``, or an
+      enclosing loop counter;
+    * array subscripts only apply to FLOAT_PTR names, scalars never
+      subscripted;
+    * ``if`` conditions are boolean-producing expressions;
+    * loop counters do not shadow parameters or locals;
+    * every ``Call`` names a known function when ``known_functions`` given.
+    """
+    issues: List[ValidationIssue] = []
+    known = set(known_functions)
+
+    if not kernel.params:
+        issues.append(ValidationIssue("signature", "kernel has no parameters"))
+        return issues
+    first = kernel.params[0]
+    if first.name != "comp" or first.type is not IRType.FLOAT:
+        issues.append(
+            ValidationIssue(
+                "signature",
+                f"first parameter must be FLOAT 'comp', got {first.type.value} {first.name!r}",
+            )
+        )
+    seen: Set[str] = set()
+    for p in kernel.params:
+        if p.name in seen:
+            issues.append(ValidationIssue("signature", f"duplicate parameter {p.name!r}"))
+        seen.add(p.name)
+
+    scope = _Scope()
+    for p in kernel.params:
+        if p.type is IRType.FLOAT:
+            scope.scalars.add(p.name)
+        elif p.type is IRType.FLOAT_PTR:
+            scope.arrays.add(p.name)
+        else:
+            scope.ints.add(p.name)
+
+    _validate_body(kernel.body, scope, [], issues, known)
+    return issues
+
+
+def _validate_body(
+    body: Sequence[Stmt],
+    scope: _Scope,
+    loop_vars: List[str],
+    issues: List[ValidationIssue],
+    known: Set[str],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, Decl):
+            if stmt.name in scope.scalars or stmt.name in scope.arrays or stmt.name in scope.ints:
+                issues.append(ValidationIssue("decl", f"{stmt.name!r} redeclared"))
+            _validate_expr(stmt.init, scope, loop_vars, issues, known, want_bool=False)
+            scope.scalars.add(stmt.name)
+        elif isinstance(stmt, (Assign, AugAssign)):
+            target = stmt.target
+            if isinstance(target, VarRef):
+                if target.name not in scope.scalars:
+                    issues.append(
+                        ValidationIssue("assign", f"assignment to unknown scalar {target.name!r}")
+                    )
+            elif isinstance(target, ArrayRef):
+                if target.name not in scope.arrays:
+                    issues.append(
+                        ValidationIssue("assign", f"subscript of non-array {target.name!r}")
+                    )
+                _validate_expr(target.index, scope, loop_vars, issues, known, want_bool=False)
+            else:
+                issues.append(ValidationIssue("assign", f"bad target {type(target).__name__}"))
+            _validate_expr(stmt.expr, scope, loop_vars, issues, known, want_bool=False)
+        elif isinstance(stmt, For):
+            if (
+                stmt.var in scope.scalars
+                or stmt.var in scope.arrays
+                or stmt.var in scope.ints
+                or stmt.var in loop_vars
+            ):
+                issues.append(ValidationIssue("for", f"loop var {stmt.var!r} shadows a name"))
+            _validate_expr(stmt.bound, scope, loop_vars, issues, known, want_bool=False)
+            _validate_body(stmt.body, scope, loop_vars + [stmt.var], issues, known)
+        elif isinstance(stmt, If):
+            _validate_expr(stmt.cond, scope, loop_vars, issues, known, want_bool=True)
+            _validate_body(stmt.body, scope, loop_vars, issues, known)
+        else:
+            issues.append(ValidationIssue("stmt", f"unknown statement {type(stmt).__name__}"))
+
+
+def _validate_expr(
+    expr: Expr,
+    scope: _Scope,
+    loop_vars: List[str],
+    issues: List[ValidationIssue],
+    known: Set[str],
+    want_bool: bool,
+) -> None:
+    if want_bool and not isinstance(expr, _KNOWN_BOOL_PRODUCERS):
+        issues.append(
+            ValidationIssue("cond", f"{type(expr).__name__} is not a boolean expression")
+        )
+    if isinstance(expr, (Const, IntConst)):
+        return
+    if isinstance(expr, VarRef):
+        if (
+            expr.name not in scope.scalars
+            and expr.name not in scope.ints
+            and expr.name not in loop_vars
+        ):
+            if expr.name in scope.arrays:
+                issues.append(ValidationIssue("expr", f"array {expr.name!r} used as scalar"))
+            else:
+                issues.append(ValidationIssue("expr", f"unknown name {expr.name!r}"))
+        return
+    if isinstance(expr, ArrayRef):
+        if expr.name not in scope.arrays:
+            issues.append(ValidationIssue("expr", f"subscript of non-array {expr.name!r}"))
+        _validate_expr(expr.index, scope, loop_vars, issues, known, want_bool=False)
+        return
+    if isinstance(expr, UnOp):
+        _validate_expr(expr.operand, scope, loop_vars, issues, known, want_bool=False)
+        return
+    if isinstance(expr, (BinOp,)):
+        _validate_expr(expr.left, scope, loop_vars, issues, known, want_bool=False)
+        _validate_expr(expr.right, scope, loop_vars, issues, known, want_bool=False)
+        return
+    if isinstance(expr, FMA):
+        for sub in (expr.a, expr.b, expr.c):
+            _validate_expr(sub, scope, loop_vars, issues, known, want_bool=False)
+        return
+    if isinstance(expr, Call):
+        if known and expr.func not in known:
+            issues.append(ValidationIssue("call", f"unknown function {expr.func!r}"))
+        if not expr.args:
+            issues.append(ValidationIssue("call", f"{expr.func} called with no arguments"))
+        for a in expr.args:
+            _validate_expr(a, scope, loop_vars, issues, known, want_bool=False)
+        return
+    if isinstance(expr, (Compare, BoolOp)):
+        sub_bool = isinstance(expr, BoolOp)
+        _validate_expr(expr.left, scope, loop_vars, issues, known, want_bool=sub_bool)
+        _validate_expr(expr.right, scope, loop_vars, issues, known, want_bool=sub_bool)
+        return
+    issues.append(ValidationIssue("expr", f"unknown expression {type(expr).__name__}"))

@@ -1,0 +1,25 @@
+"""Shared low-level utilities (hashing, RNG, tables, JSON I/O)."""
+
+from repro.utils.hashing import (
+    splitmix64,
+    hash_bytes,
+    hash_floats,
+    stable_hash,
+)
+from repro.utils.rng import SeedSequenceFactory, derive_seed
+from repro.utils.tables import Table, format_table
+from repro.utils.jsonio import dump_json, load_json, json_default
+
+__all__ = [
+    "splitmix64",
+    "hash_bytes",
+    "hash_floats",
+    "stable_hash",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "Table",
+    "format_table",
+    "dump_json",
+    "load_json",
+    "json_default",
+]

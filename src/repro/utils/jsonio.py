@@ -1,0 +1,79 @@
+"""JSON helpers that round-trip floating-point payloads exactly.
+
+Campaign metadata (Fig. 3 of the paper) stores test inputs and observed
+outputs.  Those values include NaN, infinities, negative zero, and
+subnormals; all of them must survive a save/load cycle bit-exactly or the
+"re-run the same tests on the other cluster" workflow breaks.  Finite floats
+are stored via ``repr`` (shortest round-trip in Python 3); non-finite values
+are stored as tagged strings because strict JSON has no literal for them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = ["encode_float", "decode_float", "dump_json", "load_json", "json_default"]
+
+_NAN_TAG = "__nan__"
+_NEG_NAN_TAG = "__-nan__"
+_INF_TAG = "__inf__"
+_NEG_INF_TAG = "__-inf__"
+
+
+def encode_float(value: float) -> Union[float, str]:
+    """Encode one float as a JSON-safe value (tagged string if non-finite)."""
+    value = float(value)
+    if math.isnan(value):
+        return _NEG_NAN_TAG if math.copysign(1.0, value) < 0 else _NAN_TAG
+    if math.isinf(value):
+        return _INF_TAG if value > 0 else _NEG_INF_TAG
+    return value
+
+
+def decode_float(value: Union[float, int, str]) -> float:
+    """Inverse of :func:`encode_float`."""
+    if isinstance(value, str):
+        if value == _NAN_TAG:
+            return math.nan
+        if value == _NEG_NAN_TAG:
+            return -math.nan
+        if value == _INF_TAG:
+            return math.inf
+        if value == _NEG_INF_TAG:
+            return -math.inf
+        # Fall back to parsing: lets hand-edited metadata use plain strings.
+        return float(value)
+    return float(value)
+
+
+def json_default(obj: Any) -> Any:
+    """``default=`` hook understanding numpy scalars and dataclass-likes."""
+    if isinstance(obj, (np.floating,)):
+        return encode_float(float(obj))
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, np.ndarray):
+        return [json_default(x) if isinstance(x, np.generic) else x for x in obj.tolist()]
+    if hasattr(obj, "to_json_dict"):
+        return obj.to_json_dict()
+    raise TypeError(f"cannot serialize {type(obj).__name__} to JSON")
+
+
+def dump_json(data: Any, path: Union[str, Path], *, indent: int = 2) -> None:
+    """Write ``data`` to ``path`` as strict JSON (no NaN literals)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=indent, allow_nan=False, default=json_default)
+        fh.write("\n")
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Read strict JSON written by :func:`dump_json`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)

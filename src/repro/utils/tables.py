@@ -1,0 +1,97 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints the paper's tables (IV through X and Table I)
+as aligned ASCII tables so ``pytest benchmarks/ --benchmark-only`` output can
+be compared side-by-side with the paper.  Kept dependency-free on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "format_table"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        # Counts and percentages; keep short but unambiguous.
+        return f"{value:.2f}" if abs(value) >= 0.01 or value == 0 else f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with a header row.
+
+    >>> t = Table(title="demo", headers=["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    footers: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        row = [_fmt_cell(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_footer(self, cells: Iterable[Cell]) -> None:
+        row = [_fmt_cell(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"footer has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.footers.append(row)
+
+    def render(self) -> str:
+        return format_table(
+            self.title, self.headers, self.rows, footers=self.footers
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    footers: Optional[Sequence[Sequence[Cell]]] = None,
+) -> str:
+    """Render a grid with a title, a rule under the header, and a footer rule."""
+    footers = footers or []
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    str_footers = [[_fmt_cell(c) for c in row] for row in footers]
+    all_rows = [list(map(str, headers))] + str_rows + str_footers
+    ncols = len(headers)
+    widths = [0] * ncols
+    for row in all_rows:
+        if len(row) != ncols:
+            raise ValueError("ragged table")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (ncols - 1))
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(rule) // 2))
+    out.append(line(list(map(str, headers))))
+    out.append(rule)
+    out.extend(line(r) for r in str_rows)
+    if str_footers:
+        out.append(rule)
+        out.extend(line(r) for r in str_footers)
+    return "\n".join(out)

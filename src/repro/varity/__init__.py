@@ -1,0 +1,29 @@
+"""Varity-style random test generation.
+
+Reimplements the generation approach of Laguna's Varity framework (IPDPS
+2020) as extended by the paper: random numerical kernels covering the
+grammar of Table III (FP32/FP64 arithmetic over ``+ - * /``, C math-library
+calls, nested ``for`` loops bounded by an int parameter, ``if`` conditions
+with boolean expressions, scalar/array parameters, temporary variables) plus
+random inputs biased toward the exceptional-value ranges the paper hunts
+(§II-B1: values that can produce NaN, ±Inf, and subnormals).
+"""
+
+from repro.varity.config import GeneratorConfig, InputClassWeights
+from repro.varity.grammar import GrammarWeights
+from repro.varity.generator import ProgramGenerator
+from repro.varity.inputs import InputGenerator, InputVector
+from repro.varity.testcase import TestCase
+from repro.varity.corpus import build_corpus, Corpus
+
+__all__ = [
+    "GeneratorConfig",
+    "InputClassWeights",
+    "GrammarWeights",
+    "ProgramGenerator",
+    "InputGenerator",
+    "InputVector",
+    "TestCase",
+    "build_corpus",
+    "Corpus",
+]

@@ -1,0 +1,138 @@
+"""Generator configuration.
+
+Bundles the grammar weights with structural limits (parameter counts, loop
+nesting, expression depth) and the input-class mix.  The defaults generate
+programs the size and shape of the paper's figures; `paper_scale()` in
+:mod:`repro.harness.campaign` controls *how many* are generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import GrammarError
+from repro.fp.types import FPType
+from repro.varity.grammar import GrammarWeights
+
+__all__ = ["GeneratorConfig", "InputClassWeights"]
+
+
+@dataclass
+class InputClassWeights:
+    """Mix of the random-input value classes (§II-B1).
+
+    Varity biases inputs toward ranges that can trigger exceptional
+    quantities; the classes and default weights here are calibrated to the
+    input vectors shown in the paper's case studies (many ±0, subnormals,
+    near-minimum normals, and near-overflow magnitudes).
+    """
+
+    zero: float = 0.16  # ±0.0
+    subnormal: float = 0.20  # below the smallest normal
+    near_min_normal: float = 0.16  # just above the smallest normal
+    huge: float = 0.16  # within a few decades of overflow
+    moderate: float = 0.18  # |x| in [1e-3, 1e3]
+    small: float = 0.14  # |x| in [1e-30, 1e-4] (fp64) / [1e-20, 1e-4] (fp32)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "zero": self.zero,
+            "subnormal": self.subnormal,
+            "near_min_normal": self.near_min_normal,
+            "huge": self.huge,
+            "moderate": self.moderate,
+            "small": self.small,
+        }
+
+    def validate(self) -> None:
+        table = self.as_dict()
+        if any(w < 0 for w in table.values()):
+            raise GrammarError("input class weights must be non-negative")
+        if sum(table.values()) <= 0:
+            raise GrammarError("input class weights sum to zero")
+
+
+@dataclass
+class GeneratorConfig:
+    """Everything the program generator needs besides a seed."""
+
+    fptype: FPType = FPType.FP64
+    grammar: GrammarWeights = field(default_factory=GrammarWeights)
+    inputs: InputClassWeights = field(default_factory=InputClassWeights)
+
+    # -- structural limits ------------------------------------------------------
+    min_float_params: int = 5
+    max_float_params: int = 9
+    p_array_param: float = 0.22  # chance a float param is an array
+    max_loop_depth: int = 3  # Table III: nesting L1 > L2 > … > LN
+    min_top_statements: int = 2
+    max_top_statements: int = 4
+    min_block_statements: int = 1
+    max_block_statements: int = 3
+    max_expr_depth: int = 3
+
+    # -- inputs -----------------------------------------------------------------
+    inputs_per_program: int = 7  # ≈ the paper's runs/programs ratio
+    min_loop_bound: int = 2
+    max_loop_bound: int = 8
+
+    # -- literal constants --------------------------------------------------------
+    literal_mantissa_digits: int = 4  # Varity prints 4 fractional digits
+
+    def validate(self) -> None:
+        self.grammar.validate()
+        self.inputs.validate()
+        if not 1 <= self.min_float_params <= self.max_float_params:
+            raise GrammarError("bad float-param range")
+        if not 0.0 <= self.p_array_param <= 1.0:
+            raise GrammarError("p_array_param must be a probability")
+        if self.max_loop_depth < 0:
+            raise GrammarError("max_loop_depth must be >= 0")
+        if not 1 <= self.min_top_statements <= self.max_top_statements:
+            raise GrammarError("bad top-statement range")
+        if not 1 <= self.min_block_statements <= self.max_block_statements:
+            raise GrammarError("bad block-statement range")
+        if self.max_expr_depth < 1:
+            raise GrammarError("max_expr_depth must be >= 1")
+        if self.inputs_per_program < 1:
+            raise GrammarError("inputs_per_program must be >= 1")
+        if not 1 <= self.min_loop_bound <= self.max_loop_bound:
+            raise GrammarError("bad loop-bound range")
+
+    @classmethod
+    def fp64(cls, **overrides) -> "GeneratorConfig":
+        return cls(fptype=FPType.FP64, **overrides)
+
+    @classmethod
+    def fp32(cls, **overrides) -> "GeneratorConfig":
+        return cls(fptype=FPType.FP32, **overrides)
+
+    #: Exponent ranges (decimal) per input class and precision; the fp64
+    #: numbers mirror the case-study vectors (e.g. +1.7612E-322, -1.3680E306).
+    def exponent_range(self, klass: str) -> Tuple[int, int]:
+        fp64 = {
+            "subnormal": (-322, -309),
+            "near_min_normal": (-308, -290),
+            "huge": (300, 306),
+            "moderate": (-3, 3),
+            "small": (-30, -4),
+        }
+        fp32 = {
+            "subnormal": (-44, -39),
+            "near_min_normal": (-38, -31),
+            "huge": (34, 37),  # 9.9999E37 < FLT_MAX: inputs stay finite
+            "moderate": (-3, 3),
+            "small": (-20, -4),
+        }
+        table = fp32 if self.fptype is FPType.FP32 else fp64
+        try:
+            return table[klass]
+        except KeyError:
+            raise GrammarError(f"input class {klass!r} has no exponent range") from None
+
+    #: Constant literals in program text span nearly the whole representable
+    #: range (Fig. 4 contains +1.7085E-315 and -1.9289E305 side by side).
+    @property
+    def literal_exponent_range(self) -> Tuple[int, int]:
+        return (-44, 37) if self.fptype is FPType.FP32 else (-320, 306)

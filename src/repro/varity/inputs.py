@@ -1,0 +1,110 @@
+"""Random input generation (§II-B1 value classes).
+
+For each kernel parameter an :class:`InputVector` carries one value:
+float for FLOAT, int for INT (the loop bound), and a float *fill value*
+for FLOAT_PTR parameters (Varity's ``main()`` initializes every array
+element with the scalar read from the input line — visible in Fig. 4,
+where the ``double*`` parameter receives ``+0.0``).
+
+Float values are drawn from exceptional-value classes (±0, subnormal,
+near-minimum-normal, huge, moderate, small) and then *round-tripped
+through the Varity literal format*, because the real harness passes inputs
+as decimal text on the command line — the value a test consumes is the
+parsed text, identically on both platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.fp.literals import parse_varity_literal
+from repro.fp.types import FPType
+from repro.ir.program import Kernel
+from repro.ir.types import IRType
+from repro.varity.config import GeneratorConfig
+
+__all__ = ["InputVector", "InputGenerator"]
+
+Value = Union[float, int]
+
+
+@dataclass(frozen=True)
+class InputVector:
+    """One test input: positional values plus their text form.
+
+    ``texts`` is the exact whitespace-separated input line of the Fig. 4
+    style metadata; values are derived from the texts, never the other way
+    round, so save/load cycles are bit-stable.
+    """
+
+    values: Tuple[Value, ...]
+    texts: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.texts):
+            raise ValueError("values/texts length mismatch")
+
+    @property
+    def line(self) -> str:
+        """The input rendered as a Varity input line."""
+        return " ".join(self.texts)
+
+    @classmethod
+    def from_texts(cls, texts: Sequence[str], kernel: Kernel) -> "InputVector":
+        """Parse an input line against a kernel signature."""
+        if len(texts) != len(kernel.params):
+            raise ValueError(
+                f"{len(texts)} inputs for {len(kernel.params)} parameters"
+            )
+        values: List[Value] = []
+        for text, param in zip(texts, kernel.params):
+            if param.type is IRType.INT:
+                values.append(int(text))
+            else:
+                values.append(float(parse_varity_literal(text, kernel.fptype)))
+        return cls(tuple(values), tuple(texts))
+
+
+class InputGenerator:
+    """Draws input vectors for a kernel signature."""
+
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.config = config
+
+    def generate(self, kernel: Kernel, seed: int) -> InputVector:
+        rng = random.Random(seed)
+        texts: List[str] = []
+        for param in kernel.params:
+            if param.type is IRType.INT:
+                texts.append(str(rng.randint(self.config.min_loop_bound, self.config.max_loop_bound)))
+            else:
+                texts.append(self._float_text(rng))
+        return InputVector.from_texts(texts, kernel)
+
+    def generate_many(self, kernel: Kernel, root_seed: int, count: int) -> List[InputVector]:
+        from repro.utils.rng import derive_seed
+
+        return [
+            self.generate(kernel, derive_seed(root_seed, "input", index))
+            for index in range(count)
+        ]
+
+    # ----------------------------------------------------------------- float
+    def _float_text(self, rng: random.Random) -> str:
+        cfg = self.config
+        classes = cfg.inputs.as_dict()
+        klass = rng.choices(list(classes), weights=list(classes.values()), k=1)[0]
+        sign = "-" if rng.random() < 0.5 else "+"
+        if klass == "zero":
+            return f"{sign}0.0"
+        lo, hi = cfg.exponent_range(klass)
+        exponent = rng.randint(lo, hi)
+        mantissa = rng.uniform(1.0, 9.9999)
+        digits = cfg.literal_mantissa_digits
+        text = f"{sign}{mantissa:.{digits}f}E{exponent}"
+        # Clamp pathological roundings (mantissa 9.99995 → "10.0000").
+        if text[1:3] == "10":
+            text = f"{sign}9.{'9' * digits}E{exponent}"
+        return text

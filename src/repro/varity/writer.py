@@ -1,0 +1,128 @@
+"""Write a corpus to disk as Varity-style test directories.
+
+The real Varity campaign produces, per test, a source file (``.cu`` /
+``.hip``), the input lines it was run with, and campaign-level metadata.
+This module materializes the same artifact tree, which is what you would
+hand to a vendor with a bug report (§I: "the tests can be provided to
+vendors for further investigation — they are self-contained"):
+
+    outdir/
+      manifest.json
+      prog-fp64-000000/
+        prog-fp64-000000.cu
+        prog-fp64-000000.hip
+        prog-fp64-000000.hipify.hip     (when requested)
+        prog-fp64-000000.c
+        inputs.txt
+      prog-fp64-000001/
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.codegen.c import render_c
+from repro.codegen.cuda import render_cuda
+from repro.codegen.hip import render_hip
+from repro.hipify.translator import hipify_source
+from repro.utils.jsonio import dump_json
+from repro.varity.corpus import Corpus
+from repro.varity.testcase import TestCase
+
+__all__ = ["write_test", "write_corpus", "WrittenTest"]
+
+
+@dataclass(frozen=True)
+class WrittenTest:
+    """Paths of one materialized test."""
+
+    test_id: str
+    directory: Path
+    cuda_path: Path
+    hip_path: Path
+    c_path: Path
+    inputs_path: Path
+    hipify_path: Optional[Path] = None
+
+
+def write_test(
+    test: TestCase,
+    outdir: Union[str, Path],
+    *,
+    include_hipify: bool = False,
+    include_c: bool = True,
+) -> WrittenTest:
+    """Materialize one test case under ``outdir/<test_id>/``."""
+    directory = Path(outdir) / test.test_id
+    directory.mkdir(parents=True, exist_ok=True)
+
+    cuda_src = render_cuda(test.program)
+    cuda_path = directory / f"{test.test_id}.cu"
+    cuda_path.write_text(cuda_src, encoding="utf-8")
+
+    hip_path = directory / f"{test.test_id}.hip"
+    hip_path.write_text(render_hip(test.program), encoding="utf-8")
+
+    c_path = directory / f"{test.test_id}.c"
+    if include_c:
+        c_path.write_text(render_c(test.program), encoding="utf-8")
+
+    inputs_path = directory / "inputs.txt"
+    inputs_path.write_text(
+        "".join(vec.line + "\n" for vec in test.inputs), encoding="utf-8"
+    )
+
+    hipify_path: Optional[Path] = None
+    if include_hipify:
+        hipify_path = directory / f"{test.test_id}.hipify.hip"
+        hipify_path.write_text(hipify_source(cuda_src), encoding="utf-8")
+
+    return WrittenTest(
+        test_id=test.test_id,
+        directory=directory,
+        cuda_path=cuda_path,
+        hip_path=hip_path,
+        c_path=c_path,
+        inputs_path=inputs_path,
+        hipify_path=hipify_path,
+    )
+
+
+def write_corpus(
+    corpus: Corpus,
+    outdir: Union[str, Path],
+    *,
+    include_hipify: bool = False,
+    include_c: bool = True,
+) -> List[WrittenTest]:
+    """Materialize a whole corpus plus a ``manifest.json``.
+
+    The manifest stores everything needed to rebuild the corpus in-process
+    (seeds + input lines), mirroring the metadata half of Fig. 3.
+    """
+    outdir = Path(outdir)
+    written = [
+        write_test(t, outdir, include_hipify=include_hipify, include_c=include_c)
+        for t in corpus
+    ]
+    manifest: Dict[str, object] = {
+        "fptype": corpus.fptype.value,
+        "root_seed": corpus.root_seed,
+        "inputs_per_program": corpus.config.inputs_per_program,
+        "n_programs": corpus.n_programs,
+        "tests": [t.to_meta_dict() for t in corpus],
+        "files": {
+            w.test_id: {
+                "cu": w.cuda_path.name,
+                "hip": w.hip_path.name,
+                "c": w.c_path.name if include_c else None,
+                "hipify": w.hipify_path.name if w.hipify_path else None,
+            }
+            for w in written
+        },
+    }
+    dump_json(manifest, outdir / "manifest.json")
+    return written

@@ -1,0 +1,113 @@
+"""Tests for the ablation harness and the corpus writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablation import (
+    ABLATIONS,
+    AblationSpec,
+    ablation_table,
+    run_ablation,
+)
+from repro.compilers.options import OptLevel, OptSetting
+from repro.utils.jsonio import load_json
+from repro.varity.config import GeneratorConfig
+from repro.varity.corpus import build_corpus
+from repro.varity.writer import write_corpus, write_test
+
+
+@pytest.fixture(scope="module")
+def ablation_corpus():
+    return build_corpus(GeneratorConfig.fp32(inputs_per_program=2), 30, root_seed=5)
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def results(self, ablation_corpus):
+        return run_ablation(
+            ablation_corpus,
+            opts=[OptSetting(OptLevel.O0), OptSetting(OptLevel.O3, fast_math=True)],
+        )
+
+    def test_all_specs_run(self, results):
+        assert [r.spec.name for r in results] == [s.name for s in ABLATIONS]
+
+    def test_baseline_finds_divergence(self, results):
+        assert results[0].total > 0
+
+    def test_identical_mathlib_kills_o0(self, results):
+        by_name = {r.spec.name: r for r in results}
+        assert by_name["identical-mathlib"].by_opt["O0"] == 0
+
+    def test_all_equalized_is_zero(self, results):
+        """Self-check: no unmodeled asymmetry between the two stacks."""
+        by_name = {r.spec.name: r for r in results}
+        assert by_name["all-equalized"].total == 0
+
+    def test_ablations_never_negative(self, results):
+        for r in results:
+            assert all(v >= 0 for v in r.by_opt.values())
+
+    def test_table_renders(self, results):
+        text = ablation_table(results).render()
+        assert "baseline" in text and "all-equalized" in text
+
+    def test_table_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ablation_table([])
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(AttributeError):
+            ABLATIONS[0].name = "x"  # type: ignore[misc]
+
+
+class TestWriter:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(GeneratorConfig.fp64(inputs_per_program=2), 4, root_seed=9)
+
+    def test_write_single_test(self, corpus, tmp_path):
+        written = write_test(corpus.tests[0], tmp_path, include_hipify=True)
+        assert written.cuda_path.exists()
+        assert written.hip_path.exists()
+        assert written.c_path.exists()
+        assert written.hipify_path is not None and written.hipify_path.exists()
+        assert "__global__" in written.cuda_path.read_text()
+        lines = written.inputs_path.read_text().splitlines()
+        assert len(lines) == len(corpus.tests[0].inputs)
+
+    def test_write_corpus_manifest(self, corpus, tmp_path):
+        written = write_corpus(corpus, tmp_path, include_hipify=True)
+        assert len(written) == len(corpus)
+        manifest = load_json(tmp_path / "manifest.json")
+        assert manifest["n_programs"] == len(corpus)
+        assert manifest["fptype"] == "fp64"
+        assert set(manifest["files"]) == {t.test_id for t in corpus}
+
+    def test_manifest_rebuilds_corpus(self, corpus, tmp_path):
+        from repro.varity.corpus import regenerate_test
+
+        write_corpus(corpus, tmp_path)
+        manifest = load_json(tmp_path / "manifest.json")
+        for entry in manifest["tests"]:
+            rebuilt = regenerate_test(
+                corpus.config,
+                seed=entry["seed"],
+                test_id=entry["test_id"],
+                input_texts=entry["inputs"],
+            )
+            original = next(t for t in corpus if t.test_id == entry["test_id"])
+            assert rebuilt.program.kernel == original.program.kernel
+
+    def test_hipify_file_matches_translator(self, corpus, tmp_path):
+        from repro.codegen.cuda import render_cuda
+        from repro.hipify.translator import hipify_source
+
+        written = write_test(corpus.tests[1], tmp_path, include_hipify=True)
+        expected = hipify_source(render_cuda(corpus.tests[1].program))
+        assert written.hipify_path.read_text() == expected
+
+    def test_c_rendering_optional(self, corpus, tmp_path):
+        written = write_test(corpus.tests[2], tmp_path, include_c=False)
+        assert not written.c_path.exists()

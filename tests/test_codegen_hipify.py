@@ -1,0 +1,189 @@
+"""Tests for source rendering (repro.codegen) and HIPIFY (repro.hipify)."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.codegen.base import EmitterConfig, render_expr
+from repro.codegen.c import render_c
+from repro.codegen.cuda import render_cuda
+from repro.codegen.hip import render_hip
+from repro.errors import HipifyError
+from repro.fp.types import FPType
+from repro.hipify.rules import HIPIFY_RULES, LAUNCH_RE
+from repro.hipify.translator import hipify_program, hipify_source
+from repro.ir.nodes import BinOp, Call, Const, FMA, UnOp, VarRef
+from repro.varity.config import GeneratorConfig
+from repro.varity.generator import ProgramGenerator
+
+
+@pytest.fixture(scope="module")
+def sample_program():
+    return ProgramGenerator(GeneratorConfig.fp64()).generate(11)
+
+
+@pytest.fixture(scope="module")
+def sample_fp32_program():
+    return ProgramGenerator(GeneratorConfig.fp32()).generate(11)
+
+
+# ----------------------------------------------------------------- emitter
+class TestEmitter:
+    def test_fp32_math_suffix(self):
+        cfg = EmitterConfig(FPType.FP32)
+        assert render_expr(Call("cos", [VarRef("x")]), cfg) == "cosf(x)"
+
+    def test_fp64_no_suffix(self):
+        cfg = EmitterConfig(FPType.FP64)
+        assert render_expr(Call("cos", [VarRef("x")]), cfg) == "cos(x)"
+
+    def test_approx_variant_spelling(self):
+        cfg = EmitterConfig(FPType.FP32)
+        assert render_expr(Call("cos", [VarRef("x")], variant="approx"), cfg) == "__cosf(x)"
+
+    def test_fdividef_kept_verbatim(self):
+        cfg = EmitterConfig(FPType.FP32)
+        e = Call("__fdividef", [VarRef("x"), VarRef("y")], variant="approx")
+        assert render_expr(e, cfg) == "__fdividef(x, y)"
+
+    def test_fma_spelling(self):
+        cfg64 = EmitterConfig(FPType.FP64)
+        cfg32 = EmitterConfig(FPType.FP32)
+        e = FMA(VarRef("a"), VarRef("b"), VarRef("c"))
+        assert render_expr(e, cfg64) == "fma(a, b, c)"
+        assert render_expr(e, cfg32) == "fmaf(a, b, c)"
+
+    def test_fma_negated_product(self):
+        cfg = EmitterConfig(FPType.FP64)
+        e = FMA(VarRef("a"), VarRef("b"), VarRef("c"), negate_product=True)
+        assert render_expr(e, cfg) == "fma(-(a), b, c)"
+
+    def test_no_double_minus_token(self):
+        cfg = EmitterConfig(FPType.FP64)
+        e = UnOp("-", Const(-3.0, "-3.0000"))
+        text = render_expr(e, cfg)
+        assert "--" not in text
+
+    def test_fp32_literal_gets_suffix(self):
+        cfg = EmitterConfig(FPType.FP32)
+        assert render_expr(Const(1.5, "+1.5000"), cfg) == "+1.5000F"
+
+
+# ------------------------------------------------------------------- files
+class TestRenderedFiles:
+    def test_cuda_structure(self, sample_program):
+        src = render_cuda(sample_program)
+        assert "#include <cuda_runtime.h>" in src
+        assert "__global__" in src
+        assert 'printf("%.17g\\n", comp);' in src
+        assert "<<<1, 1>>>" in src
+        assert "cudaDeviceSynchronize();" in src
+        assert src.rstrip().endswith("}")
+
+    def test_hip_structure(self, sample_program):
+        src = render_hip(sample_program)
+        assert "#include <hip/hip_runtime.h>" in src
+        assert "hipLaunchKernelGGL(compute, dim3(1), dim3(1), 0, 0," in src
+        assert "hipDeviceSynchronize();" in src
+        assert "<<<" not in src
+        assert "cuda" not in src
+
+    def test_c_structure(self, sample_program):
+        src = render_c(sample_program)
+        assert "#include <math.h>" in src
+        assert "__global__" not in src
+        assert "cuda" not in src and "hip" not in src.replace("hip", "hip")  # no API calls
+        assert re.search(r"\bcompute\(", src)
+
+    def test_array_programs_allocate(self):
+        # Find a generated program with an array parameter.
+        gen = ProgramGenerator(GeneratorConfig.fp64())
+        program = next(
+            p for p in (gen.generate(s) for s in range(80)) if p.kernel.array_params
+        )
+        src = render_cuda(program)
+        name = program.kernel.array_params[0].name
+        assert f"cudaMalloc((void**)&{name}," in src
+        assert f"{name}_fill" in src
+        assert "cudaMemcpyHostToDevice" in src
+        assert f"cudaFree({name});" in src
+
+    def test_fp32_rendering_uses_float(self, sample_fp32_program):
+        src = render_cuda(sample_fp32_program)
+        assert "float comp" in src
+        assert "double" not in src
+
+    def test_argc_guard_matches_param_count(self, sample_program):
+        src = render_cuda(sample_program)
+        n = len(sample_program.kernel.params)
+        assert f"if (argc != {n + 1}) return 1;" in src
+
+    def test_cuda_and_hip_same_kernel_body(self, sample_program):
+        """Kernel computation must be identical text in .cu and .hip files."""
+        def kernel_body(src: str) -> str:
+            start = src.index("__global__")
+            end = src.index("int main")
+            return src[start:end]
+
+        assert kernel_body(render_cuda(sample_program)) == kernel_body(
+            render_hip(sample_program)
+        )
+
+
+# ------------------------------------------------------------------ hipify
+class TestHipifyRules:
+    def test_rule_word_boundary(self):
+        # cudaMemcpyHostToDevice must not be chewed by the cudaMemcpy rule.
+        src = "cudaMemcpy(a, b, n, cudaMemcpyHostToDevice);"
+        for rule in HIPIFY_RULES:
+            src = rule.apply(src)
+        assert src == "hipMemcpy(a, b, n, hipMemcpyHostToDevice);"
+
+    def test_launch_regex(self):
+        m = LAUNCH_RE.search("compute<<<1, 1>>>(a, b);")
+        assert m and m.group("name") == "compute"
+
+    def test_launch_with_dim3(self):
+        text = "kern<<<dim3(2), dim3(64)>>>(x);"
+        assert LAUNCH_RE.search(text)
+
+
+class TestHipifyTranslator:
+    def test_translates_rendered_cuda(self, sample_program):
+        hip = hipify_source(render_cuda(sample_program))
+        assert "hip/hip_runtime.h" in hip
+        assert "hipLaunchKernelGGL" in hip
+        assert "<<<" not in hip
+
+    def test_translation_matches_native_hip(self, sample_program):
+        """hipify(render_cuda(p)) ≡ render_hip(p) modulo the banner."""
+        translated = hipify_source(render_cuda(sample_program), banner=False)
+        native = render_hip(sample_program)
+        assert translated == native
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_translation_matches_native_hip_many(self, seed):
+        gen = ProgramGenerator(GeneratorConfig.fp64())
+        p = gen.generate(seed)
+        assert hipify_source(render_cuda(p), banner=False) == render_hip(p)
+
+    def test_untranslated_identifier_rejected(self):
+        with pytest.raises(HipifyError):
+            hipify_source("cudaFrobnicate();")
+
+    def test_surviving_launch_rejected(self):
+        with pytest.raises(HipifyError):
+            hipify_source("kern<<<1, 1, 0, stream>>>\n(x);")  # 4-arg launch unsupported
+
+    def test_banner_prepended(self, sample_program):
+        hip = hipify_source(render_cuda(sample_program))
+        assert hip.splitlines()[0].startswith("/* translated by repro-hipify")
+
+    def test_hipify_program_marks_semantics(self, sample_program):
+        marked, hip_src = hipify_program(sample_program)
+        assert marked.via_hipify
+        assert "hipLaunchKernelGGL" in hip_src
+        # Original program untouched.
+        assert not sample_program.via_hipify

@@ -1,0 +1,352 @@
+"""Tests for the compiler models and their passes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compilers.compiler import CompiledKernel
+from repro.compilers.hipcc import HipccCompiler
+from repro.compilers.nvcc import NvccCompiler
+from repro.compilers.options import OptLevel, OptSetting, PAPER_OPT_SETTINGS
+from repro.compilers.passes.algebraic import AlgebraicSimplify
+from repro.compilers.passes.approx import ApproxSubstitution
+from repro.compilers.passes.constant_folding import ConstantFolding
+from repro.compilers.passes.fma_contraction import (
+    FMAContraction,
+    HIPCC_PATTERNS,
+    NVCC_PATTERNS,
+)
+from repro.compilers.passes.reassociation import Reassociation
+from repro.compilers.passes.reciprocal import ReciprocalDivision
+from repro.errors import CompileError
+from repro.fp.env import FlushMode
+from repro.fp.types import FPType
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import BinOp, Call, Const, FMA, VarRef
+from repro.ir.visitor import collect, walk
+from repro.varity.config import GeneratorConfig
+from repro.varity.generator import ProgramGenerator
+
+
+def _kernel_with_expr(b: IRBuilder, expr):
+    return b.kernel(
+        params=[b.fparam("comp"), b.fparam("var_2"), b.fparam("var_3"), b.fparam("var_4")],
+        body=[b.aug("comp", "+", expr)],
+    )
+
+
+def _first_expr(kernel):
+    return kernel.body[0].expr
+
+
+# ----------------------------------------------------------------- options
+class TestOptSetting:
+    def test_labels(self):
+        assert OptSetting(OptLevel.O0).label == "O0"
+        assert OptSetting(OptLevel.O3, fast_math=True).label == "O3_FM"
+
+    def test_from_label_roundtrip(self):
+        for opt in PAPER_OPT_SETTINGS:
+            assert OptSetting.from_label(opt.label) == opt
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            OptSetting.from_label("O9")
+
+    def test_paper_grid_is_the_five_settings(self):
+        assert [o.label for o in PAPER_OPT_SETTINGS] == ["O0", "O1", "O2", "O3", "O3_FM"]
+
+    def test_fast_math_flags_per_compiler(self):
+        fm = OptSetting(OptLevel.O3, fast_math=True)
+        assert fm.flags_for("nvcc") == ("-O3", "-use_fast_math")
+        assert fm.flags_for("hipcc") == ("-O3", "-DHIP_FAST_MATH")
+
+
+# ---------------------------------------------------------------- folding
+class TestConstantFolding:
+    def test_arithmetic_folds(self, b64):
+        k = _kernel_with_expr(b64, b64.add(b64.lit(1.0), b64.lit(2.0)))
+        out = ConstantFolding().run(k)
+        e = _first_expr(out)
+        assert isinstance(e, Const) and e.value == 3.0
+
+    def test_folding_uses_target_precision(self, b32):
+        # 1 + 2^-30 rounds away in fp32 but not fp64.
+        k = _kernel_with_expr(b32, b32.add(b32.lit(1.0), b32.lit(2.0**-30)))
+        e = _first_expr(ConstantFolding().run(k))
+        assert isinstance(e, Const) and e.value == 1.0
+
+    def test_unary_minus_folds(self, b64):
+        k = _kernel_with_expr(b64, b64.neg(b64.lit(2.5)))
+        e = _first_expr(ConstantFolding().run(k))
+        assert isinstance(e, Const) and e.value == -2.5
+
+    def test_math_calls_not_folded_by_default(self, b64):
+        k = _kernel_with_expr(b64, b64.call("cos", b64.lit(2.0)))
+        e = _first_expr(ConstantFolding(fold_math_calls=False).run(k))
+        assert isinstance(e, Call)
+
+    def test_math_calls_folded_when_enabled(self, b64):
+        k = _kernel_with_expr(b64, b64.call("cos", b64.lit(2.0)))
+        e = _first_expr(ConstantFolding(fold_math_calls=True).run(k))
+        assert isinstance(e, Const) and e.value == pytest.approx(math.cos(2.0))
+
+    def test_nonconst_untouched_and_shared(self, b64):
+        k = _kernel_with_expr(b64, b64.add("var_2", "var_3"))
+        assert ConstantFolding().run(k) is k
+
+    def test_folded_inf_kept_as_constant(self, b64):
+        k = _kernel_with_expr(b64, b64.mul(b64.lit(1e308), b64.lit(1e308)))
+        e = _first_expr(ConstantFolding().run(k))
+        assert isinstance(e, Const) and math.isinf(e.value)
+
+    def test_division_by_zero_folds_to_inf(self, b64):
+        k = _kernel_with_expr(b64, b64.div(b64.lit(1.0), b64.raw_lit("+0.0", 0.0)))
+        e = _first_expr(ConstantFolding().run(k))
+        assert isinstance(e, Const) and e.value == math.inf
+
+
+# -------------------------------------------------------------- contraction
+class TestFMAContraction:
+    def test_mul_left_add_both_vendors(self, b64):
+        expr = b64.add(b64.mul("var_2", "var_3"), "var_4")
+        for patterns in (NVCC_PATTERNS, HIPCC_PATTERNS):
+            k = _kernel_with_expr(b64, expr)
+            e = _first_expr(FMAContraction(patterns).run(k))
+            assert isinstance(e, FMA) and not e.negate_product
+
+    def test_mul_right_add_nvcc_only(self, b64):
+        expr = b64.add("var_4", b64.mul("var_2", "var_3"))
+        k = _kernel_with_expr(b64, expr)
+        assert isinstance(_first_expr(FMAContraction(NVCC_PATTERNS).run(k)), FMA)
+        k2 = _kernel_with_expr(b64, expr)
+        assert isinstance(_first_expr(FMAContraction(HIPCC_PATTERNS).run(k2)), BinOp)
+
+    def test_mul_right_sub_negates_product(self, b64):
+        expr = b64.sub("var_4", b64.mul("var_2", "var_3"))
+        e = _first_expr(FMAContraction(NVCC_PATTERNS).run(_kernel_with_expr(b64, expr)))
+        assert isinstance(e, FMA) and e.negate_product
+
+    def test_mul_left_sub_negates_addend(self, b64):
+        from repro.ir.nodes import UnOp
+
+        expr = b64.sub(b64.mul("var_2", "var_3"), "var_4")
+        e = _first_expr(FMAContraction(NVCC_PATTERNS).run(_kernel_with_expr(b64, expr)))
+        assert isinstance(e, FMA) and isinstance(e.c, UnOp)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            FMAContraction(frozenset({"bogus"}))
+
+    def test_no_mul_no_change(self, b64):
+        k = _kernel_with_expr(b64, b64.add("var_2", "var_3"))
+        assert FMAContraction(NVCC_PATTERNS).run(k) is k
+
+
+# ------------------------------------------------------------ reassociation
+class TestReassociation:
+    def test_three_term_chain_rebalanced(self, b64):
+        chain = b64.add(b64.add("var_2", "var_3"), "var_4")
+        e = _first_expr(Reassociation().run(_kernel_with_expr(b64, chain)))
+        # balanced: var_2 + (var_3 + var_4)
+        assert isinstance(e, BinOp) and isinstance(e.right, BinOp)
+
+    def test_two_term_chain_untouched(self, b64):
+        k = _kernel_with_expr(b64, b64.add("var_2", "var_3"))
+        assert Reassociation().run(k) is k
+
+    def test_mixed_operators_not_merged(self, b64):
+        k = _kernel_with_expr(b64, b64.add(b64.sub("var_2", "var_3"), "var_4"))
+        # only 2 terms at the + level: (var_2-var_3) and var_4
+        assert Reassociation().run(k) is k
+
+    def test_changes_rounding(self, b64, nvidia_device, nvcc):
+        """Reassociation must be value-unsafe (that is its purpose)."""
+        # (big + tiny) + (-big): left-assoc loses tiny, balanced keeps it.
+        chain = b64.add(b64.add(b64.lit(1.0e16), b64.lit(1.0)), b64.lit(-1.0e16))
+        k = _kernel_with_expr(b64, chain)
+        k2 = Reassociation().run(k)
+        assert k2 is not k
+
+
+# ---------------------------------------------------------------- reciprocal
+class TestReciprocal:
+    def test_const_divisor_rewritten(self, b64):
+        k = _kernel_with_expr(b64, b64.div("var_2", b64.lit(3.0)))
+        e = _first_expr(ReciprocalDivision().run(k))
+        assert isinstance(e, BinOp) and e.op == "*"
+        assert isinstance(e.right, Const)
+        assert e.right.value == pytest.approx(1.0 / 3.0)
+
+    def test_variable_divisor_kept(self, b64):
+        k = _kernel_with_expr(b64, b64.div("var_2", "var_3"))
+        assert ReciprocalDivision().run(k) is k
+
+    def test_zero_divisor_kept(self, b64):
+        k = _kernel_with_expr(b64, b64.div("var_2", b64.raw_lit("+0.0", 0.0)))
+        assert ReciprocalDivision().run(k) is k
+
+    def test_subnormal_divisor_gives_inf_multiplier(self, b64):
+        k = _kernel_with_expr(b64, b64.div("var_2", b64.lit(1.0e-310)))
+        e = _first_expr(ReciprocalDivision().run(k))
+        assert isinstance(e.right, Const) and math.isinf(e.right.value)
+
+    def test_fp32_reciprocal_precision(self, b32):
+        k = _kernel_with_expr(b32, b32.div("var_2", b32.lit(3.0)))
+        e = _first_expr(ReciprocalDivision().run(k))
+        assert e.right.value == float(np.float32(1.0) / np.float32(3.0))
+
+
+# ----------------------------------------------------------------- algebraic
+class TestAlgebraic:
+    def test_mul_zero(self, b64):
+        k = _kernel_with_expr(b64, b64.mul("var_2", b64.raw_lit("+0.0", 0.0)))
+        e = _first_expr(AlgebraicSimplify().run(k))
+        assert isinstance(e, Const) and e.value == 0.0
+
+    def test_sub_self(self, b64):
+        k = _kernel_with_expr(b64, b64.sub("var_2", "var_2"))
+        e = _first_expr(AlgebraicSimplify().run(k))
+        assert isinstance(e, Const) and e.value == 0.0
+
+    def test_add_zero(self, b64):
+        k = _kernel_with_expr(b64, b64.add("var_2", b64.raw_lit("+0.0", 0.0)))
+        e = _first_expr(AlgebraicSimplify().run(k))
+        assert e == VarRef("var_2")
+
+    def test_mul_one(self, b64):
+        k = _kernel_with_expr(b64, b64.mul(b64.lit(1.0), b64.var("var_2")))
+        assert _first_expr(AlgebraicSimplify().run(k)) == VarRef("var_2")
+
+    def test_div_one(self, b64):
+        k = _kernel_with_expr(b64, b64.div("var_2", b64.lit(1.0)))
+        assert _first_expr(AlgebraicSimplify().run(k)) == VarRef("var_2")
+
+    def test_different_vars_not_cancelled(self, b64):
+        k = _kernel_with_expr(b64, b64.sub("var_2", "var_3"))
+        assert AlgebraicSimplify().run(k) is k
+
+
+# -------------------------------------------------------------------- approx
+class TestApproxSubstitution:
+    def test_fp64_untouched(self, b64):
+        k = _kernel_with_expr(b64, b64.call("cos", "var_2"))
+        assert ApproxSubstitution(rewrite_division=True).run(k) is k
+
+    def test_fp32_call_variant(self, b32):
+        k = _kernel_with_expr(b32, b32.call("cos", "var_2"))
+        e = _first_expr(ApproxSubstitution(rewrite_division=False).run(k))
+        assert isinstance(e, Call) and e.variant == "approx"
+
+    def test_fp32_division_rewritten_when_enabled(self, b32):
+        k = _kernel_with_expr(b32, b32.div("var_2", "var_3"))
+        e = _first_expr(ApproxSubstitution(rewrite_division=True).run(k))
+        assert isinstance(e, Call) and e.func == "__fdividef"
+
+    def test_fp32_division_kept_when_disabled(self, b32):
+        k = _kernel_with_expr(b32, b32.div("var_2", "var_3"))
+        assert ApproxSubstitution(rewrite_division=False).run(k) is k
+
+    def test_non_approx_capable_untouched(self, b32):
+        k = _kernel_with_expr(b32, b32.call("fmod", "var_2", "var_3"))
+        assert ApproxSubstitution(rewrite_division=False).run(k) is k
+
+
+# ----------------------------------------------------------------- drivers
+class TestCompilerDrivers:
+    def test_o0_is_identity(self, b64, nvcc, hipcc):
+        p = b64.program(_kernel_with_expr(b64, b64.add("var_2", "var_3")))
+        for compiler in (nvcc, hipcc):
+            ck = compiler.compile(p, OptSetting(OptLevel.O0))
+            assert ck.kernel is p.kernel
+            assert ck.passes_applied == ()
+
+    def test_o1_o2_o3_identical_pipelines(self, nvcc, hipcc):
+        """The paper's O1/O2/O3 rows are identical; the models make it exact."""
+        gen = ProgramGenerator(GeneratorConfig.fp64())
+        for seed in range(10):
+            p = gen.generate(seed)
+            for compiler in (nvcc, hipcc):
+                kernels = [
+                    compiler.compile(p, OptSetting(OptLevel(level))).kernel
+                    for level in (1, 2, 3)
+                ]
+                assert kernels[0] == kernels[1] == kernels[2]
+
+    def test_compiled_kernel_metadata(self, b64, nvcc):
+        p = b64.program(_kernel_with_expr(b64, b64.add(b64.lit(1.0), b64.lit(2.0))))
+        ck = nvcc.compile(p, OptSetting(OptLevel.O2))
+        assert isinstance(ck, CompiledKernel)
+        assert ck.vendor.value == "nvidia"
+        assert "const-fold+libm" in ck.passes_applied
+        assert ck.label == "nvcc -O2"
+
+    def test_vendor_mismatch_rejected_at_execute(self, b64, nvcc, amd_device):
+        p = b64.program(_kernel_with_expr(b64, b64.add("var_2", "var_3")))
+        ck = nvcc.compile(p, OptSetting(OptLevel.O0))
+        with pytest.raises(ValueError):
+            amd_device.execute(ck, [0.0, 1.0, 2.0, 3.0])
+
+    def test_malformed_program_rejected(self, b64, nvcc):
+        bad = b64.program(
+            b64.kernel([b64.fparam("comp")], [b64.aug("comp", "+", b64.var("ghost"))])
+        )
+        with pytest.raises(CompileError):
+            nvcc.compile(bad, OptSetting(OptLevel.O0))
+
+    def test_ftz_modes(self, nvcc, hipcc):
+        fm = OptSetting(OptLevel.O3, fast_math=True)
+        assert nvcc.flush_mode(fm, FPType.FP32) is FlushMode.FLUSH_INPUTS_OUTPUTS
+        assert hipcc.flush_mode(fm, FPType.FP32) is FlushMode.FLUSH_OUTPUTS
+        assert nvcc.flush_mode(fm, FPType.FP64) is FlushMode.NONE
+        assert hipcc.flush_mode(OptSetting(OptLevel.O3), FPType.FP32) is FlushMode.NONE
+
+    def test_hipify_marking_only_for_converted_programs(self, b64, hipcc):
+        p = b64.program(_kernel_with_expr(b64, b64.call("fmod", "var_2", "var_3")))
+        plain = hipcc.compile(p, OptSetting(OptLevel.O0))
+        calls = [
+            n for stmt in plain.kernel.body for n in walk(stmt) if isinstance(n, Call)
+        ]
+        assert calls[0].variant == "default"
+
+        converted = hipcc.compile(p.marked_hipify(), OptSetting(OptLevel.O0))
+        calls = [
+            n for stmt in converted.kernel.body for n in walk(stmt) if isinstance(n, Call)
+        ]
+        assert calls[0].variant == "hipify"
+
+    def test_hipify_marking_limited_to_wrapped_set(self, b64, hipcc):
+        p = b64.program(_kernel_with_expr(b64, b64.call("sqrt", "var_2")))
+        converted = hipcc.compile(p.marked_hipify(), OptSetting(OptLevel.O0))
+        calls = [
+            n for stmt in converted.kernel.body for n in walk(stmt) if isinstance(n, Call)
+        ]
+        assert calls[0].variant == "default"  # sqrt is not wrapped
+
+    def test_compile_does_not_mutate_program(self, nvcc, hipcc):
+        gen = ProgramGenerator(GeneratorConfig.fp64())
+        p = gen.generate(17)
+        snapshot = p.kernel
+        for compiler in (nvcc, hipcc):
+            for opt in PAPER_OPT_SETTINGS:
+                compiler.compile(p, opt)
+        assert p.kernel is snapshot
+
+    def test_semantic_preservation_of_safe_passes(self, nvcc, nvidia_device):
+        """O2 (folding + contraction only) must keep exceptional classes and
+        stay within rounding distance for a straight-line kernel."""
+        b = IRBuilder(FPType.FP64)
+        k = b.kernel(
+            params=[b.fparam("comp"), b.fparam("var_2"), b.fparam("var_3")],
+            body=[
+                b.aug("comp", "+", b.add(b.mul("var_2", "var_3"), b.lit(1.0))),
+                b.aug("comp", "*", b.add(b.lit(0.5), b.lit(0.25))),
+            ],
+        )
+        p = b.program(k)
+        r0 = nvidia_device.execute(nvcc.compile(p, OptSetting(OptLevel.O0)), [1.0, 3.0, 7.0])
+        r2 = nvidia_device.execute(nvcc.compile(p, OptSetting(OptLevel.O2)), [1.0, 3.0, 7.0])
+        assert r0.value == pytest.approx(r2.value, rel=1e-15)

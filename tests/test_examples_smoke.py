@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed in-process (imported as __main__-style) with a
+trimmed workload where the script supports arguments, so the suite stays
+fast while still guaranteeing the examples never rot.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list) -> None:
+    old_argv = sys.argv
+    sys.argv = [script] + argv
+    try:
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+        assert exc.value.code in (0, None)
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run("quickstart.py", ["5"])
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+
+    def test_acceptance_testing(self, tmp_path, capsys):
+        _run("acceptance_testing.py", [str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Acceptance-testing report" in out
+        assert (tmp_path / "metadata.merged.json").exists()
+
+    def test_porting_audit(self, capsys):
+        _run("porting_audit.py", ["25"])
+        out = capsys.readouterr().out
+        assert "porting audit" in out
+
+    def test_case_study_explorer(self, capsys):
+        _run("case_study_explorer.py", [])
+        out = capsys.readouterr().out
+        assert "Case Study 1" in out and "Case Study 2" in out
+        assert "1.34887e-306" in out  # the bit-exact Fig. 5 output
+
+    def test_application_kernels(self, capsys):
+        _run("application_kernels.py", [])
+        out = capsys.readouterr().out
+        assert "runtime/accuracy tradeoff" in out

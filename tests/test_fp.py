@@ -1,0 +1,340 @@
+"""Tests for the floating-point substrate (repro.fp)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bits import (
+    bits_to_float,
+    bits_to_float32,
+    compose_float,
+    float32_to_bits,
+    float_to_bits,
+    is_negative,
+    sign_exponent_mantissa,
+)
+from repro.fp.classify import (
+    OutcomeClass,
+    classify_value,
+    is_subnormal,
+    outcomes_equivalent,
+)
+from repro.fp.env import FlushMode, FPEnv, FPExceptionFlags
+from repro.fp.literals import VARITY_LITERAL_RE, format_varity_literal, parse_varity_literal
+from repro.fp.types import FPType
+from repro.fp.ulp import nextafter_n, perturb_ulps, ulp_distance, ulp_of
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+
+
+# ------------------------------------------------------------------- types
+class TestFPType:
+    def test_dtype_mapping(self):
+        assert FPType.FP32.dtype == np.dtype(np.float32)
+        assert FPType.FP64.dtype == np.dtype(np.float64)
+
+    def test_c_names(self):
+        assert FPType.FP32.c_name == "float"
+        assert FPType.FP64.c_name == "double"
+
+    def test_suffixes(self):
+        assert FPType.FP32.literal_suffix == "F"
+        assert FPType.FP32.math_suffix == "f"
+        assert FPType.FP64.literal_suffix == ""
+
+    def test_mantissa_bits(self):
+        assert FPType.FP32.mantissa_bits == 23
+        assert FPType.FP64.mantissa_bits == 52
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("fp32", FPType.FP32), ("float", FPType.FP32), ("single", FPType.FP32),
+        ("fp64", FPType.FP64), ("double", FPType.FP64), ("F64", FPType.FP64),
+    ])
+    def test_from_string(self, alias, expected):
+        assert FPType.from_string(alias) is expected
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            FPType.from_string("quad")
+
+    def test_extremes(self):
+        assert FPType.FP64.smallest_subnormal == 5e-324
+        assert FPType.FP64.max == pytest.approx(1.7976931348623157e308)
+        assert FPType.FP32.smallest_normal == pytest.approx(1.1754944e-38)
+
+
+# -------------------------------------------------------------------- bits
+class TestBits:
+    @given(finite_doubles)
+    def test_float64_roundtrip(self, x):
+        assert bits_to_float(float_to_bits(x)) == x
+
+    def test_known_patterns(self):
+        assert float_to_bits(0.0) == 0
+        assert float_to_bits(-0.0) == 1 << 63
+        assert float_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_float32_roundtrip(self):
+        for x in (0.0, 1.5, -2.25, 3.4e38):
+            assert float(bits_to_float32(float32_to_bits(x))) == float(np.float32(x))
+
+    def test_is_negative_on_zeros_and_nans(self):
+        assert is_negative(-0.0) and not is_negative(0.0)
+        assert is_negative(float.fromhex("-nan") if False else -math.nan)
+        assert not is_negative(math.nan)
+
+    def test_field_split_roundtrip(self):
+        for x in (1.0, -2.5, 5e-324, 1e308):
+            s, e, m = sign_exponent_mantissa(x)
+            assert compose_float(s, e, m) == x
+
+    def test_field_split_fp32(self):
+        s, e, m = sign_exponent_mantissa(-1.0, bits=32)
+        assert (s, e, m) == (1, 127, 0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            sign_exponent_mantissa(1.0, bits=16)
+
+
+# --------------------------------------------------------------------- ulp
+class TestUlp:
+    def test_adjacent_distance_one(self):
+        x = 1.0
+        y = float(np.nextafter(x, 2.0))
+        assert ulp_distance(x, y) == 1
+
+    def test_symmetric(self):
+        assert ulp_distance(1.0, 2.0) == ulp_distance(2.0, 1.0)
+
+    def test_zero_crossing(self):
+        # -0.0 and +0.0 coincide on the ordered line (numerically equal).
+        assert ulp_distance(-0.0, 0.0) == 0
+        # ...but the smallest negative and positive subnormals are 2 apart.
+        assert ulp_distance(-5e-324, 5e-324) == 2
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ulp_distance(math.nan, 1.0)
+
+    def test_fp32_distance(self):
+        x = np.float32(1.0)
+        y = np.nextafter(x, np.float32(2.0))
+        assert ulp_distance(float(x), float(y), FPType.FP32) == 1
+
+    @given(finite_doubles, st.integers(min_value=-4, max_value=4))
+    @settings(max_examples=200)
+    def test_nextafter_roundtrip(self, x, n):
+        stepped = float(nextafter_n(x, n))
+        if not math.isinf(stepped):
+            back = float(nextafter_n(stepped, -n))
+            if not math.isinf(back):
+                assert ulp_distance(back, x) == 0
+
+    def test_nextafter_saturates_at_inf(self):
+        assert float(nextafter_n(1.7976931348623157e308, 2)) == math.inf
+
+    def test_perturb_passes_nonfinite_through(self):
+        assert math.isnan(perturb_ulps(math.nan, 3))
+        assert perturb_ulps(math.inf, -1) == math.inf
+
+    def test_perturb_zero_is_subnormal_step(self):
+        assert perturb_ulps(0.0, 1) == 5e-324
+
+    def test_ulp_of_one(self):
+        assert ulp_of(1.0) == pytest.approx(2.220446049250313e-16)
+
+    def test_ulp_of_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            ulp_of(math.inf)
+
+
+# ---------------------------------------------------------------- classify
+class TestClassify:
+    @pytest.mark.parametrize("value,expected", [
+        (math.nan, OutcomeClass.NAN),
+        (-math.nan, OutcomeClass.NAN),
+        (math.inf, OutcomeClass.INF),
+        (-math.inf, OutcomeClass.INF),
+        (0.0, OutcomeClass.ZERO),
+        (-0.0, OutcomeClass.ZERO),
+        (1.5, OutcomeClass.NUMBER),
+        (5e-324, OutcomeClass.NUMBER),  # subnormals are Numbers (§IV-B)
+    ])
+    def test_classes(self, value, expected):
+        assert classify_value(value) is expected
+
+    def test_from_string(self):
+        assert OutcomeClass.from_string("nan") is OutcomeClass.NAN
+        assert OutcomeClass.from_string("Number") is OutcomeClass.NUMBER
+        with pytest.raises(ValueError):
+            OutcomeClass.from_string("weird")
+
+    def test_subnormal_detection_fp64(self):
+        assert is_subnormal(1e-310)
+        assert not is_subnormal(1e-300)
+        assert not is_subnormal(0.0)
+        assert not is_subnormal(math.nan)
+
+    def test_subnormal_detection_fp32(self):
+        assert is_subnormal(1e-40, FPType.FP32)
+        assert not is_subnormal(1e-30, FPType.FP32)
+
+    # -- the paper's exclusion rules (§IV-B) ----------------------------------
+    def test_sign_only_differences_excluded(self):
+        assert outcomes_equivalent(math.nan, -math.nan)
+        assert outcomes_equivalent(math.inf, -math.inf)
+        assert outcomes_equivalent(0.0, -0.0)
+
+    def test_cross_class_is_discrepancy(self):
+        assert not outcomes_equivalent(math.nan, math.inf)
+        assert not outcomes_equivalent(math.inf, 0.0)
+        assert not outcomes_equivalent(0.0, 1.0)
+
+    def test_num_num_compares_by_value(self):
+        assert outcomes_equivalent(1.5, 1.5)
+        assert not outcomes_equivalent(1.5, float(np.nextafter(1.5, 2.0)))
+
+    @given(finite_doubles)
+    def test_equivalence_reflexive(self, x):
+        assert outcomes_equivalent(x, x)
+
+
+# --------------------------------------------------------------------- env
+class TestFPExceptionFlags:
+    def test_events_accumulate(self):
+        f = FPExceptionFlags()
+        f.raise_event("overflow")
+        f.raise_event("overflow")
+        assert f.overflow == 2
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            FPExceptionFlags().raise_event("bogus")
+
+    def test_inexact_not_interesting(self):
+        f = FPExceptionFlags()
+        f.raise_event("inexact")
+        assert not f.any_raised()  # §II-B1: Inexact is of no interest
+
+    def test_merge(self):
+        a, b = FPExceptionFlags(), FPExceptionFlags()
+        a.raise_event("invalid")
+        b.raise_event("invalid")
+        a.merge(b)
+        assert a.invalid == 2
+
+    def test_reset(self):
+        f = FPExceptionFlags()
+        f.raise_event("underflow")
+        f.reset()
+        assert f.as_dict() == {k: 0 for k in FPExceptionFlags.EVENTS}
+
+
+class TestFPEnv:
+    def test_no_flush_by_default(self):
+        env = FPEnv()
+        assert float(env.flush_output(np.float64(1e-310))) == 1e-310
+
+    def test_output_flush(self):
+        env = FPEnv(flush=FlushMode.FLUSH_OUTPUTS)
+        assert float(env.flush_output(np.float64(1e-310))) == 0.0
+        assert env.flags.underflow == 1
+
+    def test_output_flush_preserves_sign(self):
+        env = FPEnv(flush=FlushMode.FLUSH_OUTPUTS)
+        flushed = float(env.flush_output(np.float64(-1e-310)))
+        assert flushed == 0.0 and math.copysign(1.0, flushed) < 0
+
+    def test_input_flush_only_in_full_mode(self):
+        out_only = FPEnv(flush=FlushMode.FLUSH_OUTPUTS)
+        full = FPEnv(flush=FlushMode.FLUSH_INPUTS_OUTPUTS)
+        assert float(out_only.flush_input(np.float64(1e-310))) == 1e-310
+        assert float(full.flush_input(np.float64(1e-310))) == 0.0
+
+    def test_observe_invalid(self):
+        env = FPEnv()
+        env.observe_result(math.nan, 1.0, 2.0)
+        assert env.flags.invalid == 1
+
+    def test_nan_propagation_not_invalid(self):
+        env = FPEnv()
+        env.observe_result(math.nan, math.nan, 2.0)
+        assert env.flags.invalid == 0
+
+    def test_observe_overflow(self):
+        env = FPEnv()
+        env.observe_result(math.inf, 1e308, 1e308)
+        assert env.flags.overflow == 1
+
+    def test_observe_division_by_zero(self):
+        env = FPEnv()
+        env.observe_division(math.inf, 1.0, 0.0)
+        assert env.flags.divide_by_zero == 1
+        assert env.flags.overflow == 0
+
+    def test_observe_underflow(self):
+        env = FPEnv()
+        env.observe_result(1e-320, 1e-160, 1e-160)
+        assert env.flags.underflow == 1
+
+    def test_fp32_environment_casts(self):
+        env = FPEnv(fptype=FPType.FP32)
+        assert env.cast(1e-50) == 0.0  # below fp32 range
+
+
+# ---------------------------------------------------------------- literals
+class TestVarityLiterals:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, "+0.0"),
+        (-0.0, "-0.0"),
+        (1.3305e12, "+1.3305E12"),
+        (-1.7744e-2, "-1.7744E-2"),
+        (1.5793e-307, "+1.5793E-307"),
+        (5.0, "+5.0000"),
+    ])
+    def test_fp64_format(self, value, expected):
+        assert format_varity_literal(value) == expected
+
+    def test_fp32_suffix(self):
+        assert format_varity_literal(1.5, FPType.FP32).endswith("F")
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            format_varity_literal(math.inf)
+        with pytest.raises(ValueError):
+            format_varity_literal(math.nan)
+
+    def test_parse_fp64(self):
+        assert float(parse_varity_literal("+1.5793E-307")) == 1.5793e-307
+        assert float(parse_varity_literal("-0.0")) == 0.0
+        assert is_negative(float(parse_varity_literal("-0.0")))
+
+    def test_parse_fp32(self):
+        v = parse_varity_literal("+1.5000E0F", FPType.FP32)
+        assert v.dtype == np.float32 and float(v) == 1.5
+
+    def test_formats_match_regex(self):
+        for v in (1.2345e-200, -9.9999e305, 0.5, -3.0):
+            assert VARITY_LITERAL_RE.fullmatch(format_varity_literal(v))
+
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    @settings(max_examples=200)
+    def test_text_value_consistency(self, x):
+        """Formatting then parsing stays within the 4-digit rounding."""
+        text = format_varity_literal(x)
+        reparsed = float(parse_varity_literal(text))
+        assert reparsed == pytest.approx(x, rel=1e-3)
+
+    @given(st.floats(min_value=-1e306, max_value=1e306))
+    @settings(max_examples=200)
+    def test_parse_format_roundtrip_stable(self, x):
+        """parse(format(x)) is a fixed point of format∘parse."""
+        text = format_varity_literal(x)
+        value = float(parse_varity_literal(text))
+        assert format_varity_literal(value) == text

@@ -1,0 +1,60 @@
+"""Tests for the per-function disagreement sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.function_sweep import (
+    FunctionSweepResult,
+    sweep_all,
+    sweep_function,
+    sweep_table,
+)
+from repro.devices.mathlib.base import EXACT_FUNCTIONS
+from repro.fp.types import FPType
+
+
+class TestSweep:
+    def test_exact_functions_never_disagree(self):
+        for func in sorted(EXACT_FUNCTIONS):
+            r = sweep_function(func, points_per_range=20)
+            assert r.n_disagreements == 0
+
+    def test_fmod_diverges_on_extreme_mixes(self):
+        r = sweep_function("fmod", points_per_range=30)
+        assert r.n_disagreements > 0
+
+    def test_ceil_class_changes(self):
+        r = sweep_function("ceil", points_per_range=30)
+        assert r.n_class_changes > 0  # the 0-vs-1 quirk is Zero-vs-Num
+
+    def test_transcendental_rates_sparse(self):
+        r = sweep_function("cos", points_per_range=50)
+        assert 0.0 < r.disagreement_rate < 0.25
+        assert r.max_ulps <= 2
+
+    def test_fp32_sweep_runs(self):
+        r = sweep_function("exp", FPType.FP32, points_per_range=20)
+        assert r.n_points > 0
+
+    def test_deterministic(self):
+        a = sweep_function("sin", points_per_range=25)
+        b = sweep_function("sin", points_per_range=25)
+        assert a == b
+
+    def test_sweep_all_covers_everything(self):
+        results = sweep_all(points_per_range=10)
+        from repro.devices.mathlib.base import SUPPORTED_FUNCTIONS
+
+        assert {r.func for r in results} == set(SUPPORTED_FUNCTIONS)
+
+    def test_table_sorted_by_rate(self):
+        results = sweep_all(points_per_range=10)
+        text = sweep_table(results).render()
+        lines = [l for l in text.splitlines() if l and l[0].isalpha() and not l.startswith("Function")]
+        # exact functions (0%) render at the bottom
+        assert any(lines[-1].startswith(f) for f in ("fabs", "floor", "sqrt", "trunc", "fmin", "fmax"))
+
+    def test_subset_selection(self):
+        results = sweep_all(functions=["cos", "fmod"], points_per_range=10)
+        assert [r.func for r in results] == ["cos", "fmod"]

@@ -1,0 +1,300 @@
+"""Tests for the differential-testing harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.compilers.options import OptLevel, OptSetting, PAPER_OPT_SETTINGS
+from repro.errors import HarnessError, MetadataError
+from repro.fp.classify import OutcomeClass
+from repro.fp.types import FPType
+from repro.harness.campaign import ArmResult, CampaignConfig, run_campaign
+from repro.harness.differential import (
+    DISCREPANCY_CLASS_ORDER,
+    Discrepancy,
+    DiscrepancyClass,
+    classify_pair,
+    compare_runs,
+)
+from repro.harness.metadata import CampaignMetadata, RunStore
+from repro.harness.outcomes import RunRecord
+from repro.harness.runner import DifferentialRunner
+from repro.harness.transfer import (
+    SYSTEM1,
+    SYSTEM2,
+    between_platform_campaign,
+    collect_discrepancies,
+    run_system1,
+    run_system2,
+)
+from repro.varity.config import GeneratorConfig
+from repro.varity.corpus import build_corpus
+
+O0 = OptSetting(OptLevel.O0)
+
+
+def _record(value: float, compiler: str = "nvcc", printed=None) -> RunRecord:
+    return RunRecord(
+        test_id="t", input_index=0, opt_label="O0", compiler=compiler,
+        printed=printed if printed is not None else repr(value), value=value,
+    )
+
+
+# ------------------------------------------------------------ differential
+class TestClassifyPair:
+    @pytest.mark.parametrize("a,b,expected", [
+        (math.nan, math.inf, DiscrepancyClass.NAN_INF),
+        (math.nan, 0.0, DiscrepancyClass.NAN_ZERO),
+        (math.nan, 1.5, DiscrepancyClass.NAN_NUM),
+        (math.inf, 0.0, DiscrepancyClass.INF_ZERO),
+        (-math.inf, 2.0, DiscrepancyClass.INF_NUM),
+        (3.0, 0.0, DiscrepancyClass.NUM_ZERO),
+        (3.0, 3.0000001, DiscrepancyClass.NUM_NUM),
+    ])
+    def test_classes(self, a, b, expected):
+        assert classify_pair(a, b) is expected
+        assert classify_pair(b, a) is expected  # class is unordered
+
+    @pytest.mark.parametrize("a,b", [
+        (math.nan, -math.nan),
+        (math.inf, -math.inf),
+        (0.0, -0.0),
+        (1.5, 1.5),
+    ])
+    def test_equivalent_pairs_are_none(self, a, b):
+        assert classify_pair(a, b) is None
+
+    def test_class_order_matches_paper_columns(self):
+        assert [c.value for c in DISCREPANCY_CLASS_ORDER] == [
+            "NaN, Inf", "NaN, Zero", "NaN, Num", "Inf, Zero",
+            "Inf, Num", "Num, Zero", "Num, Num",
+        ]
+
+
+class TestDiscrepancyRecords:
+    def test_from_records(self):
+        d = Discrepancy.from_records(_record(1.0), _record(2.0, "hipcc"))
+        assert d is not None and d.dclass is DiscrepancyClass.NUM_NUM
+        assert d.nvcc_outcome is OutcomeClass.NUMBER
+
+    def test_equivalent_records_give_none(self):
+        assert Discrepancy.from_records(_record(1.0), _record(1.0, "hipcc")) is None
+
+    def test_mismatched_keys_rejected(self):
+        other = RunRecord("u", 0, "O0", "hipcc", "1.0", 1.0)
+        with pytest.raises(ValueError):
+            Discrepancy.from_records(_record(1.0), other)
+
+    def test_compare_runs_joins(self):
+        nv = [_record(1.0), RunRecord("t", 1, "O0", "nvcc", "inf", math.inf)]
+        hip = [_record(1.0, "hipcc"), RunRecord("t", 1, "O0", "hipcc", "5", 5.0)]
+        out = compare_runs(nv, hip)
+        assert len(out) == 1 and out[0].dclass is DiscrepancyClass.INF_NUM
+
+    def test_compare_runs_missing_pair_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs([_record(1.0)], [])
+
+    def test_json_dict(self):
+        d = Discrepancy.from_records(_record(1.0), _record(2.0, "hipcc"))
+        data = d.to_json_dict()
+        assert data["class"] == "Num, Num" and data["test_id"] == "t"
+
+
+# ------------------------------------------------------------------ runner
+class TestDifferentialRunner:
+    def test_run_pair_counts(self, runner, small_fp64_corpus):
+        pair = runner.run_pair(small_fp64_corpus.tests[0], O0)
+        n = len(small_fp64_corpus.tests[0].inputs)
+        assert len(pair.nvcc_runs) == len(pair.hipcc_runs) == n - len(pair.skipped_inputs)
+
+    def test_records_carry_identity(self, runner, small_fp64_corpus):
+        t = small_fp64_corpus.tests[1]
+        pair = runner.run_pair(t, O0)
+        for r in pair.nvcc_runs:
+            assert r.test_id == t.test_id and r.compiler == "nvcc" and r.opt_label == "O0"
+
+    def test_printed_parses_back(self, runner, small_fp64_corpus):
+        pair = runner.run_pair(small_fp64_corpus.tests[2], O0)
+        for r in pair.nvcc_runs + pair.hipcc_runs:
+            v = float(r.printed)
+            assert v == r.value or (math.isnan(v) and math.isnan(r.value))
+
+    def test_flags_recording_optional(self, small_fp64_corpus):
+        plain = DifferentialRunner()
+        rec = DifferentialRunner(record_flags=True)
+        t = small_fp64_corpus.tests[0]
+        assert plain.run_pair(t, O0).nvcc_runs[0].flags is None
+        assert rec.run_pair(t, O0).nvcc_runs[0].flags is not None
+
+    def test_run_single_traces(self, runner, small_fp64_corpus):
+        rn, ra, ck_nv, ck_amd = runner.run_single(small_fp64_corpus.tests[0], O0, 0, trace=True)
+        assert ck_nv.vendor.value == "nvidia" and ck_amd.vendor.value == "amd"
+        # O0 compiles are untransformed → statement-aligned traces.
+        assert [e.path for e in rn.trace] == [e.path for e in ra.trace]
+
+
+# ---------------------------------------------------------------- campaign
+class TestCampaign:
+    def test_tiny_campaign_accounting(self):
+        config = CampaignConfig.tiny(seed=11)
+        result = run_campaign(config)
+        assert set(result.arms) == {"fp64", "fp64_hipify", "fp32"}
+        fp64 = result.arms["fp64"]
+        assert fp64.n_programs == config.n_programs_fp64
+        assert fp64.runs_per_option == 2 * fp64.runs_per_option_per_compiler
+        assert fp64.total_runs == fp64.runs_per_option * 5
+        assert result.total_runs == sum(a.total_runs for a in result.arms.values())
+
+    def test_campaign_deterministic(self):
+        config = CampaignConfig(
+            seed=5, n_programs_fp64=10, n_programs_fp32=6, inputs_per_program=2
+        )
+        a = run_campaign(config)
+        b = run_campaign(config)
+        for arm in a.arms:
+            da = [(d.test_id, d.input_index, d.opt_label, d.dclass) for d in a.arms[arm].discrepancies]
+            db = [(d.test_id, d.input_index, d.opt_label, d.dclass) for d in b.arms[arm].discrepancies]
+            assert da == db
+
+    def test_hipify_arm_shares_tests_with_fp64(self):
+        config = CampaignConfig(
+            seed=5, n_programs_fp64=8, n_programs_fp32=4, inputs_per_program=2
+        )
+        result = run_campaign(config)
+        # arm accounting identical: same programs, same inputs
+        assert (
+            result.arms["fp64"].runs_per_option_per_compiler
+            == result.arms["fp64_hipify"].runs_per_option_per_compiler
+        )
+
+    def test_arms_can_be_disabled(self):
+        config = CampaignConfig(
+            seed=5, n_programs_fp64=5, inputs_per_program=2,
+            include_hipify=False, include_fp32=False,
+        )
+        result = run_campaign(config)
+        assert set(result.arms) == {"fp64"}
+
+    def test_parallel_matches_serial(self):
+        serial = CampaignConfig(
+            seed=9, n_programs_fp64=16, inputs_per_program=2,
+            include_hipify=False, include_fp32=False, workers=0,
+        )
+        parallel = CampaignConfig(
+            seed=9, n_programs_fp64=16, inputs_per_program=2,
+            include_hipify=False, include_fp32=False, workers=2,
+        )
+        ra = run_campaign(serial)
+        rb = run_campaign(parallel)
+        key = lambda d: (d.test_id, d.input_index, d.opt_label, d.dclass.value)
+        assert sorted(map(key, ra.arms["fp64"].discrepancies)) == sorted(
+            map(key, rb.arms["fp64"].discrepancies)
+        )
+        assert ra.arms["fp64"].total_runs == rb.arms["fp64"].total_runs
+
+    def test_arm_result_merge_guard(self):
+        a = ArmResult("fp64", 1, 5, ("O0",))
+        b = ArmResult("fp32", 1, 5, ("O0",))
+        with pytest.raises(HarnessError):
+            a.merge(b)
+
+    def test_paper_scale_config_numbers(self):
+        cfg = CampaignConfig.paper_scale()
+        assert cfg.n_programs_fp64 == 3540
+        assert cfg.n_programs_fp32 == 2840
+        # Paper: 652,600 runs with 6.99 (FP64) / 5.55 (FP32) inputs per
+        # program; our uniform 7 inputs gives 694,400 — within ~7%.
+        total = 2 * (2 * 3540 + 2840) * cfg.inputs_per_program * 5
+        assert total == 694400
+        assert abs(total - 652600) / 652600 < 0.07
+
+
+# ---------------------------------------------------------------- metadata
+class TestMetadata:
+    def test_runstore_roundtrip(self):
+        store = RunStore()
+        store.record_printed("O0", "prog-1", 0, "1.5")
+        store.record_printed("O3_FM", "prog-2", 3, "-nan")
+        rebuilt = RunStore.from_json_dict(store.to_json_dict())
+        assert rebuilt.get("O0", "prog-1", 0) == "1.5"
+        assert rebuilt.get("O3_FM", "prog-2", 3) == "-nan"
+        assert len(rebuilt) == 2
+
+    def test_runstore_bad_key_rejected(self):
+        with pytest.raises(MetadataError):
+            RunStore.from_json_dict({"no-separators": "1.0"})
+
+    def test_metadata_save_load(self, tmp_path):
+        cfg = GeneratorConfig.fp64(inputs_per_program=2)
+        corpus = build_corpus(cfg, 4, root_seed=77)
+        meta = CampaignMetadata.from_corpus(corpus, ["O0", "O1"])
+        meta.register_system("sys", compiler="nvcc", device="v100", flags=["-O0"])
+        meta.store_for("sys").record_printed("O0", corpus.tests[0].test_id, 0, "3.25")
+        path = tmp_path / "meta.json"
+        meta.save(path)
+        loaded = CampaignMetadata.load(path)
+        assert loaded.fptype is FPType.FP64
+        assert loaded.opt_labels == ("O0", "O1")
+        assert loaded.store_for("sys").get("O0", corpus.tests[0].test_id, 0) == "3.25"
+
+    def test_rebuild_tests_bit_identical(self, tmp_path):
+        cfg = GeneratorConfig.fp64(inputs_per_program=2)
+        corpus = build_corpus(cfg, 5, root_seed=31)
+        meta = CampaignMetadata.from_corpus(corpus, ["O0"])
+        meta.save(tmp_path / "m.json")
+        rebuilt = CampaignMetadata.load(tmp_path / "m.json").rebuild_tests()
+        for orig, new in zip(corpus, rebuilt):
+            assert new.program.kernel == orig.program.kernel
+            assert new.inputs == orig.inputs
+
+    def test_unknown_system_rejected(self):
+        cfg = GeneratorConfig.fp64(inputs_per_program=1)
+        meta = CampaignMetadata.from_corpus(build_corpus(cfg, 1, 1), ["O0"])
+        with pytest.raises(MetadataError):
+            meta.store_for("ghost")
+
+
+# ---------------------------------------------------------------- transfer
+class TestBetweenPlatform:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        cfg = GeneratorConfig.fp64(inputs_per_program=2)
+        return build_corpus(cfg, 10, root_seed=2024)
+
+    def test_full_round_trip(self, corpus, tmp_path):
+        meta, discrepancies = between_platform_campaign(
+            corpus, tmp_path, opts=[OptSetting(OptLevel.O0), OptSetting(OptLevel.O3)]
+        )
+        assert (tmp_path / "metadata.system1.json").exists()
+        assert (tmp_path / "metadata.merged.json").exists()
+        assert SYSTEM1 in meta.systems and SYSTEM2 in meta.systems
+        # both systems produced a result for every (opt, test, input)
+        assert len(meta.store_for(SYSTEM1)) == len(meta.store_for(SYSTEM2))
+
+    def test_matches_in_process_runner(self, corpus, tmp_path, runner):
+        """The Fig. 3 file workflow finds exactly the discrepancies the
+        in-process differential runner finds."""
+        opts = [OptSetting(OptLevel.O0)]
+        _, via_files = between_platform_campaign(corpus, tmp_path, opts=opts)
+        direct = []
+        for t in corpus:
+            direct.extend(runner.run_pair(t, opts[0]).discrepancies)
+        key = lambda d: (d.test_id, d.input_index, d.opt_label, d.dclass.value)
+        assert sorted(map(key, via_files)) == sorted(map(key, direct))
+
+    def test_grid_mismatch_rejected(self, corpus, tmp_path):
+        run_system1(corpus, tmp_path / "m1.json", opts=[OptSetting(OptLevel.O0)])
+        with pytest.raises(MetadataError):
+            run_system2(
+                tmp_path / "m1.json",
+                tmp_path / "m2.json",
+                opts=[OptSetting(OptLevel.O3)],
+            )
+
+    def test_collect_requires_both_systems(self, corpus, tmp_path):
+        meta = run_system1(corpus, tmp_path / "solo.json", opts=[OptSetting(OptLevel.O0)])
+        with pytest.raises(MetadataError):
+            collect_discrepancies(meta)

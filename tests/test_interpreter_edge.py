@@ -1,0 +1,229 @@
+"""Edge-case tests for the interpreter and printf model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.interpreter import ExecOptions, Interpreter, format_printf_g17
+from repro.devices.mathlib.reference import ReferenceMath
+from repro.devices.mathlib.libdevice import LibdeviceMath
+from repro.devices.mathlib.ocml import OcmlMath
+from repro.errors import ExecutionError
+from repro.fp.types import FPType
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Call, Compare, IntConst, UnOp, VarRef
+
+
+def run64(body_builder, inputs, mathlib=None, **opts):
+    b = IRBuilder(FPType.FP64)
+    kernel = body_builder(b)
+    return Interpreter(mathlib or ReferenceMath()).run(kernel, inputs, ExecOptions(**opts))
+
+
+class TestPrintfModel:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, "0"),
+        (-0.0, "-0"),
+        (1.0, "1"),
+        (0.1, "0.10000000000000001"),
+        (1.34887e-306, "1.34887e-306"),
+        (math.inf, "inf"),
+        (-math.inf, "-inf"),
+        (math.nan, "nan"),
+        (-math.nan, "-nan"),
+        (1e22, "1e+22"),
+        (5e-324, "4.9406564584124654e-324"),
+    ])
+    def test_known_renderings(self, value, expected):
+        assert format_printf_g17(value) == expected
+
+    def test_g17_roundtrips_doubles(self):
+        for v in (1/3, 2**-1074, 1.7976931348623157e308, 0.30000000000000004):
+            assert float(format_printf_g17(v)) == v
+
+    def test_fp32_values_print_as_promoted_doubles(self):
+        # printf promotes float to double: %.17g of float32(0.1).
+        v = float(np.float32(0.1))
+        assert format_printf_g17(v) == "0.10000000149011612"
+
+
+class TestInterpreterEdges:
+    def test_unary_plus_is_identity(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "+", UnOp("+", b.lit(2.0)))],
+            )
+
+        assert run64(k, [1.0]).value == 3.0
+
+    def test_negation_of_nan_keeps_nan(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "+", b.neg(b.div(b.raw_lit("+0.0", 0.0), b.raw_lit("+0.0", 0.0))))],
+            )
+
+        assert math.isnan(run64(k, [0.0]).value)
+
+    def test_compare_used_as_value(self):
+        # C semantics: a boolean expression in arithmetic context is 0/1.
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "+", Compare("<", b.lit(1.0), b.lit(2.0)))],
+            )
+
+        assert run64(k, [0.0]).value == 1.0
+
+    def test_array_index_wraps_at_extent(self):
+        # The model's allocation guard: indexes reduce modulo the extent
+        # rather than faulting (generated tests never index past var_1).
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp"), b.aparam("var_2")],
+                [b.aug("comp", "+", b.idx("var_2", IntConst(1000)))],
+            )
+
+        assert run64(k, [0.0, 7.0]).value == 7.0
+
+    def test_negative_loop_bound_runs_zero_times(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp"), b.iparam("var_1")],
+                [b.loop("i", "var_1", [b.aug("comp", "+", b.lit(1.0))])],
+            )
+
+        assert run64(k, [5.0, -3]).value == 5.0
+
+    def test_int_division_truncates_toward_zero(self):
+        from repro.ir.nodes import BinOp
+
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp"), b.aparam("var_2")],
+                [
+                    b.aug(
+                        "comp",
+                        "+",
+                        b.idx("var_2", BinOp("/", UnOp("-", IntConst(7)), IntConst(2))),
+                    )
+                ],
+            )
+
+        # -7/2 in C is -3; index -3 wraps modulo the extent (32) to 29.
+        result = run64(k, [0.0, 2.5])
+        assert result.value == 2.5
+
+    def test_decl_reinitializes_each_iteration(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp"), b.iparam("var_1")],
+                [
+                    b.loop(
+                        "i",
+                        "var_1",
+                        [
+                            b.decl("tmp_1", b.add("comp", b.lit(1.0))),
+                            b.assign("comp", b.var("tmp_1")),
+                        ],
+                    )
+                ],
+            )
+
+        # But statically tmp_1 is declared once; our validator sees the
+        # loop body once, and re-execution re-evaluates the initializer.
+        assert run64(k, [0.0, 4]).value == 4.0
+
+    def test_comp_can_be_multiplied(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "*", b.lit(3.0))],
+            )
+
+        assert run64(k, [2.0]).value == 6.0
+
+    def test_signed_zero_propagates(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "*", b.raw_lit("-1.0000", -1.0))],
+            )
+
+        r = run64(k, [0.0])
+        assert r.value == 0.0 and math.copysign(1.0, r.value) < 0
+        assert r.printed == "-0"
+
+    def test_unknown_call_raises_execution_error(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "+", Call("bogus", [VarRef("comp")]))],
+            )
+
+        with pytest.raises((ExecutionError, KeyError)):
+            run64(k, [1.0])
+
+    def test_steps_counted(self):
+        def k(b):
+            return b.kernel(
+                [b.fparam("comp")],
+                [b.aug("comp", "+", b.lit(1.0))],
+            )
+
+        assert run64(k, [0.0]).steps > 0
+
+
+class TestVariantRouting:
+    """Call.variant reaches the vendor library unchanged."""
+
+    def _kernel(self, variant):
+        b = IRBuilder(FPType.FP32)
+        return b.kernel(
+            [b.fparam("comp")],
+            [b.aug("comp", "+", Call("cos", [VarRef("comp")], variant=variant))],
+        )
+
+    def test_default_vs_approx_differ_somewhere(self):
+        lib = LibdeviceMath()
+        diffs = 0
+        for i in range(100):
+            x = 0.5 + i * 0.01
+            d = Interpreter(lib).run(self._kernel("default"), [x], ExecOptions())
+            a = Interpreter(lib).run(self._kernel("approx"), [x], ExecOptions())
+            diffs += d.printed != a.printed
+        assert diffs > 20
+
+    def test_hipify_variant_handled_by_ocml(self):
+        lib = OcmlMath()
+        # hipify variant is only *extra* for wrapped functions; cos is not
+        # wrapped, so results must match default exactly.
+        for i in range(50):
+            x = 0.5 + i * 0.01
+            d = Interpreter(lib).run(self._kernel("default"), [x], ExecOptions())
+            h = Interpreter(lib).run(self._kernel("hipify"), [x], ExecOptions())
+            assert d.printed == h.printed
+
+
+class TestCostModelVendorDifference:
+    def test_amd_calls_cost_more(self):
+        from repro.devices.amd import amd_mi250x
+        from repro.devices.nvidia import nvidia_v100
+        from repro.compilers.nvcc import NvccCompiler
+        from repro.compilers.hipcc import HipccCompiler
+        from repro.compilers.options import OptLevel, OptSetting
+
+        b = IRBuilder(FPType.FP64)
+        k = b.kernel(
+            [b.fparam("comp"), b.iparam("var_1")],
+            [b.loop("i", "var_1", [b.aug("comp", "+", b.call("cos", "comp"))])],
+        )
+        p = b.program(k)
+        opt = OptSetting(OptLevel.O0)
+        rn = nvidia_v100().execute(NvccCompiler().compile(p, opt), [0.0, 10])
+        ra = amd_mi250x().execute(HipccCompiler().compile(p, opt), [0.0, 10])
+        assert ra.cost_cycles > rn.cost_cycles

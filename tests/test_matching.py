@@ -1,0 +1,49 @@
+"""Tests for extension-based compiler matching (§III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compilers.hipcc import HipccCompiler
+from repro.compilers.nvcc import NvccCompiler
+from repro.devices.vendor import Vendor
+from repro.errors import HarnessError
+from repro.harness.matching import match_compiler, match_device
+
+
+class TestMatching:
+    def test_cu_matches_nvcc(self):
+        assert isinstance(match_compiler("test-1.cu"), NvccCompiler)
+
+    def test_hip_matches_hipcc(self):
+        assert isinstance(match_compiler("/some/dir/test-1.hip"), HipccCompiler)
+
+    def test_case_insensitive(self):
+        assert isinstance(match_compiler("T.CU"), NvccCompiler)
+
+    def test_unknown_extension_rejected(self):
+        with pytest.raises(HarnessError):
+            match_compiler("test.cpp")
+
+    def test_devices_match_vendors(self):
+        assert match_device("x.cu").vendor is Vendor.NVIDIA
+        assert match_device("x.hip").vendor is Vendor.AMD
+        with pytest.raises(HarnessError):
+            match_device("x.f90")
+
+    def test_matched_pair_runs_a_written_test(self, tmp_path, small_fp64_corpus):
+        """End-to-end: write a test to disk, dispatch on its extensions,
+        rebuild + run on the matched stacks."""
+        from repro.compilers.options import OptLevel, OptSetting
+        from repro.varity.writer import write_test
+
+        test = small_fp64_corpus.tests[0]
+        written = write_test(test, tmp_path)
+        opt = OptSetting(OptLevel.O0)
+        results = {}
+        for path in (written.cuda_path, written.hip_path):
+            compiler = match_compiler(path)
+            device = match_device(path)
+            compiled = compiler.compile(test.program, opt)
+            results[path.suffix] = device.execute(compiled, test.inputs[0].values)
+        assert set(results) == {".cu", ".hip"}

@@ -1,0 +1,263 @@
+"""Tests for the Varity-style generator (repro.varity)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.fp.classify import classify_value
+from repro.fp.types import FPType
+from repro.ir.metrics import aggregate_metrics, compute_metrics
+from repro.ir.nodes import Call
+from repro.ir.types import IRType
+from repro.ir.validate import validate_kernel
+from repro.ir.visitor import collect, walk
+from repro.varity.config import GeneratorConfig, InputClassWeights
+from repro.varity.corpus import build_corpus, build_corpus_slice, regenerate_test
+from repro.varity.generator import ProgramGenerator
+from repro.varity.grammar import GrammarWeights
+from repro.varity.inputs import InputGenerator, InputVector
+from repro.varity.testcase import TestCase
+
+
+# ------------------------------------------------------------------ config
+class TestConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig().validate()
+
+    def test_fp32_preset(self):
+        assert GeneratorConfig.fp32().fptype is FPType.FP32
+
+    def test_bad_param_range_rejected(self):
+        cfg = GeneratorConfig(min_float_params=5, max_float_params=2)
+        with pytest.raises(GrammarError):
+            cfg.validate()
+
+    def test_bad_probability_rejected(self):
+        cfg = GeneratorConfig(p_array_param=1.5)
+        with pytest.raises(GrammarError):
+            cfg.validate()
+
+    def test_input_weights_validate(self):
+        w = InputClassWeights(zero=-1.0)
+        with pytest.raises(GrammarError):
+            w.validate()
+
+    def test_exponent_ranges_known_classes(self):
+        cfg = GeneratorConfig.fp64()
+        lo, hi = cfg.exponent_range("subnormal")
+        assert lo < hi < -300  # below the FP64 normal range
+
+    def test_exponent_range_unknown_class(self):
+        with pytest.raises(GrammarError):
+            GeneratorConfig().exponent_range("bogus")
+
+    def test_fp32_literals_stay_finite(self):
+        cfg = GeneratorConfig.fp32()
+        lo, hi = cfg.literal_exponent_range
+        assert 10.0**hi < 3.4e38
+
+    def test_grammar_weight_validation(self):
+        g = GrammarWeights()
+        g.p_loop = 1.7
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+# --------------------------------------------------------------- generator
+class TestGenerator:
+    def test_deterministic(self):
+        gen = ProgramGenerator(GeneratorConfig.fp64())
+        a = gen.generate(seed=99)
+        b = gen.generate(seed=99)
+        assert a.kernel == b.kernel
+
+    def test_different_seeds_differ(self):
+        gen = ProgramGenerator(GeneratorConfig.fp64())
+        assert gen.generate(1).kernel != gen.generate(2).kernel
+
+    def test_signature_shape(self):
+        p = ProgramGenerator(GeneratorConfig.fp64()).generate(5)
+        params = p.kernel.params
+        assert params[0].name == "comp" and params[0].type is IRType.FLOAT
+        assert params[1].name == "var_1" and params[1].type is IRType.INT
+        assert all(q.name.startswith("var_") for q in params[1:])
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_always_valid(self, seed):
+        p = ProgramGenerator(GeneratorConfig.fp64()).generate(seed)
+        assert validate_kernel(p.kernel) == []
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_fp32_always_valid(self, seed):
+        p = ProgramGenerator(GeneratorConfig.fp32()).generate(seed)
+        assert validate_kernel(p.kernel) == []
+        assert p.fptype is FPType.FP32
+
+    def test_generated_calls_are_supported(self):
+        from repro.devices.mathlib.base import SUPPORTED_FUNCTIONS
+
+        for seed in range(25):
+            p = ProgramGenerator(GeneratorConfig.fp64()).generate(seed)
+            for stmt in p.kernel.body:
+                for node in walk(stmt):
+                    if isinstance(node, Call):
+                        assert node.func in SUPPORTED_FUNCTIONS
+
+    def test_loop_depth_respects_limit(self):
+        cfg = GeneratorConfig.fp64(max_loop_depth=2)
+        for seed in range(25):
+            p = ProgramGenerator(cfg).generate(seed)
+            assert compute_metrics(p.kernel).max_loop_depth <= 2
+
+    def test_fp32_literals_carry_suffix(self):
+        from repro.ir.nodes import Const
+
+        p = ProgramGenerator(GeneratorConfig.fp32()).generate(3)
+        consts = [
+            n for stmt in p.kernel.body for n in walk(stmt) if isinstance(n, Const)
+        ]
+        assert consts, "expected at least one literal"
+        assert all(c.text.endswith("F") for c in consts if c.text)
+
+    def test_literal_text_matches_value(self):
+        from repro.ir.nodes import Const
+
+        for seed in range(10):
+            p = ProgramGenerator(GeneratorConfig.fp64()).generate(seed)
+            for stmt in p.kernel.body:
+                for n in walk(stmt):
+                    if isinstance(n, Const) and n.text:
+                        assert float(n.text) == n.value
+
+    def test_feature_coverage_across_corpus(self, small_fp64_corpus):
+        stats = aggregate_metrics(t.program for t in small_fp64_corpus)
+        # Table III grammar features all appear somewhere in a small corpus.
+        assert stats["frac_with_loops"] > 0.3
+        assert stats["frac_with_conditionals"] > 0.2
+        assert stats["frac_with_math_calls"] > 0.5
+        assert stats["frac_with_temporaries"] > 0.3
+
+    def test_generate_many_ids(self):
+        programs = ProgramGenerator(GeneratorConfig.fp64()).generate_many(7, 3)
+        assert [p.program_id for p in programs] == [
+            "prog-fp64-000000", "prog-fp64-000001", "prog-fp64-000002",
+        ]
+
+
+# ------------------------------------------------------------------ inputs
+class TestInputs:
+    def test_vector_alignment(self, small_fp64_corpus):
+        t = small_fp64_corpus.tests[0]
+        for vec in t.inputs:
+            assert len(vec.values) == len(t.program.kernel.params)
+
+    def test_int_param_gets_int(self, small_fp64_corpus):
+        for t in small_fp64_corpus:
+            for vec in t.inputs:
+                for value, param in zip(vec.values, t.program.kernel.params):
+                    if param.type is IRType.INT:
+                        assert isinstance(value, int)
+                    else:
+                        assert isinstance(value, float)
+
+    def test_deterministic(self, small_fp64_corpus):
+        cfg = GeneratorConfig.fp64()
+        gen = InputGenerator(cfg)
+        k = small_fp64_corpus.tests[0].program.kernel
+        assert gen.generate(k, 42).texts == gen.generate(k, 42).texts
+
+    def test_inputs_are_finite(self, small_fp64_corpus, small_fp32_corpus):
+        for corpus in (small_fp64_corpus, small_fp32_corpus):
+            for t in corpus:
+                for vec in t.inputs:
+                    for v, p in zip(vec.values, t.program.kernel.params):
+                        if p.type is not IRType.INT:
+                            assert math.isfinite(v)
+
+    def test_loop_bounds_in_range(self, small_fp64_corpus):
+        cfg = small_fp64_corpus.config
+        for t in small_fp64_corpus:
+            for vec in t.inputs:
+                for v, p in zip(vec.values, t.program.kernel.params):
+                    if p.type is IRType.INT:
+                        assert cfg.min_loop_bound <= v <= cfg.max_loop_bound
+
+    def test_from_texts_roundtrip(self, small_fp64_corpus):
+        t = small_fp64_corpus.tests[0]
+        vec = t.inputs[0]
+        rebuilt = InputVector.from_texts(vec.texts, t.program.kernel)
+        assert rebuilt.values == vec.values
+
+    def test_from_texts_arity_checked(self, small_fp64_corpus):
+        t = small_fp64_corpus.tests[0]
+        with pytest.raises(ValueError):
+            InputVector.from_texts(["+0.0"], t.program.kernel)
+
+    def test_exceptional_classes_sampled(self):
+        """Across many draws, zeros, subnormals and huge values all appear."""
+        cfg = GeneratorConfig.fp64()
+        gen = InputGenerator(cfg)
+        k = ProgramGenerator(cfg).generate(0).kernel
+        values = []
+        for seed in range(120):
+            vec = gen.generate(k, seed)
+            values.extend(
+                v for v, p in zip(vec.values, k.params) if p.type is not IRType.INT
+            )
+        assert any(v == 0.0 for v in values)
+        assert any(0 < abs(v) < 2.3e-308 for v in values), "no subnormals sampled"
+        assert any(abs(v) > 1e300 for v in values), "no huge values sampled"
+
+    def test_line_format(self, small_fp64_corpus):
+        vec = small_fp64_corpus.tests[0].inputs[0]
+        assert vec.line == " ".join(vec.texts)
+
+
+# ------------------------------------------------------------------ corpus
+class TestCorpus:
+    def test_slices_compose(self):
+        cfg = GeneratorConfig.fp64(inputs_per_program=2)
+        full = build_corpus(cfg, 10, root_seed=5)
+        left = build_corpus_slice(cfg, 0, 5, root_seed=5)
+        right = build_corpus_slice(cfg, 5, 10, root_seed=5)
+        assert [t.test_id for t in left] + [t.test_id for t in right] == [
+            t.test_id for t in full
+        ]
+        assert left.tests[0].program.kernel == full.tests[0].program.kernel
+        assert right.tests[0].inputs == full.tests[5].inputs
+
+    def test_counts(self, small_fp64_corpus):
+        assert small_fp64_corpus.n_programs == 25
+        assert small_fp64_corpus.n_runs_per_option_per_compiler == 25 * 3
+
+    def test_hipified_twin(self, small_fp64_corpus):
+        twin = small_fp64_corpus.hipified()
+        assert all(t.program.via_hipify for t in twin)
+        assert [t.inputs for t in twin] == [t.inputs for t in small_fp64_corpus]
+
+    def test_regenerate_test_from_metadata(self, small_fp64_corpus):
+        t = small_fp64_corpus.tests[3]
+        meta = t.to_meta_dict()
+        rebuilt = regenerate_test(
+            small_fp64_corpus.config,
+            seed=meta["seed"],
+            test_id=meta["test_id"],
+            input_texts=meta["inputs"],
+        )
+        assert rebuilt.program.kernel == t.program.kernel
+        assert rebuilt.inputs == t.inputs
+
+    def test_testcase_requires_inputs(self, small_fp64_corpus):
+        with pytest.raises(ValueError):
+            TestCase(small_fp64_corpus.tests[0].program, [])
+
+    def test_testcase_checks_arity(self, small_fp64_corpus):
+        t0, t1 = small_fp64_corpus.tests[0], small_fp64_corpus.tests[1]
+        if len(t0.program.kernel.params) != len(t1.program.kernel.params):
+            with pytest.raises(ValueError):
+                TestCase(t0.program, t1.inputs)
