@@ -1,0 +1,77 @@
+"""Campaign-engine throughput: serial vs cross-arm-cached vs parallel.
+
+Tracks the perf trajectory of the engine's per-program execution plan:
+
+* ``standalone`` — every arm runs from scratch (the seed engine's
+  behavior: the fp64_hipify arm re-executes the whole nvcc/V100 half);
+* ``cached``     — fused fp64 + fp64_hipify arms, CUDA side replayed
+  from the keyed run cache (the default engine);
+* ``parallel``   — the cached engine on a process pool.
+
+All three modes must produce identical discrepancy sets; the cached and
+parallel modes must execute the hipify arm's nvcc side zero times.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.harness.campaign import CampaignConfig, run_campaign
+
+from conftest import emit
+
+
+def _engine_config(**overrides) -> CampaignConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    n = 16 if scale == "tiny" else 64
+    return CampaignConfig(
+        seed=2024,
+        n_programs_fp64=n,
+        inputs_per_program=3,
+        include_fp32=False,
+        **overrides,
+    )
+
+
+def _disc_keys(arm):
+    return sorted(
+        (d.test_id, d.input_index, d.opt_label, d.dclass.value)
+        for d in arm.discrepancies
+    )
+
+
+def test_campaign_engine_throughput(benchmark, results_dir):
+    standalone = run_campaign(_engine_config(reuse_nvcc_runs=False))
+    cached = benchmark.pedantic(
+        lambda: run_campaign(_engine_config()), rounds=1, iterations=1
+    )
+    workers = max(2, (os.cpu_count() or 2) - 1)
+    parallel = run_campaign(_engine_config(workers=workers))
+
+    # Correctness first: all three engines find the same discrepancies.
+    for name in standalone.arms:
+        assert _disc_keys(standalone.arms[name]) == _disc_keys(cached.arms[name])
+        assert _disc_keys(standalone.arms[name]) == _disc_keys(parallel.arms[name])
+    # The cache really eliminated the hipify arm's CUDA half.
+    assert cached.arms["fp64_hipify"].nvcc_executions == 0
+    assert parallel.arms["fp64_hipify"].nvcc_executions == 0
+    assert standalone.arms["fp64_hipify"].nvcc_executions > 0
+
+    rows = [
+        ("standalone", standalone),
+        ("cached", cached),
+        (f"parallel (workers={workers})", parallel),
+    ]
+    lines = ["campaign engine throughput (fp64 + fp64_hipify arms)", ""]
+    lines.append(
+        f"{'mode':<24} {'runs':>8} {'nvcc execs':>11} {'cache hits':>11} "
+        f"{'seconds':>8} {'runs/s':>9}"
+    )
+    for label, result in rows:
+        rate = result.total_runs / result.elapsed_seconds if result.elapsed_seconds else 0.0
+        lines.append(
+            f"{label:<24} {result.total_runs:>8} {result.nvcc_executions:>11} "
+            f"{result.nvcc_cache_hits:>11} {result.elapsed_seconds:>8.2f} {rate:>9.0f}"
+        )
+    emit(results_dir, "campaign_engine_throughput", "\n".join(lines))

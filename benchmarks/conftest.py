@@ -5,6 +5,10 @@ run (the expensive part), so `pytest benchmarks/ --benchmark-only` finishes
 in minutes while still printing every table at a statistically meaningful
 scale.  Set ``REPRO_BENCH_SCALE=paper`` to run the full 694,400-run grid
 (hours, uses all cores) or ``REPRO_BENCH_SCALE=tiny`` for a smoke pass.
+
+The shared campaign streams into a checkpoint under ``benchmarks/results/``;
+an interrupted bench session resumes from it on the next invocation, and a
+finished one replays instantly (delete the file to force a fresh run).
 """
 
 from __future__ import annotations
@@ -35,9 +39,13 @@ def _bench_config() -> CampaignConfig:
 
 
 @pytest.fixture(scope="session")
-def campaign_result():
+def campaign_result(results_dir):
     """The shared campaign all table benches analyze."""
-    return run_campaign(_bench_config())
+    config = _bench_config()
+    checkpoint = results_dir / "campaign.checkpoint.jsonl"
+    # "auto": resume a matching checkpoint, restart fresh on a stale one
+    # (different scale/seed) without touching mid-campaign errors.
+    return run_campaign(config, checkpoint=checkpoint, resume="auto")
 
 
 @pytest.fixture(scope="session")

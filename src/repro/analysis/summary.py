@@ -22,9 +22,9 @@ ARM_TITLES = {
 }
 
 
-def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, float]]:
+def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, object]]:
     """Machine-readable Table IV (used by tests and EXPERIMENTS.md)."""
-    out: Dict[str, Dict[str, float]] = {}
+    out: Dict[str, Dict[str, object]] = {}
     for arm_name, arm in result.arms.items():
         out[arm_name] = {
             "total_programs": arm.n_programs,
@@ -34,6 +34,10 @@ def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, float]]:
             "runs_per_compiler": arm.runs_per_compiler,
             "total_discrepancies": arm.n_discrepancies,
             "discrepancy_percent": arm.discrepancy_percent,
+            # True per-optimization totals (per compiler), post-skip; the
+            # rows above are the paper-shaped nominal view of these.
+            "runs_by_opt": dict(arm.runs_by_opt),
+            "skipped_tests": arm.n_skipped_tests,
         }
     return out
 

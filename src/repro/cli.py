@@ -7,6 +7,8 @@ paper's tables.  Examples::
     repro-campaign --scale default --workers 4
     repro-campaign --scale paper --workers 8 --json results.json
     repro-campaign --fp64-programs 500 --inputs 5 --no-hipify
+    repro-campaign --scale paper --checkpoint grid.jsonl
+    repro-campaign --scale paper --checkpoint grid.jsonl --resume
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.report import render_campaign_report
+from repro.errors import HarnessError
 from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.utils.jsonio import dump_json
 
@@ -34,7 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="preset campaign size (tiny: seconds; default: minutes; paper: full 652k-run grid)",
     )
     parser.add_argument("--seed", type=int, default=2024, help="campaign root seed")
-    parser.add_argument("--workers", type=int, default=0, help="process-pool size (0 = serial)")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (0 = serial)"
+    )
     parser.add_argument("--fp64-programs", type=int, default=None, help="override FP64 program count")
     parser.add_argument("--fp32-programs", type=int, default=None, help="override FP32 program count")
     parser.add_argument("--inputs", type=int, default=None, help="inputs per program")
@@ -42,37 +47,77 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-fp32", action="store_true", help="skip the FP32 arm")
     parser.add_argument("--no-adjacency", action="store_true", help="omit adjacency matrices")
     parser.add_argument("--json", metavar="PATH", default=None, help="also dump results as JSON")
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="stream completed plan steps into this JSONL file",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload completed steps from --checkpoint and run only the rest",
+    )
     return parser
 
 
-def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
+def _config_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> CampaignConfig:
+    # Explicit `is not None` checks: `--fp64-programs 0` must be rejected
+    # loudly, not silently replaced by the preset (0 is falsy).
+    for name, value, minimum in (
+        ("--fp64-programs", args.fp64_programs, 1),
+        ("--fp32-programs", args.fp32_programs, 1),
+        ("--inputs", args.inputs, 1),
+        ("--workers", args.workers, 0),
+    ):
+        if value is not None and value < minimum:
+            parser.error(f"{name} must be >= {minimum} (got {value})")
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+
     if args.scale == "paper":
-        base = CampaignConfig.paper_scale(seed=args.seed, workers=args.workers or None)
+        base = CampaignConfig.paper_scale(seed=args.seed, workers=args.workers)
     elif args.scale == "default":
-        base = CampaignConfig.default(seed=args.seed, workers=args.workers)
+        base = CampaignConfig.default(
+            seed=args.seed, workers=args.workers if args.workers is not None else 0
+        )
     else:
         base = CampaignConfig.tiny(seed=args.seed)
     return CampaignConfig(
         seed=base.seed,
-        n_programs_fp64=args.fp64_programs or base.n_programs_fp64,
-        n_programs_fp32=args.fp32_programs or base.n_programs_fp32,
-        inputs_per_program=args.inputs or base.inputs_per_program,
+        n_programs_fp64=args.fp64_programs if args.fp64_programs is not None else base.n_programs_fp64,
+        n_programs_fp32=args.fp32_programs if args.fp32_programs is not None else base.n_programs_fp32,
+        inputs_per_program=args.inputs if args.inputs is not None else base.inputs_per_program,
         include_hipify=not args.no_hipify,
         include_fp32=not args.no_fp32,
-        workers=args.workers or base.workers,
+        workers=args.workers if args.workers is not None else base.workers,
     )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    config = _config_from_args(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(parser, args)
 
-    def progress(arm: str, done: int, total: int) -> None:
-        print(f"\r[{arm}] {done}/{total} slices", end="", file=sys.stderr, flush=True)
+    def progress(group: str, done: int, total: int) -> None:
+        print(f"\r[{group}] {done}/{total} steps", end="", file=sys.stderr, flush=True)
         if done == total:
             print(file=sys.stderr)
 
-    result = run_campaign(config, progress=progress)
+    try:
+        result = run_campaign(
+            config, progress=progress, checkpoint=args.checkpoint, resume=args.resume
+        )
+    except HarnessError as exc:
+        print(f"repro-campaign: error: {exc}", file=sys.stderr)
+        return 2
+    if result.resumed_steps:
+        print(
+            f"resumed {result.resumed_steps} completed steps from {args.checkpoint}",
+            file=sys.stderr,
+        )
     print(render_campaign_report(result, include_adjacency=not args.no_adjacency))
 
     if args.json:
@@ -84,9 +129,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "inputs_per_program": config.inputs_per_program,
             },
             "elapsed_seconds": result.elapsed_seconds,
+            "resumed_steps": result.resumed_steps,
+            "nvcc_cache_hits": result.nvcc_cache_hits,
             "arms": {
                 name: {
                     "total_runs": arm.total_runs,
+                    "runs_by_opt": dict(arm.runs_by_opt),
+                    "skipped_by_opt": dict(arm.skipped_by_opt),
                     "discrepancies": [d.to_json_dict() for d in arm.discrepancies],
                 }
                 for name, arm in result.arms.items()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import CompileError
 from repro.fp.env import FlushMode
@@ -49,6 +49,24 @@ class Compiler(abc.ABC):
 
     def compile(self, program: Program, opt: OptSetting) -> CompiledKernel:
         """Compile one program at one optimization setting."""
+        return self._specialize(program, self._front_end(program), opt)
+
+    def compile_sweep(
+        self, program: Program, opts: Sequence[OptSetting]
+    ) -> Dict[str, CompiledKernel]:
+        """Compile one program at every optimization setting, keyed by label.
+
+        The front end (preprocessing + validation) runs once and is shared
+        across all settings; only the per-setting pass pipeline is repeated.
+        This is the compile path of the campaign engine's per-program
+        execution plan.
+        """
+        kernel = self._front_end(program)
+        return {opt.label: self._specialize(program, kernel, opt) for opt in opts}
+
+    # -- internals ------------------------------------------------------------
+    def _front_end(self, program: Program) -> Kernel:
+        """Preprocess and validate; the opt-independent half of a compile."""
         kernel = self.preprocess(program)
         issues = validate_kernel(kernel)
         if issues:
@@ -56,6 +74,12 @@ class Compiler(abc.ABC):
                 f"{self.name}: program {program.program_id!r} is malformed: "
                 + "; ".join(str(i) for i in issues[:5])
             )
+        return kernel
+
+    def _specialize(
+        self, program: Program, kernel: Kernel, opt: OptSetting
+    ) -> CompiledKernel:
+        """Run the pass pipeline for one setting on a validated kernel."""
         applied: List[str] = []
         for p in self.pipeline(opt, kernel.fptype):
             new_kernel = p.run(kernel)

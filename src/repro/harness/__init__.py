@@ -16,11 +16,13 @@ from repro.harness.differential import (
     classify_pair,
     compare_runs,
 )
-from repro.harness.runner import DifferentialRunner
+from repro.harness.runner import DifferentialRunner, PairResult, RunCache
 from repro.harness.campaign import (
     ArmResult,
     CampaignConfig,
     CampaignResult,
+    PlanStep,
+    build_plan,
     run_campaign,
 )
 from repro.harness.metadata import CampaignMetadata, RunStore
@@ -33,9 +35,13 @@ __all__ = [
     "classify_pair",
     "compare_runs",
     "DifferentialRunner",
+    "PairResult",
+    "RunCache",
     "ArmResult",
     "CampaignConfig",
     "CampaignResult",
+    "PlanStep",
+    "build_plan",
     "run_campaign",
     "CampaignMetadata",
     "RunStore",

@@ -7,32 +7,70 @@ A campaign has up to three *arms*, matching Table IV's columns:
 * ``fp32``        — native CUDA vs native HIP, single precision.
 
 Each arm runs ``programs × inputs`` tests at each of the five optimization
-settings on both platforms.  Accounting mirrors the paper exactly:
-``runs per option per compiler = Σ inputs``, ``runs per option = ×2``,
-``total runs = ×|options|``.
+settings on both platforms.
 
-Campaigns are embarrassingly parallel over programs; ``workers > 1`` uses
-a process pool where each worker *regenerates* its program slice from the
-campaign seed (deterministic generation ⇒ no IR pickling).
+**Run accounting.**  Runs are counted *per optimization setting per
+compiler* (:attr:`ArmResult.runs_by_opt`), after skips: a test whose
+execution traps at one setting but not another contributes different run
+counts to the two settings, and ``total_runs`` is the exact sum
+``2 × Σ_opt runs_by_opt[opt]`` — never a single setting's count
+extrapolated across the grid.  Every reported ``discrepancy_percent`` is
+a ratio over that exact total, which is what makes the Table IV–X
+percentages trustworthy.  ``runs_per_option_per_compiler`` survives as
+the *nominal* per-setting count (the maximum across settings) for the
+paper-shaped summary rows.
+
+**Cross-arm reuse invariant.**  The ``fp64_hipify`` arm tests the *same*
+FP64 programs and inputs as the ``fp64`` arm; HIPIFY conversion only
+changes how the HIP side is compiled (``Program.via_hipify`` is consulted
+by the hipcc model alone).  The CUDA half of the hipify arm is therefore
+bit-identical to the fp64 arm's, and the engine replays it from a
+:class:`~repro.harness.runner.RunCache` keyed by ``(test_id, opt_label)``
+— including cached trap outcomes, so skips replay exactly.  The two arms
+execute *fused*: each worker walks its program slice once, running the
+native test and its hipified twin back to back, which halves the nvcc
+executions of a three-arm campaign whether serial or parallel.
+:attr:`ArmResult.nvcc_executions` / :attr:`ArmResult.nvcc_cache_hits`
+expose the proof.
+
+**Execution plan & checkpoints.**  ``run_campaign`` expands the config
+into deterministic :class:`PlanStep` slices (chunking depends only on the
+program count, never on worker count), runs the pending ones serially or
+on a process pool where each worker *regenerates* its slice from the
+campaign seed (deterministic generation ⇒ no IR pickling), and streams
+each completed step into a JSONL checkpoint.  ``resume=True`` reloads
+completed steps from the checkpoint — after validating the config
+fingerprint — and only executes the remainder, so an interrupted
+paper-scale grid continues instead of restarting.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError
 from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
-from repro.harness.runner import DifferentialRunner
+from repro.harness.runner import DifferentialRunner, PairResult, RunCache
 from repro.utils.rng import derive_seed
 from repro.varity.config import GeneratorConfig
 from repro.varity.corpus import Corpus, build_corpus_slice
 
-__all__ = ["CampaignConfig", "ArmResult", "CampaignResult", "run_campaign", "ARM_NAMES"]
+__all__ = [
+    "CampaignConfig",
+    "ArmResult",
+    "CampaignResult",
+    "PlanStep",
+    "build_plan",
+    "run_campaign",
+    "ARM_NAMES",
+]
 
 ARM_NAMES = ("fp64", "fp64_hipify", "fp32")
 
@@ -49,6 +87,11 @@ class CampaignConfig:
     include_fp32: bool = True
     opts: Tuple[OptSetting, ...] = PAPER_OPT_SETTINGS
     workers: int = 0  # 0/1 = serial
+    #: Replay the fp64 arm's nvcc runs for the fp64_hipify arm instead of
+    #: re-executing them (see the module docstring's reuse invariant).
+    #: Disabling this runs every arm standalone, like the seed engine —
+    #: kept for benchmarking and equivalence testing.
+    reuse_nvcc_runs: bool = True
 
     # ------------------------------------------------------------- presets
     @classmethod
@@ -80,8 +123,8 @@ class CampaignConfig:
         )
 
     def generator_config(self, fptype: FPType) -> GeneratorConfig:
-        cfg = GeneratorConfig(fptype=fptype)
-        cfg.inputs_per_program = self.inputs_per_program
+        cfg = GeneratorConfig(fptype=fptype, inputs_per_program=self.inputs_per_program)
+        cfg.validate()
         return cfg
 
     def arm_names(self) -> List[str]:
@@ -108,29 +151,76 @@ class CampaignConfig:
         base_arm = "fp64" if arm == "fp64_hipify" else arm
         return derive_seed(self.seed, "arm", base_arm)
 
+    def fingerprint(self) -> Dict[str, object]:
+        """The result-determining identity of this config.
+
+        Two configs with equal fingerprints produce identical results, so
+        a checkpoint written under one may be resumed under the other.
+        ``workers`` is deliberately excluded: it only changes scheduling.
+        """
+        return {
+            "seed": self.seed,
+            "n_programs_fp64": self.n_programs_fp64,
+            "n_programs_fp32": self.n_programs_fp32,
+            "inputs_per_program": self.inputs_per_program,
+            "include_hipify": self.include_hipify,
+            "include_fp32": self.include_fp32,
+            "opts": [o.label for o in self.opts],
+            "reuse_nvcc_runs": self.reuse_nvcc_runs,
+        }
+
 
 @dataclass
 class ArmResult:
-    """All measurements of one campaign arm."""
+    """All measurements of one campaign arm.
+
+    ``runs_by_opt`` / ``skipped_by_opt`` hold the *true* per-optimization
+    totals (per compiler): a run appears under the setting it executed
+    at, and a skipped (trapped) input is counted where it trapped.
+    """
 
     arm: str
     n_programs: int
-    runs_per_option_per_compiler: int
     opt_labels: Tuple[str, ...]
+    runs_by_opt: Dict[str, int] = field(default_factory=dict)
+    skipped_by_opt: Dict[str, int] = field(default_factory=dict)
     discrepancies: List[Discrepancy] = field(default_factory=list)
-    n_skipped_tests: int = 0
+    #: nvcc device executions attempted for this arm (0 when the arm was
+    #: replayed entirely from another arm's cache).
+    nvcc_executions: int = 0
+    #: per-input nvcc outcomes served from a cross-arm RunCache.
+    nvcc_cache_hits: int = 0
+
+    def __post_init__(self) -> None:
+        for label in self.opt_labels:
+            self.runs_by_opt.setdefault(label, 0)
+            self.skipped_by_opt.setdefault(label, 0)
+
+    @property
+    def runs_per_option_per_compiler(self) -> int:
+        """Nominal per-setting count: the maximum across settings.
+
+        Equal to every setting's count when no skip varies by setting
+        (the common case); the exact per-setting totals are
+        :attr:`runs_by_opt`."""
+        return max(self.runs_by_opt.values(), default=0)
 
     @property
     def runs_per_option(self) -> int:
         return 2 * self.runs_per_option_per_compiler
 
     @property
-    def total_runs(self) -> int:
-        return self.runs_per_option * len(self.opt_labels)
+    def runs_per_compiler(self) -> int:
+        """Exact runs on one compiler: Σ over settings of the true count."""
+        return sum(self.runs_by_opt.values())
 
     @property
-    def runs_per_compiler(self) -> int:
-        return self.runs_per_option_per_compiler * len(self.opt_labels)
+    def total_runs(self) -> int:
+        return 2 * self.runs_per_compiler
+
+    @property
+    def n_skipped_tests(self) -> int:
+        return sum(self.skipped_by_opt.values())
 
     @property
     def n_discrepancies(self) -> int:
@@ -150,9 +240,40 @@ class ArmResult:
         if other.arm != self.arm or other.opt_labels != self.opt_labels:
             raise HarnessError("cannot merge mismatched arm results")
         self.n_programs += other.n_programs
-        self.runs_per_option_per_compiler += other.runs_per_option_per_compiler
+        for label in self.opt_labels:
+            self.runs_by_opt[label] += other.runs_by_opt.get(label, 0)
+            self.skipped_by_opt[label] += other.skipped_by_opt.get(label, 0)
         self.discrepancies.extend(other.discrepancies)
-        self.n_skipped_tests += other.n_skipped_tests
+        self.nvcc_executions += other.nvcc_executions
+        self.nvcc_cache_hits += other.nvcc_cache_hits
+
+    # -- checkpoint (de)serialization ---------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "arm": self.arm,
+            "n_programs": self.n_programs,
+            "opt_labels": list(self.opt_labels),
+            "runs_by_opt": dict(self.runs_by_opt),
+            "skipped_by_opt": dict(self.skipped_by_opt),
+            "nvcc_executions": self.nvcc_executions,
+            "nvcc_cache_hits": self.nvcc_cache_hits,
+            "discrepancies": [d.to_json_dict() for d in self.discrepancies],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "ArmResult":
+        return cls(
+            arm=str(data["arm"]),
+            n_programs=int(data["n_programs"]),  # type: ignore[arg-type]
+            opt_labels=tuple(data["opt_labels"]),  # type: ignore[arg-type]
+            runs_by_opt={k: int(v) for k, v in data["runs_by_opt"].items()},  # type: ignore[union-attr]
+            skipped_by_opt={k: int(v) for k, v in data["skipped_by_opt"].items()},  # type: ignore[union-attr]
+            discrepancies=[
+                Discrepancy.from_json_dict(d) for d in data["discrepancies"]  # type: ignore[union-attr]
+            ],
+            nvcc_executions=int(data.get("nvcc_executions", 0)),  # type: ignore[union-attr,arg-type]
+            nvcc_cache_hits=int(data.get("nvcc_cache_hits", 0)),  # type: ignore[union-attr,arg-type]
+        )
 
 
 @dataclass
@@ -162,6 +283,8 @@ class CampaignResult:
     config: CampaignConfig
     arms: Dict[str, ArmResult]
     elapsed_seconds: float
+    #: plan steps reloaded from a checkpoint instead of executed.
+    resumed_steps: int = 0
 
     @property
     def total_runs(self) -> int:
@@ -171,75 +294,327 @@ class CampaignResult:
     def total_discrepancies(self) -> int:
         return sum(a.n_discrepancies for a in self.arms.values())
 
+    @property
+    def nvcc_cache_hits(self) -> int:
+        return sum(a.nvcc_cache_hits for a in self.arms.values())
+
+    @property
+    def nvcc_executions(self) -> int:
+        return sum(a.nvcc_executions for a in self.arms.values())
+
+
+# ---------------------------------------------------------------------------
+# Execution plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One schedulable slice of the campaign: a program range of one or
+    more arms (fused arms share the range *and* the generated programs)."""
+
+    arms: Tuple[str, ...]
+    start: int
+    stop: int
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by checkpoint files."""
+        return f"{'+'.join(self.arms)}:{self.start}:{self.stop}"
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.arms)
+
+
+def _chunk_size(n_programs: int) -> int:
+    """Checkpoint/scheduling granularity.
+
+    Depends only on the program count — never on worker count — so a
+    checkpoint written by an 8-worker run resumes correctly under any
+    other worker count."""
+    return max(4, min(64, n_programs // 8))
+
+
+def build_plan(config: CampaignConfig) -> List[PlanStep]:
+    """Expand a config into its deterministic list of plan steps."""
+    groups: List[Tuple[str, ...]] = []
+    if config.include_hipify and config.reuse_nvcc_runs:
+        groups.append(("fp64", "fp64_hipify"))
+    else:
+        groups.append(("fp64",))
+        if config.include_hipify:
+            groups.append(("fp64_hipify",))
+    if config.include_fp32:
+        groups.append(("fp32",))
+    steps: List[PlanStep] = []
+    for arms in groups:
+        n = config.arm_programs(arms[0])
+        chunk = _chunk_size(n)
+        for lo in range(0, n, chunk):
+            steps.append(PlanStep(arms, lo, min(lo + chunk, n)))
+    return steps
+
+
+def _run_plan_step(config: CampaignConfig, step: PlanStep) -> Dict[str, ArmResult]:
+    """Execute one plan step serially; returns one ArmResult per arm."""
+    opt_labels = tuple(o.label for o in config.opts)
+    results = {
+        arm: ArmResult(arm=arm, n_programs=0, opt_labels=opt_labels)
+        for arm in step.arms
+    }
+    gen_cfg = config.generator_config(config.arm_fptype(step.arms[0]))
+    corpus = build_corpus_slice(
+        gen_cfg, step.start, step.stop, config.arm_seed(step.arms[0])
+    )
+    runner = DifferentialRunner()
+    if step.arms == ("fp64", "fp64_hipify"):
+        _run_fused_fp64(config, corpus, runner, results)
+    else:
+        arm = step.arms[0]
+        tests = (t.hipified() for t in corpus) if arm == "fp64_hipify" else iter(corpus)
+        out = results[arm]
+        for test in tests:
+            nv0 = runner.nvcc_executions
+            sweep = runner.run_sweep(test, config.opts)
+            _accumulate(out, sweep)
+            out.nvcc_executions += runner.nvcc_executions - nv0
+            out.n_programs += 1
+    return results
+
+
+def _run_fused_fp64(
+    config: CampaignConfig,
+    corpus: Corpus,
+    runner: DifferentialRunner,
+    results: Dict[str, ArmResult],
+) -> None:
+    """The fused fp64 + fp64_hipify walk: native test, then its twin with
+    the CUDA side replayed from the just-populated cache."""
+    native, hipify = results["fp64"], results["fp64_hipify"]
+    for test, twin in corpus.iter_with_hipified():
+        cache = RunCache()
+        nv0 = runner.nvcc_executions
+        _accumulate(native, runner.run_sweep(test, config.opts, populate_cache=cache))
+        native.nvcc_executions += runner.nvcc_executions - nv0
+        native.n_programs += 1
+
+        nv0 = runner.nvcc_executions
+        _accumulate(hipify, runner.run_sweep(twin, config.opts, nvcc_cache=cache))
+        hipify.nvcc_executions += runner.nvcc_executions - nv0
+        hipify.nvcc_cache_hits += cache.hits
+        hipify.n_programs += 1
+
+
+def _accumulate(out: ArmResult, sweep: Dict[str, PairResult]) -> None:
+    for label, pair in sweep.items():
+        out.runs_by_opt[label] += len(pair.nvcc_runs)
+        out.skipped_by_opt[label] += len(pair.skipped_inputs)
+        out.discrepancies.extend(pair.discrepancies)
+
+
+def _worker(args: Tuple[CampaignConfig, PlanStep]) -> Tuple[str, Dict[str, ArmResult]]:
+    config, step = args
+    return step.key, _run_plan_step(config, step)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+class _Checkpoint:
+    """Append-only JSONL checkpoint: a header line with the config
+    fingerprint, then one line per completed plan step."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+
+    def load_completed(self, config: CampaignConfig) -> Dict[str, Dict[str, ArmResult]]:
+        """Read completed steps, validating the header against ``config``."""
+        if not self.path.exists():
+            raise HarnessError(f"cannot resume: checkpoint {self.path} does not exist")
+        done: Dict[str, Dict[str, ArmResult]] = {}
+        with self.path.open("r", encoding="utf-8") as fh:
+            header_seen = False
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    # A run killed mid-write leaves a torn final line; the
+                    # step it described simply reruns.
+                    continue
+                if not header_seen:
+                    if data.get("kind") != "header":
+                        raise HarnessError(
+                            f"checkpoint {self.path} has no header line"
+                        )
+                    if data.get("fingerprint") != config.fingerprint():
+                        raise HarnessError(
+                            f"checkpoint {self.path} was written by a campaign "
+                            "with a different configuration; refusing to resume"
+                        )
+                    header_seen = True
+                    continue
+                if data.get("kind") != "step":
+                    continue
+                done[str(data["key"])] = {
+                    name: ArmResult.from_json_dict(arm_data)
+                    for name, arm_data in data["arms"].items()
+                }
+        if not header_seen:
+            raise HarnessError(f"checkpoint {self.path} is empty")
+        return done
+
+    def open_for_append(self, config: CampaignConfig, fresh: bool) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh or not self.path.exists():
+            with self.path.open("w", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps({"kind": "header", "fingerprint": config.fingerprint()})
+                    + "\n"
+                )
+        else:
+            self._trim_torn_tail()
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def _trim_torn_tail(self) -> None:
+        """Drop a half-written final line (a run killed mid-append) so the
+        next appended step starts on its own line."""
+        data = self.path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            with self.path.open("wb") as fh:
+                fh.write(data[: data.rfind(b"\n") + 1])
+
+    def append_step(self, key: str, arms: Dict[str, ArmResult]) -> None:
+        assert self._fh is not None
+        self._fh.write(
+            json.dumps(
+                {
+                    "kind": "step",
+                    "key": key,
+                    "arms": {name: arm.to_json_dict() for name, arm in arms.items()},
+                }
+            )
+            + "\n"
+        )
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
 
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
 
 
-def _run_arm_slice(
-    config: CampaignConfig, arm: str, start: int, stop: int
-) -> ArmResult:
-    """Run one contiguous program slice of one arm, serially."""
-    gen_cfg = config.generator_config(config.arm_fptype(arm))
-    corpus = build_corpus_slice(gen_cfg, start, stop, config.arm_seed(arm))
-    if arm == "fp64_hipify":
-        corpus = corpus.hipified()
-    runner = DifferentialRunner()
-    opt_labels = tuple(o.label for o in config.opts)
-    result = ArmResult(
-        arm=arm,
-        n_programs=len(corpus),
-        runs_per_option_per_compiler=0,
-        opt_labels=opt_labels,
-    )
-    runs_counted = False
-    for opt in config.opts:
-        for test in corpus:
-            pair = runner.run_pair(test, opt)
-            result.discrepancies.extend(pair.discrepancies)
-            result.n_skipped_tests += len(pair.skipped_inputs)
-            if not runs_counted:
-                result.runs_per_option_per_compiler += len(pair.nvcc_runs)
-        runs_counted = True
-    return result
-
-
-def _worker(args: Tuple[CampaignConfig, str, int, int]) -> ArmResult:
-    config, arm, start, stop = args
-    return _run_arm_slice(config, arm, start, stop)
-
-
-def run_campaign(config: Optional[CampaignConfig] = None, *, progress=None) -> CampaignResult:
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    *,
+    progress=None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: Union[bool, str] = False,
+) -> CampaignResult:
     """Run a full campaign; returns per-arm results.
 
-    ``progress`` is an optional callable ``(arm, done, total)`` invoked as
-    slices complete (used by the CLI).
+    ``progress`` is an optional callable ``(group_label, done, total)``
+    invoked as plan steps complete (used by the CLI).  ``checkpoint``
+    names a JSONL file that receives each completed step; with
+    ``resume=True`` the steps already recorded there are reloaded instead
+    of re-executed (the checkpoint's config fingerprint must match).
+    ``resume="auto"`` resumes when the checkpoint exists and matches,
+    and silently starts fresh otherwise — for unattended callers that
+    want best-effort continuation without handling mismatch errors.
     """
     config = config or CampaignConfig.default()
+    if resume and checkpoint is None:
+        raise HarnessError("resume requires a checkpoint path")
     t0 = time.perf_counter()
-    arms: Dict[str, ArmResult] = {}
 
-    for arm in config.arm_names():
-        n = config.arm_programs(arm)
-        if config.workers and config.workers > 1 and n >= 2 * config.workers:
-            chunk = max(8, n // (config.workers * 4))
-            slices = [(config, arm, lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+    plan = build_plan(config)
+    completed: Dict[str, Dict[str, ArmResult]] = {}
+    ckpt: Optional[_Checkpoint] = None
+    resuming = bool(resume)
+    if checkpoint is not None:
+        ckpt = _Checkpoint(checkpoint)
+        if resume:
+            try:
+                completed = ckpt.load_completed(config)
+            except HarnessError:
+                # Missing, headerless, or mismatched checkpoint: a strict
+                # resume refuses; "auto" falls back to a fresh run.
+                if resume != "auto":
+                    raise
+                resuming = False
+        ckpt.open_for_append(config, fresh=not resuming)
+
+    # Progress is reported per plan group ("fp64+fp64_hipify", "fp32", …).
+    group_totals: Dict[str, int] = {}
+    group_done: Dict[str, int] = {}
+    for step in plan:
+        group_totals[step.label] = group_totals.get(step.label, 0) + 1
+        group_done.setdefault(step.label, 0)
+
+    # Pre-seed every included arm so a zero-program arm (no plan steps)
+    # still reports an empty ArmResult instead of going missing.
+    opt_labels = tuple(o.label for o in config.opts)
+    merged: Dict[str, ArmResult] = {
+        name: ArmResult(arm=name, n_programs=0, opt_labels=opt_labels)
+        for name in config.arm_names()
+    }
+
+    def _absorb(step: PlanStep, arms: Dict[str, ArmResult]) -> None:
+        for name, part in arms.items():
+            if name in merged:
+                merged[name].merge(part)
+            else:
+                merged[name] = part
+        group_done[step.label] += 1
+        if progress is not None:
+            progress(step.label, group_done[step.label], group_totals[step.label])
+
+    resumed_steps = 0
+    pending: List[PlanStep] = []
+    for step in plan:
+        if step.key in completed:
+            _absorb(step, completed[step.key])
+            resumed_steps += 1
+        else:
+            pending.append(step)
+
+    try:
+        if config.workers and config.workers > 1 and len(pending) > 1:
             import multiprocessing as mp
 
-            merged: Optional[ArmResult] = None
+            by_key = {step.key: step for step in pending}
             with mp.get_context("spawn").Pool(config.workers) as pool:
-                for i, part in enumerate(pool.imap_unordered(_worker, slices)):
-                    merged = part if merged is None else (merged.merge(part) or merged)
-                    if progress is not None:
-                        progress(arm, i + 1, len(slices))
-            assert merged is not None
-            arms[arm] = merged
+                jobs = [(config, step) for step in pending]
+                for key, arms in pool.imap_unordered(_worker, jobs):
+                    if ckpt is not None:
+                        ckpt.append_step(key, arms)
+                    _absorb(by_key[key], arms)
         else:
-            arms[arm] = _run_arm_slice(config, arm, 0, n)
-            if progress is not None:
-                progress(arm, 1, 1)
+            for step in pending:
+                arms = _run_plan_step(config, step)
+                if ckpt is not None:
+                    ckpt.append_step(step.key, arms)
+                _absorb(step, arms)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
 
+    # Present arms in canonical order regardless of plan/completion order.
+    arms_ordered = {name: merged[name] for name in config.arm_names()}
     return CampaignResult(
-        config=config, arms=arms, elapsed_seconds=time.perf_counter() - t0
+        config=config,
+        arms=arms_ordered,
+        elapsed_seconds=time.perf_counter() - t0,
+        resumed_steps=resumed_steps,
     )

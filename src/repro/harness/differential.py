@@ -116,7 +116,35 @@ class Discrepancy:
             "class": self.dclass.value,
             "nvcc": self.nvcc_printed,
             "hipcc": self.hipcc_printed,
+            "nvcc_outcome": self.nvcc_outcome.value,
+            "hipcc_outcome": self.hipcc_outcome.value,
         }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "Discrepancy":
+        """Inverse of :meth:`to_json_dict` (campaign checkpoint files).
+
+        Older payloads without explicit outcome keys are reclassified
+        from the printed values, which round-trip exactly.
+        """
+        nvcc_printed = str(data["nvcc"])
+        hipcc_printed = str(data["hipcc"])
+        if "nvcc_outcome" in data:
+            nv_out = OutcomeClass.from_string(str(data["nvcc_outcome"]))
+            hip_out = OutcomeClass.from_string(str(data["hipcc_outcome"]))
+        else:
+            nv_out = classify_value(float(nvcc_printed))
+            hip_out = classify_value(float(hipcc_printed))
+        return cls(
+            test_id=str(data["test_id"]),
+            input_index=int(data["input_index"]),  # type: ignore[arg-type]
+            opt_label=str(data["opt"]),
+            dclass=DiscrepancyClass(str(data["class"])),
+            nvcc_printed=nvcc_printed,
+            hipcc_printed=hipcc_printed,
+            nvcc_outcome=nv_out,
+            hipcc_outcome=hip_out,
+        )
 
 
 def compare_runs(

@@ -39,3 +39,21 @@ class RunRecord:
             "compiler": self.compiler,
             "printed": self.printed,
         }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_json_dict` output.
+
+        ``value`` is recovered from the printed line — 17 significant
+        digits round-trip binary64, so nothing is lost (flags are not
+        serialized and come back as ``None``).
+        """
+        printed = str(data["printed"])
+        return cls(
+            test_id=str(data["test_id"]),
+            input_index=int(data["input_index"]),  # type: ignore[arg-type]
+            opt_label=str(data["opt"]),
+            compiler=str(data["compiler"]),
+            printed=printed,
+            value=float(printed),
+        )

@@ -1,8 +1,18 @@
-"""Single-test differential execution."""
+"""Single-test differential execution.
+
+:meth:`DifferentialRunner.run_sweep` is the campaign engine's unit of
+work: one test compiled once per compiler (front end shared across the
+optimization settings) and executed at every setting.  A
+:class:`RunCache` keyed by ``(test_id, opt_label)`` lets a later arm
+reuse one arm's nvcc run outcomes verbatim — the ``fp64_hipify`` arm
+runs the *same* FP64 programs through nvcc (HIPIFY conversion only
+changes the HIP compilation), so its CUDA-side records are bit-identical
+to the ``fp64`` arm's and never need re-executing.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compilers.compiler import CompiledKernel, Compiler
@@ -12,12 +22,12 @@ from repro.compilers.options import OptSetting
 from repro.devices.amd import amd_mi250x
 from repro.devices.device import Device
 from repro.devices.nvidia import nvidia_v100
-from repro.errors import TrapError
+from repro.errors import HarnessError, TrapError
 from repro.harness.differential import Discrepancy
 from repro.harness.outcomes import RunRecord
 from repro.varity.testcase import TestCase
 
-__all__ = ["DifferentialRunner", "PairResult"]
+__all__ = ["DifferentialRunner", "PairResult", "RunCache", "pair_discrepancies"]
 
 
 @dataclass
@@ -30,11 +40,82 @@ class PairResult:
     skipped_inputs: List[int]
 
 
+def pair_discrepancies(
+    nvcc_runs: Sequence[RunRecord], hipcc_runs: Sequence[RunRecord]
+) -> List[Discrepancy]:
+    """Pair nv/amd records by ``input_index`` and keep the discrepancies.
+
+    Records are matched explicitly (not positionally), so a harness bug
+    that dropped one side's record for an input surfaces as a
+    :class:`HarnessError` instead of silently misattributing every
+    discrepancy after the gap.
+    """
+    by_index: Dict[int, RunRecord] = {}
+    for r in hipcc_runs:
+        if r.input_index in by_index:
+            raise HarnessError(
+                f"duplicate hipcc record for input {r.input_index} of {r.test_id!r}"
+            )
+        by_index[r.input_index] = r
+    if len(nvcc_runs) != len(by_index):
+        raise HarnessError(
+            f"unpaired run records: {len(nvcc_runs)} nvcc vs {len(by_index)} hipcc"
+        )
+    out: List[Discrepancy] = []
+    seen_nv: set = set()
+    for nv in nvcc_runs:
+        if nv.input_index in seen_nv:
+            raise HarnessError(
+                f"duplicate nvcc record for input {nv.input_index} of {nv.test_id!r}"
+            )
+        seen_nv.add(nv.input_index)
+        hip = by_index.get(nv.input_index)
+        if hip is None:
+            raise HarnessError(
+                f"no hipcc record for input {nv.input_index} of {nv.test_id!r}"
+            )
+        d = Discrepancy.from_records(nv, hip)
+        if d is not None:
+            out.append(d)
+    return out
+
+
+class RunCache:
+    """Per-input nvcc run outcomes, keyed by ``(test_id, opt_label)``.
+
+    Each entry stores one element per input vector: the :class:`RunRecord`
+    the nvcc execution produced, or ``None`` when the device trapped on
+    that input.  Trap outcomes are cached too, so a replay skips exactly
+    the inputs the original execution skipped.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], Tuple[Optional[RunRecord], ...]] = {}
+        self.hits = 0
+
+    def put(
+        self, test_id: str, opt_label: str, outcomes: Sequence[Optional[RunRecord]]
+    ) -> None:
+        self._entries[(test_id, opt_label)] = tuple(outcomes)
+
+    def get(
+        self, test_id: str, opt_label: str
+    ) -> Optional[Tuple[Optional[RunRecord], ...]]:
+        return self._entries.get((test_id, opt_label))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class DifferentialRunner:
     """Owns one device + compiler per vendor and runs tests through both.
 
     ``record_flags=True`` attaches the IEEE exception snapshot to each run
     record (slower; used by the analysis examples, not by campaigns).
+
+    ``nvcc_executions`` / ``hipcc_executions`` count device executions
+    attempted (including ones that trapped); the campaign engine uses
+    them to prove the cross-arm cache really avoided the CUDA side.
     """
 
     def __init__(
@@ -48,6 +129,8 @@ class DifferentialRunner:
         self.nvcc: Compiler = NvccCompiler()
         self.hipcc: Compiler = HipccCompiler()
         self.record_flags = record_flags
+        self.nvcc_executions = 0
+        self.hipcc_executions = 0
 
     # ------------------------------------------------------------------ api
     def compile_pair(
@@ -58,26 +141,37 @@ class DifferentialRunner:
     def run_pair(self, test: TestCase, opt: OptSetting) -> PairResult:
         """Compile once per compiler, run every input on both devices."""
         ck_nv, ck_amd = self.compile_pair(test, opt)
-        nv_runs: List[RunRecord] = []
-        amd_runs: List[RunRecord] = []
-        skipped: List[int] = []
-        for idx, vec in enumerate(test.inputs):
-            try:
-                rn = self.nvidia.execute(ck_nv, vec.values)
-                ra = self.amd.execute(ck_amd, vec.values)
-            except TrapError:
-                # A runaway test (step budget) is dropped on both sides,
-                # like a timed-out job in the real campaign.
-                skipped.append(idx)
-                continue
-            nv_runs.append(self._record(test, idx, opt, "nvcc", rn))
-            amd_runs.append(self._record(test, idx, opt, "hipcc", ra))
-        discrepancies = [
-            d
-            for nv, am in zip(nv_runs, amd_runs)
-            if (d := Discrepancy.from_records(nv, am)) is not None
-        ]
-        return PairResult(nv_runs, amd_runs, discrepancies, skipped)
+        return self._run_inputs(test, opt, ck_nv, ck_amd)
+
+    def run_sweep(
+        self,
+        test: TestCase,
+        opts: Sequence[OptSetting],
+        *,
+        nvcc_cache: Optional[RunCache] = None,
+        populate_cache: Optional[RunCache] = None,
+    ) -> Dict[str, PairResult]:
+        """One test across every optimization setting, keyed by opt label.
+
+        Each compiler's front end runs once for the whole sweep (see
+        :meth:`Compiler.compile_sweep`).  When ``nvcc_cache`` holds an
+        entry for ``(test_id, opt)``, the CUDA side is replayed from the
+        cached outcomes instead of executing; ``populate_cache`` stores
+        this sweep's nvcc outcomes for a later arm to reuse.
+        """
+        nv_kernels = self.nvcc.compile_sweep(test.program, opts)
+        amd_kernels = self.hipcc.compile_sweep(test.program, opts)
+        out: Dict[str, PairResult] = {}
+        for opt in opts:
+            out[opt.label] = self._run_inputs(
+                test,
+                opt,
+                nv_kernels[opt.label],
+                amd_kernels[opt.label],
+                nvcc_cache=nvcc_cache,
+                populate_cache=populate_cache,
+            )
+        return out
 
     def run_single(
         self, test: TestCase, opt: OptSetting, input_index: int, *, trace: bool = False
@@ -93,6 +187,59 @@ class DifferentialRunner:
         return rn, ra, ck_nv, ck_amd
 
     # ------------------------------------------------------------- internals
+    def _run_inputs(
+        self,
+        test: TestCase,
+        opt: OptSetting,
+        ck_nv: CompiledKernel,
+        ck_amd: CompiledKernel,
+        *,
+        nvcc_cache: Optional[RunCache] = None,
+        populate_cache: Optional[RunCache] = None,
+    ) -> PairResult:
+        cached = (
+            nvcc_cache.get(test.test_id, opt.label) if nvcc_cache is not None else None
+        )
+        if cached is not None and len(cached) != len(test.inputs):
+            raise HarnessError(
+                f"cached nvcc outcomes for {test.test_id!r} at {opt.label} cover "
+                f"{len(cached)} inputs, test has {len(test.inputs)}"
+            )
+        nv_outcomes: List[Optional[RunRecord]] = []
+        nv_runs: List[RunRecord] = []
+        amd_runs: List[RunRecord] = []
+        skipped: List[int] = []
+        for idx, vec in enumerate(test.inputs):
+            if cached is not None:
+                nvcc_cache.hits += 1
+                rec = cached[idx]
+            else:
+                self.nvcc_executions += 1
+                try:
+                    rn = self.nvidia.execute(ck_nv, vec.values)
+                except TrapError:
+                    rec = None
+                else:
+                    rec = self._record(test, idx, opt, "nvcc", rn)
+            nv_outcomes.append(rec)
+            if rec is None:
+                # The CUDA side trapped (step budget): the test is dropped
+                # on both platforms, like a timed-out job in the real
+                # campaign, and the HIP side is never executed.
+                skipped.append(idx)
+                continue
+            self.hipcc_executions += 1
+            try:
+                ra = self.amd.execute(ck_amd, vec.values)
+            except TrapError:
+                skipped.append(idx)
+                continue
+            nv_runs.append(rec)
+            amd_runs.append(self._record(test, idx, opt, "hipcc", ra))
+        if populate_cache is not None:
+            populate_cache.put(test.test_id, opt.label, nv_outcomes)
+        return PairResult(nv_runs, amd_runs, pair_discrepancies(nv_runs, amd_runs), skipped)
+
     def _record(
         self, test: TestCase, idx: int, opt: OptSetting, compiler: str, result
     ) -> RunRecord:

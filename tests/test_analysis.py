@@ -32,11 +32,12 @@ def _disc(opt, dclass, nv_out, hip_out, test_id="t", idx=0):
 
 @pytest.fixture()
 def synthetic_arm():
+    labels = ("O0", "O1", "O2", "O3", "O3_FM")
     arm = ArmResult(
         arm="fp64",
         n_programs=10,
-        runs_per_option_per_compiler=50,
-        opt_labels=("O0", "O1", "O2", "O3", "O3_FM"),
+        opt_labels=labels,
+        runs_by_opt={label: 50 for label in labels},
     )
     arm.discrepancies = [
         _disc("O0", DiscrepancyClass.NUM_NUM, OutcomeClass.NUMBER, OutcomeClass.NUMBER),

@@ -6,8 +6,10 @@ import math
 
 import pytest
 
+from dataclasses import replace
+
 from repro.compilers.options import OptLevel, OptSetting, PAPER_OPT_SETTINGS
-from repro.errors import HarnessError, MetadataError
+from repro.errors import GrammarError, HarnessError, MetadataError, TrapError
 from repro.fp.classify import OutcomeClass
 from repro.fp.types import FPType
 from repro.harness.campaign import ArmResult, CampaignConfig, run_campaign
@@ -20,7 +22,7 @@ from repro.harness.differential import (
 )
 from repro.harness.metadata import CampaignMetadata, RunStore
 from repro.harness.outcomes import RunRecord
-from repro.harness.runner import DifferentialRunner
+from repro.harness.runner import DifferentialRunner, RunCache, pair_discrepancies
 from repro.harness.transfer import (
     SYSTEM1,
     SYSTEM2,
@@ -196,10 +198,19 @@ class TestCampaign:
         assert ra.arms["fp64"].total_runs == rb.arms["fp64"].total_runs
 
     def test_arm_result_merge_guard(self):
-        a = ArmResult("fp64", 1, 5, ("O0",))
-        b = ArmResult("fp32", 1, 5, ("O0",))
+        a = ArmResult("fp64", 1, ("O0",), {"O0": 5})
+        b = ArmResult("fp32", 1, ("O0",), {"O0": 5})
         with pytest.raises(HarnessError):
             a.merge(b)
+
+    def test_arm_result_merge_sums_per_opt(self):
+        a = ArmResult("fp64", 2, ("O0", "O3"), {"O0": 5, "O3": 4}, {"O0": 0, "O3": 1})
+        b = ArmResult("fp64", 3, ("O0", "O3"), {"O0": 7, "O3": 7}, {"O0": 0, "O3": 0})
+        a.merge(b)
+        assert a.n_programs == 5
+        assert a.runs_by_opt == {"O0": 12, "O3": 11}
+        assert a.skipped_by_opt == {"O0": 0, "O3": 1}
+        assert a.total_runs == 2 * (12 + 11)
 
     def test_paper_scale_config_numbers(self):
         cfg = CampaignConfig.paper_scale()
@@ -210,6 +221,221 @@ class TestCampaign:
         total = 2 * (2 * 3540 + 2840) * cfg.inputs_per_program * 5
         assert total == 694400
         assert abs(total - 652600) / 652600 < 0.07
+
+
+# --------------------------------------------------------- campaign engine
+class _TrapAtOpt:
+    """Wraps a device: raises TrapError for one program at one opt label."""
+
+    def __init__(self, inner, opt_label: str, id_suffix: str = "-000000") -> None:
+        self._inner = inner
+        self._opt_label = opt_label
+        self._id_suffix = id_suffix
+
+    def execute(self, compiled, inputs, *, trace: bool = False):
+        if compiled.opt.label == self._opt_label and compiled.program_id.endswith(
+            self._id_suffix
+        ):
+            raise TrapError("synthetic step-budget trap")
+        return self._inner.execute(compiled, inputs, trace=trace)
+
+
+def _trapping_runner_factory(opt_label: str):
+    def factory(*args, **kwargs):
+        runner = DifferentialRunner(*args, **kwargs)
+        runner.nvidia = _TrapAtOpt(runner.nvidia, opt_label)
+        return runner
+
+    return factory
+
+
+def _disc_keys(arm):
+    return sorted(
+        (d.test_id, d.input_index, d.opt_label, d.dclass.value)
+        for d in arm.discrepancies
+    )
+
+
+class TestCampaignEngine:
+    def test_per_opt_accounting_with_uneven_traps(self, monkeypatch):
+        """Regression for the runs_counted latch: a program that traps at
+        -O3 -ffast-math but not -O0 must shrink only O3_FM's run total."""
+        import repro.harness.campaign as campaign_mod
+
+        monkeypatch.setattr(
+            campaign_mod, "DifferentialRunner", _trapping_runner_factory("O3_FM")
+        )
+        config = CampaignConfig(
+            seed=3, n_programs_fp64=6, inputs_per_program=2,
+            include_hipify=False, include_fp32=False,
+        )
+        arm = run_campaign(config).arms["fp64"]
+        assert arm.runs_by_opt["O0"] == 12
+        assert arm.runs_by_opt["O3_FM"] == 10
+        assert arm.skipped_by_opt["O3_FM"] == 2 and arm.n_skipped_tests == 2
+        assert arm.total_runs == 2 * (4 * 12 + 10)
+        # The seed engine extrapolated the first setting across the grid;
+        # the true total differs from that estimate.
+        assert arm.total_runs != arm.runs_per_option * len(arm.opt_labels)
+
+    def test_trap_outcomes_replay_identically_across_arms(self, monkeypatch):
+        """Cached nvcc traps skip the same inputs in the hipify arm."""
+        import repro.harness.campaign as campaign_mod
+
+        monkeypatch.setattr(
+            campaign_mod, "DifferentialRunner", _trapping_runner_factory("O3_FM")
+        )
+        config = CampaignConfig(
+            seed=3, n_programs_fp64=6, inputs_per_program=2, include_fp32=False
+        )
+        result = run_campaign(config)
+        fp64, hip = result.arms["fp64"], result.arms["fp64_hipify"]
+        assert hip.nvcc_executions == 0
+        assert hip.runs_by_opt == fp64.runs_by_opt
+        assert hip.skipped_by_opt == fp64.skipped_by_opt
+
+    def test_reuse_matches_standalone(self):
+        """Cached fp64_hipify equals a from-scratch (seed-style) run while
+        executing the nvcc side zero times."""
+        base = CampaignConfig(
+            seed=5, n_programs_fp64=10, n_programs_fp32=6, inputs_per_program=2
+        )
+        cached = run_campaign(base)
+        scratch = run_campaign(replace(base, reuse_nvcc_runs=False))
+        for name in cached.arms:
+            assert _disc_keys(cached.arms[name]) == _disc_keys(scratch.arms[name])
+            assert cached.arms[name].runs_by_opt == scratch.arms[name].runs_by_opt
+        n_inputs = 10 * 2 * len(base.opts)
+        assert cached.arms["fp64_hipify"].nvcc_executions == 0
+        assert cached.arms["fp64_hipify"].nvcc_cache_hits == n_inputs
+        assert cached.nvcc_cache_hits == n_inputs
+        assert scratch.arms["fp64_hipify"].nvcc_executions == n_inputs
+        assert scratch.nvcc_cache_hits == 0
+
+    def test_cached_nvcc_records_equal_from_scratch(self, small_fp64_corpus):
+        """The RunCache replay hands back records bit-identical to what a
+        fresh nvcc execution of the hipified twin would produce."""
+        test = small_fp64_corpus.tests[0]
+        cache = RunCache()
+        DifferentialRunner().run_sweep(test, PAPER_OPT_SETTINGS, populate_cache=cache)
+        twin = test.hipified()
+        via_cache = DifferentialRunner().run_sweep(
+            twin, PAPER_OPT_SETTINGS, nvcc_cache=cache
+        )
+        from_scratch = DifferentialRunner().run_sweep(twin, PAPER_OPT_SETTINGS)
+        # NaN values defeat dataclass equality; the printed %.17g line
+        # round-trips every payload bit, so compare records through it.
+        rec_key = lambda r: (r.test_id, r.input_index, r.opt_label, r.compiler, r.printed)
+        for label, pair in via_cache.items():
+            assert list(map(rec_key, pair.nvcc_runs)) == list(
+                map(rec_key, from_scratch[label].nvcc_runs)
+            )
+            assert list(map(rec_key, pair.hipcc_runs)) == list(
+                map(rec_key, from_scratch[label].hipcc_runs)
+            )
+            assert pair.skipped_inputs == from_scratch[label].skipped_inputs
+
+    def test_resume_completes_interrupted_campaign(self, tmp_path):
+        config = CampaignConfig(
+            seed=7, n_programs_fp64=8, n_programs_fp32=4, inputs_per_program=2
+        )
+        ck = tmp_path / "campaign.jsonl"
+        full = run_campaign(config, checkpoint=ck)
+        lines = ck.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) > 2  # header + several steps
+        # Deliberately interrupt: keep the header and the first step only.
+        ck.write_text("\n".join(lines[:2]) + "\n", encoding="utf-8")
+        resumed = run_campaign(config, checkpoint=ck, resume=True)
+        assert resumed.resumed_steps == 1
+        for name in full.arms:
+            assert resumed.arms[name].total_runs == full.arms[name].total_runs
+            assert resumed.arms[name].runs_by_opt == full.arms[name].runs_by_opt
+            assert _disc_keys(resumed.arms[name]) == _disc_keys(full.arms[name])
+        # A second resume finds every step done and executes nothing new.
+        again = run_campaign(config, checkpoint=ck, resume=True)
+        assert again.resumed_steps == len(lines) - 1  # every step reloaded
+        assert again.total_runs == full.total_runs
+
+    def test_resume_requires_matching_config(self, tmp_path):
+        config = CampaignConfig(
+            seed=7, n_programs_fp64=4, inputs_per_program=2,
+            include_hipify=False, include_fp32=False,
+        )
+        ck = tmp_path / "campaign.jsonl"
+        run_campaign(config, checkpoint=ck)
+        with pytest.raises(HarnessError):
+            run_campaign(replace(config, seed=8), checkpoint=ck, resume=True)
+
+    def test_resume_without_checkpoint_rejected(self):
+        with pytest.raises(HarnessError):
+            run_campaign(CampaignConfig.tiny(), resume=True)
+
+    def test_pair_discrepancies_mismatch_raises(self):
+        nv = [_record(1.0)]
+        with pytest.raises(HarnessError):
+            pair_discrepancies(nv, [])
+        misindexed = [RunRecord("t", 1, "O0", "hipcc", "1.0", 1.0)]
+        with pytest.raises(HarnessError):
+            pair_discrepancies(nv, misindexed)
+        # Duplicates on either side are rejected, not silently collapsed.
+        hip0 = _record(1.0, "hipcc")
+        hip1 = RunRecord("t", 1, "O0", "hipcc", "1.0", 1.0)
+        with pytest.raises(HarnessError):
+            pair_discrepancies([_record(1.0), _record(2.0)], [hip0, hip1])
+        with pytest.raises(HarnessError):
+            pair_discrepancies(nv * 2, [hip0, hip0])
+
+    def test_zero_program_arm_reports_empty_result(self):
+        config = CampaignConfig(
+            seed=5, n_programs_fp64=4, n_programs_fp32=0, inputs_per_program=2,
+            include_hipify=False,
+        )
+        result = run_campaign(config)
+        assert set(result.arms) == {"fp64", "fp32"}
+        fp32 = result.arms["fp32"]
+        assert fp32.n_programs == 0 and fp32.total_runs == 0
+        assert fp32.discrepancy_percent == 0.0
+
+    def test_resume_tolerates_torn_checkpoint_tail(self, tmp_path):
+        config = CampaignConfig(
+            seed=7, n_programs_fp64=8, inputs_per_program=2,
+            include_hipify=False, include_fp32=False,
+        )
+        ck = tmp_path / "campaign.jsonl"
+        full = run_campaign(config, checkpoint=ck)
+        lines = ck.read_text(encoding="utf-8").strip().splitlines()
+        # A run killed mid-write leaves a half line with no newline.
+        ck.write_text("\n".join(lines[:2]) + '\n{"kind": "step", "key', encoding="utf-8")
+        resumed = run_campaign(config, checkpoint=ck, resume=True)
+        assert resumed.total_runs == full.total_runs
+        # The torn fragment was trimmed: the file parses clean end to end,
+        # so the *next* resume reloads every step.
+        again = run_campaign(config, checkpoint=ck, resume=True)
+        assert again.resumed_steps == len(lines) - 1
+        assert again.total_runs == full.total_runs
+
+    def test_resume_auto_falls_back_on_mismatch(self, tmp_path):
+        config = CampaignConfig(
+            seed=7, n_programs_fp64=4, inputs_per_program=2,
+            include_hipify=False, include_fp32=False,
+        )
+        ck = tmp_path / "campaign.jsonl"
+        run_campaign(config, checkpoint=ck)
+        other = replace(config, seed=8)
+        # strict resume refuses, auto starts fresh and rewrites the header
+        with pytest.raises(HarnessError):
+            run_campaign(other, checkpoint=ck, resume=True)
+        result = run_campaign(other, checkpoint=ck, resume="auto")
+        assert result.resumed_steps == 0 and result.total_runs > 0
+        # ...and the refreshed checkpoint now resumes under the new config.
+        again = run_campaign(other, checkpoint=ck, resume="auto")
+        assert again.resumed_steps > 0 and again.total_runs == result.total_runs
+
+    def test_generator_config_validates(self):
+        with pytest.raises(GrammarError):
+            CampaignConfig(inputs_per_program=0).generator_config(FPType.FP64)
+        gen = CampaignConfig(inputs_per_program=4).generator_config(FPType.FP32)
+        assert gen.inputs_per_program == 4 and gen.fptype is FPType.FP32
 
 
 # ---------------------------------------------------------------- metadata
