@@ -36,6 +36,7 @@ from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.harness.runner import DifferentialRunner
 from repro.harness.differential import DiscrepancyClass, classify_pair
 from repro.analysis.report import render_campaign_report
+from repro.fuzz.engine import FuzzConfig, run_fuzz
 
 __version__ = "1.0.0"
 
@@ -57,6 +58,8 @@ __all__ = [
     "DiscrepancyClass",
     "classify_pair",
     "render_campaign_report",
+    "FuzzConfig",
+    "run_fuzz",
     "quick_differential_test",
     "__version__",
 ]

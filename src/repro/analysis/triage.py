@@ -160,9 +160,12 @@ def triage_tests(
     discrepancies: Sequence[Discrepancy],
     limit: Optional[int] = None,
 ) -> List[TriageVerdict]:
-    """Triage a batch of campaign discrepancies (optionally capped)."""
+    """Triage a batch of campaign discrepancies (optionally capped).
+
+    ``limit=0`` means "triage none" — only ``None`` means unlimited.
+    """
     verdicts: List[TriageVerdict] = []
-    for d in discrepancies[: limit if limit else len(discrepancies)]:
+    for d in discrepancies[: limit if limit is not None else len(discrepancies)]:
         test = tests_by_id.get(d.test_id)
         if test is None:
             continue
@@ -175,18 +178,23 @@ def triage_tests(
 
 
 def triage_table(verdicts: Sequence[TriageVerdict], title: str = "") -> Table:
-    """Cause histogram plus the functions most often implicated."""
+    """Cause histogram plus the functions most often implicated.
+
+    Function counts are tallied *per cause*: a function implicated nine
+    times under ``math-library`` and once under ``fast-math`` shows ×9 and
+    ×1 on the respective rows, not a global ×10 on both.
+    """
     causes = Counter(v.cause for v in verdicts)
-    functions = Counter(f for v in verdicts for f in v.functions)
     table = Table(
         title=title or "Automated root-cause triage",
         headers=["Cause", "Count", "Most implicated functions"],
     )
     for cause, count in causes.most_common():
+        functions = Counter(
+            f for v in verdicts if v.cause == cause for f in v.functions
+        )
         implicated = ", ".join(
-            f"{name}×{n}"
-            for name, n in functions.most_common(3)
-            if any(v.cause == cause and name in v.functions for v in verdicts)
+            f"{name}×{n}" for name, n in functions.most_common(3)
         )
         table.add_row([cause, count, implicated or "—"])
     return table

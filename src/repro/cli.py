@@ -127,6 +127,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "n_programs_fp64": config.n_programs_fp64,
                 "n_programs_fp32": config.n_programs_fp32,
                 "inputs_per_program": config.inputs_per_program,
+                "include_hipify": config.include_hipify,
+                "include_fp32": config.include_fp32,
+                "workers": config.workers,
             },
             "elapsed_seconds": result.elapsed_seconds,
             "resumed_steps": result.resumed_steps,

@@ -1,0 +1,41 @@
+"""repro.fuzz — feedback-guided discrepancy fuzzing.
+
+The paper's campaigns (§IV-B) generate programs *blindly*; its future-work
+section (§VII) asks for tooling that finds inconsistencies with less manual
+effort.  This package is that tool for the modeled stacks: a mutation
+fuzzer that starts from a seed corpus, mutates programs already known (or
+suspected) to trigger discrepancies, and keeps only findings whose triage
+*signature* — root cause × implicated functions × optimization setting ×
+outcome-class pair — has not been seen before.
+
+Layers:
+
+* :mod:`repro.fuzz.mutators`  — typed, validity-preserving IR mutations,
+  each fully determined by ``(seed, mutation_id)``;
+* :mod:`repro.fuzz.signature` — the discrepancy signature used for novelty
+  detection and dedup, built on :mod:`repro.analysis.triage`;
+* :mod:`repro.fuzz.ledger`    — the append-only JSONL findings ledger with
+  campaign-checkpoint-style resume semantics;
+* :mod:`repro.fuzz.engine`    — the loop: power-scheduled seed pool,
+  batched execution through the campaign's sweep/cache machinery,
+  auto-minimization of novel findings via :mod:`repro.analysis.reduce`;
+* :mod:`repro.fuzz.cli`       — the ``repro-fuzz`` console entry point.
+"""
+
+from repro.fuzz.engine import FuzzConfig, FuzzResult, run_fuzz, run_random_session
+from repro.fuzz.ledger import Finding, FindingsLedger
+from repro.fuzz.mutators import MUTATION_NAMES, apply_mutation
+from repro.fuzz.signature import DiscrepancySignature, signature_histogram
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzResult",
+    "run_fuzz",
+    "run_random_session",
+    "Finding",
+    "FindingsLedger",
+    "MUTATION_NAMES",
+    "apply_mutation",
+    "DiscrepancySignature",
+    "signature_histogram",
+]

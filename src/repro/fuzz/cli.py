@@ -1,0 +1,181 @@
+"""Command-line interface: ``repro-fuzz``.
+
+Runs a feedback-guided fuzzing session against the modeled CUDA/HIP
+stacks and prints the novel findings.  Examples::
+
+    repro-fuzz --mutants 200
+    repro-fuzz --fptype fp64 --seed 7 --mutants 500 --report
+    repro-fuzz --mutants 400 --ledger findings.jsonl
+    repro-fuzz --mutants 800 --ledger findings.jsonl --resume
+    repro-fuzz --max-seconds 120 --mutants 100000 --ledger findings.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import HarnessError
+from repro.fp.types import FPType
+from repro.fuzz.engine import FuzzConfig, run_fuzz
+from repro.fuzz.mutators import MUTATION_NAMES
+from repro.fuzz.signature import signature_histogram
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Feedback-guided discrepancy fuzzing (SC'24 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2024, help="session root seed")
+    parser.add_argument(
+        "--fptype",
+        choices=["fp32", "fp64"],
+        default="fp32",
+        help="kernel precision (default fp32 — the richest discrepancy surface)",
+    )
+    parser.add_argument(
+        "--seed-programs", type=int, default=None, help="seed-pool size (default 40)"
+    )
+    parser.add_argument(
+        "--inputs", type=int, default=None, help="inputs per program (default 3)"
+    )
+    parser.add_argument(
+        "--mutants", type=int, default=None,
+        help="mutation-iteration budget for the session (default 200)",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="optional wall-clock budget (checked between iterations)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None, help="ledger batch size (default 25)"
+    )
+    parser.add_argument(
+        "--no-hipify", action="store_true", help="skip each mutant's HIPIFY twin"
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true", help="skip delta-debugging of findings"
+    )
+    parser.add_argument(
+        "--mutations", default=None,
+        help=f"comma-separated mutation subset (default: {','.join(MUTATION_NAMES)})",
+    )
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="append findings to this JSONL ledger",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reload --ledger and continue the session where it stopped",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="also print the signature histogram of all findings",
+    )
+    return parser
+
+
+def _config_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> FuzzConfig:
+    # `is not None` guards: an explicit 0 must error, not silently fall
+    # back to the default (the falsy-zero bug class PR 1 fixed).
+    for name, value, minimum in (
+        ("--seed-programs", args.seed_programs, 1),
+        ("--inputs", args.inputs, 1),
+        ("--mutants", args.mutants, 0),
+        ("--batch", args.batch, 1),
+    ):
+        if value is not None and value < minimum:
+            parser.error(f"{name} must be >= {minimum} (got {value})")
+    if args.max_seconds is not None and args.max_seconds <= 0:
+        parser.error(f"--max-seconds must be positive (got {args.max_seconds})")
+    if args.resume and args.ledger is None:
+        parser.error("--resume requires --ledger")
+
+    base = FuzzConfig()
+    mutations = base.mutations
+    if args.mutations is not None:
+        mutations = tuple(m.strip() for m in args.mutations.split(",") if m.strip())
+        unknown = [m for m in mutations if m not in MUTATION_NAMES]
+        if unknown:
+            parser.error(
+                f"unknown mutations: {', '.join(unknown)} "
+                f"(known: {', '.join(MUTATION_NAMES)})"
+            )
+        if not mutations:
+            parser.error("--mutations must name at least one mutation")
+    return FuzzConfig(
+        seed=args.seed,
+        fptype=FPType.FP64 if args.fptype == "fp64" else FPType.FP32,
+        n_seed_programs=args.seed_programs if args.seed_programs is not None else base.n_seed_programs,
+        inputs_per_program=args.inputs if args.inputs is not None else base.inputs_per_program,
+        max_mutants=args.mutants if args.mutants is not None else base.max_mutants,
+        max_seconds=args.max_seconds,
+        batch_size=args.batch if args.batch is not None else base.batch_size,
+        include_hipify=not args.no_hipify,
+        minimize=not args.no_minimize,
+        mutations=mutations,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(parser, args)
+
+    def progress(phase: str, done: int, total: int) -> None:
+        print(f"\r[{phase}] {done}/{total}", end="", file=sys.stderr, flush=True)
+        if done == total:
+            print(file=sys.stderr)
+
+    try:
+        result = run_fuzz(
+            config, ledger=args.ledger, resume=args.resume, progress=progress
+        )
+    except HarnessError as exc:
+        print(f"repro-fuzz: error: {exc}", file=sys.stderr)
+        return 2
+
+    if result.resumed_iterations:
+        print(
+            f"resumed {result.resumed_iterations} iterations from {args.ledger}",
+            file=sys.stderr,
+        )
+    print(
+        f"fuzz session: {result.iterations} iterations, "
+        f"{result.mutants_run} mutants executed "
+        f"({result.mutants_no_site} no-site, {result.mutants_invalid} invalid, "
+        f"{result.mutants_noop} no-op, {result.duplicates} duplicate), "
+        f"{result.pair_runs} run pairs (+{result.baseline_pair_runs} baseline)"
+    )
+    print(
+        f"seed pool: {config.n_seed_programs} programs, "
+        f"{len(result.hot_seed_indices)} already divergent, "
+        f"{len(result.baseline_signatures)} baseline signatures"
+    )
+    print(
+        f"nvcc executions {result.nvcc_executions}, "
+        f"cache hits {result.nvcc_cache_hits} "
+        f"({100.0 * result.cache_hit_rate:.0f}% of the CUDA side served from cache)"
+    )
+    print(f"novel findings: {len(result.findings)} (stopped by {result.stopped_by})")
+    for finding in result.findings:
+        print(f"  {finding.describe()}")
+    if args.report:
+        print()
+        print(
+            signature_histogram(
+                result.baseline_signatures + result.novel_signatures,
+                title="Signature histogram (baseline + findings)",
+            ).render()
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

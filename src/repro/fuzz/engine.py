@@ -1,0 +1,788 @@
+"""The feedback-guided fuzzing loop.
+
+One *iteration* = pick a seed from the pool (power-scheduled), pick a
+mutation, produce a mutant, and — if it is structurally valid and not a
+duplicate — run it through the campaign machinery: one
+:meth:`~repro.compilers.compiler.Compiler.compile_sweep`-backed
+:meth:`~repro.harness.runner.DifferentialRunner.run_sweep` per arm, with
+the HIPIFY twin's CUDA half replayed from a content-keyed
+:class:`~repro.harness.runner.RunCache` exactly as the campaign's fused
+fp64 arms do (mutants share compiled nvcc arms with their native run, so
+the hipify probe costs zero extra nvcc executions).
+
+Feedback: every discrepancy is triaged
+(:func:`repro.analysis.triage.triage_discrepancy`) and condensed to a
+:class:`~repro.fuzz.signature.DiscrepancySignature`.  A signature not
+seen before — neither in the seed pool's own baseline nor in any earlier
+finding — is a **novel finding**: it is auto-minimized with
+:func:`repro.analysis.reduce.reduce_testcase`, appended to the ledger,
+and fed back three ways:
+
+* the mutant joins the seed pool and its parent's energy grows, so the
+  power schedule drifts toward regions of program space that keep
+  yielding new mechanisms;
+* the arm that produced it gains scheduling weight (an AFL-style bandit
+  over the six mutators plus an *explore* arm that evaluates a fresh
+  generated program: a session whose novelty comes from call
+  substitution spends its budget there; a session whose pool runs dry
+  drifts back toward blind generation);
+* splice donors are drawn energy-weighted, so divergence-prone
+  subexpressions get transplanted into fresh contexts.
+
+That is the difference from the paper's blind generation: runs are spent
+*near* known divergence, not uniformly.  All three feedback channels are
+functions of the ledger's findings alone, which is what keeps a resumed
+session on the same trajectory as an uninterrupted one.
+
+Determinism: every random decision derives from
+``derive_seed(config.seed, purpose, iteration)``, the pool evolves only
+through ledger-recorded findings, and no wall-clock value feeds back into
+scheduling — so a seeded session run twice writes byte-identical ledgers,
+and an interrupted session resumed from its ledger produces the same
+findings as an uninterrupted one.  (A ``max_seconds`` budget can stop a
+session early between iterations; the *prefix* of findings is still
+deterministic.)
+
+Accounting: ``pair_runs`` counts compared record pairs in baseline and
+mutation sweeps; triage probes and minimization reruns are bookkept by
+their own tools and excluded, mirroring how the paper's run totals count
+campaign runs, not debugging reruns.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.reduce import kernel_size, reduce_testcase
+from repro.analysis.triage import triage_discrepancy
+from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.codegen.cuda import render_cuda
+from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
+from repro.errors import HarnessError, ReproError
+from repro.fp.types import FPType
+from repro.fuzz.ledger import Finding, FindingsLedger, LedgerState, LineageStep, Promotion
+from repro.fuzz.mutators import MUTATION_NAMES, MUTATORS, apply_mutation
+from repro.fuzz.signature import DiscrepancySignature, signature_histogram
+from repro.harness.differential import Discrepancy
+from repro.harness.runner import DifferentialRunner, RunCache
+from repro.ir.program import Kernel, Program
+from repro.ir.validate import validate_kernel
+from repro.utils.hashing import hash_bytes
+from repro.utils.rng import derive_seed
+from repro.utils.tables import Table
+from repro.varity.config import GeneratorConfig
+from repro.varity.corpus import build_corpus, build_corpus_slice
+from repro.varity.testcase import TestCase
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzResult",
+    "RandomSessionResult",
+    "run_fuzz",
+    "run_random_session",
+]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size and shape of one fuzzing session."""
+
+    seed: int = 2024
+    #: FP32 by default: it is the paper's richest discrepancy surface
+    #: (fast-math approximations + FTZ asymmetry exist only there), so a
+    #: default session finds material quickly; pass FP64 for the paper's
+    #: primary arm.
+    fptype: FPType = FPType.FP32
+    n_seed_programs: int = 40
+    inputs_per_program: int = 3
+    #: total mutation iterations for the session (across resumes).
+    max_mutants: int = 200
+    #: optional wall-clock budget; checked between iterations.
+    max_seconds: Optional[float] = None
+    batch_size: int = 25
+    opts: Tuple[OptSetting, ...] = PAPER_OPT_SETTINGS
+    #: probe each mutant's HIPIFY twin too (CUDA half served by the cache).
+    include_hipify: bool = True
+    #: give the scheduler an "explore" arm that evaluates a brand-new
+    #: generated program instead of mutating — the hybrid
+    #: generation/mutation strategy.  The bandit decides how much budget
+    #: exploration deserves: when the pool's neighborhoods run dry it
+    #: degrades gracefully toward blind generation, and when they are
+    #: rich it concentrates on mutation.
+    explore: bool = True
+    #: energy added to a seed for each novel signature it (or its mutant)
+    #: produced — the power schedule's feedback term.
+    novelty_bonus: float = 8.0
+    #: selection energy of promoted (discrepant-but-known-signature)
+    #: queue entries; kept near the cold-seed weight so the queue widens
+    #: the search without drowning out confirmed-novel regions.
+    promotion_energy: float = 1.0
+    #: delta-debug every novel finding down to a minimal reproducer.
+    minimize: bool = True
+    mutations: Tuple[str, ...] = MUTATION_NAMES
+
+    def __post_init__(self) -> None:
+        if self.n_seed_programs < 1:
+            raise HarnessError("n_seed_programs must be >= 1")
+        if self.batch_size < 1:
+            raise HarnessError("batch_size must be >= 1")
+        if self.max_mutants < 0:
+            raise HarnessError("max_mutants must be >= 0")
+        unknown = [m for m in self.mutations if m not in MUTATORS]
+        if unknown:
+            raise HarnessError(f"unknown mutations: {', '.join(unknown)}")
+
+    @property
+    def corpus_seed(self) -> int:
+        return derive_seed(self.seed, "fuzz-corpus", self.fptype.value)
+
+    def generator_config(self) -> GeneratorConfig:
+        cfg = GeneratorConfig(
+            fptype=self.fptype, inputs_per_program=self.inputs_per_program
+        )
+        cfg.validate()
+        return cfg
+
+    def fingerprint(self) -> Dict[str, object]:
+        """The result-determining identity of this config.
+
+        Budgets (``max_mutants``, ``max_seconds``) are excluded: they only
+        say how *far* to run the deterministic iteration stream, so a
+        ledger written under a smaller budget resumes under a larger one —
+        the fuzz analogue of the campaign checkpoint's ``workers`` rule.
+        """
+        return {
+            "seed": self.seed,
+            "fptype": self.fptype.value,
+            "n_seed_programs": self.n_seed_programs,
+            "inputs_per_program": self.inputs_per_program,
+            "batch_size": self.batch_size,
+            "opts": [o.label for o in self.opts],
+            "include_hipify": self.include_hipify,
+            "explore": self.explore,
+            "novelty_bonus": self.novelty_bonus,
+            "promotion_energy": self.promotion_energy,
+            "minimize": self.minimize,
+            "mutations": list(self.mutations),
+        }
+
+
+class _Scheduler:
+    """Win-count bandit over the iteration's action.
+
+    The arms are the six mutators plus (when enabled) "explore" —
+    evaluate a fresh generated program instead of mutating.  An arm's
+    selection weight is ``1 + its novel-signature findings so far``, so
+    budget flows to whatever is currently paying: a barren pool drifts
+    toward blind generation, a rich one concentrates on the mutators that
+    keep producing.  (Novelty rewards arrive in bursts — one divergent
+    program can yield several signatures across optimization settings —
+    which is why the simple win-count rule empirically beats rate-
+    normalized and UCB variants at session-sized attempt counts: it
+    commits to a paying region immediately instead of waiting for rate
+    estimates to stabilize.)
+
+    Determinism/resume: wins are replayed from ledger findings (a
+    finding with an empty lineage is an explore win), and attempts from
+    re-simulating the selection sequence — selection at iteration *i*
+    depends only on prior selections and prior findings, both of which
+    the ledger determines — so a resumed scheduler is in exactly the
+    state the interrupted one was.
+    """
+
+    def __init__(self, config: "FuzzConfig") -> None:
+        self.explore_enabled = config.explore
+        self.mutations = config.mutations
+        self.arms: Tuple[str, ...] = (
+            ("explore",) if config.explore else ()
+        ) + config.mutations
+        self.attempts: Dict[str, int] = {a: 0 for a in self.arms}
+        self.wins: Dict[str, int] = {a: 0 for a in self.arms}
+
+    def pick(self, rng: random.Random) -> str:
+        """Choose this iteration's action and count the attempt."""
+        arm = rng.choices(
+            self.arms, weights=[1 + self.wins[a] for a in self.arms], k=1
+        )[0]
+        self.attempts[arm] += 1
+        return arm
+
+    def record_win(self, arm: str) -> None:
+        if arm in self.wins:
+            self.wins[arm] += 1
+
+
+@dataclass
+class _PoolEntry:
+    """One power-scheduled seed: a corpus program or a promoted mutant."""
+
+    test: TestCase
+    corpus_index: int
+    lineage: Tuple[LineageStep, ...]
+    content: str
+    energy: float = 1.0
+
+    @property
+    def key(self) -> Tuple[int, Tuple[LineageStep, ...]]:
+        return (self.corpus_index, self.lineage)
+
+
+@dataclass
+class FuzzResult:
+    """Everything one fuzz session measured and found."""
+
+    config: FuzzConfig
+    findings: List[Finding]
+    baseline_signatures: List[DiscrepancySignature]
+    hot_seed_indices: List[int]
+    iterations: int
+    resumed_iterations: int
+    mutants_run: int = 0
+    fresh_explored: int = 0
+    mutants_no_site: int = 0
+    mutants_invalid: int = 0
+    mutants_noop: int = 0
+    duplicates: int = 0
+    pair_runs: int = 0
+    baseline_pair_runs: int = 0
+    raw_discrepancies: int = 0
+    nvcc_executions: int = 0
+    nvcc_cache_hits: int = 0
+    elapsed_seconds: float = 0.0
+    stopped_by: str = "budget"
+
+    @property
+    def novel_signatures(self) -> List[DiscrepancySignature]:
+        return [f.signature for f in self.findings]
+
+    @property
+    def novel_signature_keys(self) -> Set[str]:
+        return {f.signature.key for f in self.findings}
+
+    @property
+    def cache_hit_rate(self) -> float:
+        attempts = self.nvcc_executions + self.nvcc_cache_hits
+        return self.nvcc_cache_hits / attempts if attempts else 0.0
+
+    def histogram(self) -> Table:
+        return signature_histogram(
+            self.novel_signatures, title="Novel discrepancy signatures (fuzz findings)"
+        )
+
+
+@dataclass
+class RandomSessionResult:
+    """Pure blind generation at the same run budget, for comparison."""
+
+    n_programs: int
+    pair_runs: int = 0
+    raw_discrepancies: int = 0
+    novel_signatures: List[DiscrepancySignature] = field(default_factory=list)
+
+    @property
+    def novel_signature_keys(self) -> Set[str]:
+        return {s.key for s in self.novel_signatures}
+
+
+# ---------------------------------------------------------------------------
+# Shared evaluation machinery
+# ---------------------------------------------------------------------------
+
+
+def _content_text(kernel: Kernel, test: TestCase) -> str:
+    """Canonical text identity of (kernel, inputs) for dedup/cache keying."""
+    cfg = EmitterConfig(fptype=kernel.fptype)
+    parts = [render_signature(kernel, cfg), render_kernel_body(kernel, cfg)]
+    parts.extend(vec.line for vec in test.inputs)
+    return "\n".join(parts)
+
+
+def _content_id(fptype: FPType, content: str) -> str:
+    return f"fuzz-{fptype.value}-{hash_bytes(content.encode('utf-8')):016x}"
+
+
+class _Evaluator:
+    """Runs tests through both arms and condenses discrepancies to signatures."""
+
+    def __init__(self, config: FuzzConfig) -> None:
+        self.config = config
+        self.runner = DifferentialRunner()
+        self.pair_runs = 0
+        self.cache_hits = 0
+
+    def evaluate(self, test: TestCase) -> List[Tuple[str, Discrepancy]]:
+        """Sweep ``test`` natively (and as its HIPIFY twin) on both platforms.
+
+        The native sweep populates a run cache and the twin replays its
+        CUDA half from it — the campaign's fused-arm reuse invariant,
+        applied per mutant.  The cache lives one evaluation (like the
+        fused campaign walk's): entries could only ever be hit by the
+        test's own twin — content dedup already prevents identical
+        mutants from re-running — so a session-lifetime cache would just
+        be an unbounded memory leak on long ``--max-seconds`` sessions.
+        """
+        out: List[Tuple[str, Discrepancy]] = []
+        cache = RunCache()
+        sweep = self.runner.run_sweep(test, self.config.opts, populate_cache=cache)
+        for pair in sweep.values():
+            self.pair_runs += len(pair.nvcc_runs)
+            out.extend(("native", d) for d in pair.discrepancies)
+        if self.config.include_hipify:
+            twin = test.hipified()
+            sweep = self.runner.run_sweep(twin, self.config.opts, nvcc_cache=cache)
+            for pair in sweep.values():
+                self.pair_runs += len(pair.nvcc_runs)
+                out.extend(("hipify", d) for d in pair.discrepancies)
+        self.cache_hits += cache.hits
+        return out
+
+    def signatures_for(
+        self, test: TestCase, found: Sequence[Tuple[str, Discrepancy]]
+    ) -> List[Tuple[str, Discrepancy, DiscrepancySignature]]:
+        """Triage every discrepancy; keep the first of each signature.
+
+        Triage is per-(opt, input) — two inputs diverging with the same
+        outcome pair can implicate different functions or even different
+        causes — so dedup happens *after* attribution, on the signature
+        itself, never by collapsing discrepancies up front.
+        """
+        out: List[Tuple[str, Discrepancy, DiscrepancySignature]] = []
+        local_seen: Set[str] = set()
+        for arm, d in found:
+            target = test.hipified() if arm == "hipify" else test
+            verdict = triage_discrepancy(
+                self.runner, target, OptSetting.from_label(d.opt_label), d.input_index
+            )
+            sig = DiscrepancySignature.from_verdict(verdict, d)
+            if sig.key not in local_seen:
+                local_seen.add(sig.key)
+                out.append((arm, d, sig))
+        return out
+
+
+class _LazyCorpus:
+    """The seed corpus plus on-demand extension to any absolute index.
+
+    Corpus indices are the ledger's program identity: indices below
+    ``n_seed_programs`` are the seed pool, larger ones are programs the
+    explore arm generated mid-session.  Either kind regenerates
+    deterministically from ``(generator config, corpus seed, index)``, so
+    a resumed session rebuilds explored pool entries without replaying
+    their executions.
+    """
+
+    def __init__(self, config: FuzzConfig) -> None:
+        self._gen_cfg = config.generator_config()
+        self._root_seed = config.corpus_seed
+        base = build_corpus(
+            self._gen_cfg, config.n_seed_programs, self._root_seed, prefix="fuzzseed"
+        )
+        self._tests: Dict[int, TestCase] = dict(enumerate(base.tests))
+        self.n_seed_programs = config.n_seed_programs
+
+    def get(self, index: int) -> TestCase:
+        test = self._tests.get(index)
+        if test is None:
+            test = build_corpus_slice(
+                self._gen_cfg, index, index + 1, self._root_seed, prefix="fuzzseed"
+            ).tests[0]
+            self._tests[index] = test
+        return test
+
+    def seed_tests(self) -> List[TestCase]:
+        return [self._tests[i] for i in range(self.n_seed_programs)]
+
+
+def _replay_lineage(
+    corpus: _LazyCorpus, corpus_index: int, lineage: Sequence[LineageStep]
+) -> Kernel:
+    """Rebuild a mutant kernel from its ledger lineage."""
+    kernel = corpus.get(corpus_index).program.kernel
+    for step in lineage:
+        donor = (
+            corpus.get(step.donor_index).program.kernel
+            if step.donor_index is not None
+            else None
+        )
+        mutated = apply_mutation(kernel, step.mutation, step.seed, donor)
+        if mutated is None:
+            raise HarnessError(
+                f"ledger lineage does not replay: {step.mutation} produced no mutant"
+            )
+        kernel = mutated
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+
+def run_fuzz(
+    config: Optional[FuzzConfig] = None,
+    *,
+    ledger: Optional[Union[str, Path]] = None,
+    resume: Union[bool, str] = False,
+    progress=None,
+) -> FuzzResult:
+    """Run one fuzzing session; returns the findings and the accounting.
+
+    ``ledger`` names the JSONL findings file; ``resume=True`` reloads a
+    matching ledger (config fingerprint must agree) and continues the
+    iteration stream where it stopped; ``resume="auto"`` falls back to a
+    fresh session when the ledger is missing or mismatched.  ``progress``
+    is an optional ``(phase, done, total)`` callable.
+    """
+    config = config or FuzzConfig()
+    if resume and ledger is None:
+        raise HarnessError("resume requires a ledger path")
+    t0 = time.perf_counter()
+
+    corpus = _LazyCorpus(config)
+    evaluator = _Evaluator(config)
+    triage_runner = evaluator.runner
+
+    book: Optional[FindingsLedger] = None
+    state = LedgerState()
+    resuming = bool(resume)
+    if ledger is not None:
+        book = FindingsLedger(ledger)
+        if resume:
+            try:
+                state = book.load(config.fingerprint())
+            except HarnessError:
+                if resume != "auto":
+                    raise
+                state = LedgerState()
+                resuming = False
+        book.open_for_append(config.fingerprint(), fresh=not resuming)
+
+    pool: List[_PoolEntry] = []
+    by_key: Dict[Tuple[int, Tuple[LineageStep, ...]], _PoolEntry] = {}
+    for index, test in enumerate(corpus.seed_tests()):
+        entry = _PoolEntry(
+            test=test,
+            corpus_index=index,
+            lineage=(),
+            content=_content_text(test.program.kernel, test),
+        )
+        pool.append(entry)
+        by_key[entry.key] = entry
+
+    seen: Set[str] = set()
+    findings: List[Finding] = list(state.findings)
+    baseline_signatures: List[DiscrepancySignature]
+    hot_indices: List[int]
+    baseline_pair_runs: int
+
+    # ---------------------------------------------------------- baseline
+    if resuming and state.has_baseline:
+        baseline_signatures = state.baseline_signatures
+        hot_indices = state.hot_corpus_indices
+        baseline_pair_runs = state.baseline_runs
+    else:
+        baseline_signatures = []
+        hot_indices = []
+        runs0 = evaluator.pair_runs
+        for index, test in enumerate(corpus.seed_tests()):
+            found = evaluator.evaluate(test)
+            if found:
+                hot_indices.append(index)
+            for _, _, sig in evaluator.signatures_for(test, found):
+                if sig.key not in {s.key for s in baseline_signatures}:
+                    baseline_signatures.append(sig)
+            if progress is not None:
+                progress("baseline", index + 1, config.n_seed_programs)
+        baseline_pair_runs = evaluator.pair_runs - runs0
+        if book is not None:
+            book.append_baseline(baseline_pair_runs, baseline_signatures, hot_indices)
+
+    seen.update(s.key for s in baseline_signatures)
+    for index in hot_indices:
+        pool[index].energy += config.novelty_bonus
+
+    scheduler = _Scheduler(config)
+
+    # ------------------------------------------- replay prior pool events
+    evaluated: Set[str] = set()
+
+    def add_pool_entry(
+        corpus_index: int, lineage: Tuple[LineageStep, ...], energy: float
+    ) -> None:
+        base = corpus.get(corpus_index)
+        if lineage:
+            kernel = _replay_lineage(corpus, corpus_index, lineage)
+            content = _content_text(kernel, base)
+            program = Program(
+                program_id=_content_id(config.fptype, content),
+                kernel=kernel,
+                seed=lineage[-1].seed,
+                source_note="fuzz mutant",
+            )
+            test = TestCase(program, base.inputs)
+        else:
+            test = base  # an explore-arm program: the corpus test itself
+            content = _content_text(test.program.kernel, test)
+        entry = _PoolEntry(
+            test=test,
+            corpus_index=corpus_index,
+            lineage=lineage,
+            content=content,
+            energy=energy,
+        )
+        pool.append(entry)
+        by_key[entry.key] = entry
+        evaluated.add(_content_id(config.fptype, content))
+
+    promoted_energy = config.promotion_energy
+    # Re-simulate the completed iterations' *selections* (cheap: no
+    # compilation, no execution) while applying the ledger's findings and
+    # promotions at the iterations they occurred — this reconstructs the
+    # scheduler's attempt counters and the pool's evolution exactly.
+    events_by_iter: Dict[int, List[Tuple[str, object]]] = {}
+    for kind, event in state.pool_events:
+        events_by_iter.setdefault(event.iteration, []).append((kind, event))  # type: ignore[union-attr]
+    for i in range(state.iterations_completed):
+        rng = random.Random(derive_seed(config.seed, "select", i))
+        scheduler.pick(rng)
+        for kind, event in events_by_iter.get(i, ()):
+            if kind == "finding":
+                f = event  # type: Finding
+                seen.add(f.signature.key)
+                scheduler.record_win(f.lineage[-1].mutation if f.lineage else "explore")
+                if f.lineage:
+                    parent = by_key.get((f.corpus_index, f.lineage[:-1]))
+                    if parent is not None:
+                        parent.energy += config.novelty_bonus
+                if (f.corpus_index, f.lineage) not in by_key:
+                    add_pool_entry(f.corpus_index, f.lineage, 1.0 + config.novelty_bonus)
+            else:
+                p = event  # type: Promotion
+                if (p.corpus_index, p.lineage) not in by_key:
+                    add_pool_entry(p.corpus_index, p.lineage, promoted_energy)
+
+    result = FuzzResult(
+        config=config,
+        findings=findings,
+        baseline_signatures=baseline_signatures,
+        hot_seed_indices=hot_indices,
+        iterations=state.iterations_completed,
+        resumed_iterations=state.iterations_completed,
+        baseline_pair_runs=baseline_pair_runs,
+    )
+
+    # ------------------------------------------------------ the loop
+    runs0 = evaluator.pair_runs
+    batch_findings: List[Finding] = []
+    batch_promotions: List[Promotion] = []
+    batch_start = state.iterations_completed
+    batches_written = state.batches_completed
+    stopped_by = "budget"
+
+    def flush_batch(stop: int) -> None:
+        nonlocal batch_start, batches_written, batch_findings, batch_promotions
+        if book is not None and stop > batch_start:
+            book.append_batch(
+                batches_written, batch_start, stop, batch_findings, batch_promotions
+            )
+            batches_written += 1
+        batch_start = stop
+        batch_findings = []
+        batch_promotions = []
+
+    def run_iteration(i: int) -> None:
+        """One scheduler pick, mutation/exploration, evaluation, feedback."""
+        rng = random.Random(derive_seed(config.seed, "select", i))
+        arm_choice = scheduler.pick(rng)
+
+        parent: Optional[_PoolEntry] = None
+        if arm_choice == "explore":
+            # A fresh generated program; its index extends the corpus,
+            # so any finding's (corpus_index, lineage=()) replays.
+            corpus_index = config.n_seed_programs + i
+            test = corpus.get(corpus_index)
+            lineage: Tuple[LineageStep, ...] = ()
+            content = _content_text(test.program.kernel, test)
+            evaluated.add(_content_id(config.fptype, content))
+            result.fresh_explored += 1
+        else:
+            parent = rng.choices(pool, weights=[e.energy for e in pool], k=1)[0]
+            donor_index: Optional[int] = None
+            donor: Optional[Kernel] = None
+            if MUTATORS[arm_choice].needs_donor:
+                # Donors come from corpus-backed entries (so the lineage
+                # stays a flat recipe) but are drawn energy-weighted:
+                # divergence-prone subexpressions travel first.
+                candidates = [e for e in pool if not e.lineage]
+                donor_entry = rng.choices(
+                    candidates, weights=[e.energy for e in candidates], k=1
+                )[0]
+                donor_index = donor_entry.corpus_index
+                donor = donor_entry.test.program.kernel
+            mseed = derive_seed(config.seed, "mutant", i)
+            kernel = apply_mutation(
+                parent.test.program.kernel, arm_choice, mseed, donor
+            )
+            if kernel is None:
+                result.mutants_no_site += 1
+                return
+            if validate_kernel(kernel):
+                result.mutants_invalid += 1
+                return
+            content = _content_text(kernel, parent.test)
+            if content == parent.content:
+                result.mutants_noop += 1
+                return
+            content_id = _content_id(config.fptype, content)
+            if content_id in evaluated:
+                result.duplicates += 1
+                return
+            evaluated.add(content_id)
+            corpus_index = parent.corpus_index
+            lineage = parent.lineage + (LineageStep(arm_choice, mseed, donor_index),)
+            program = Program(
+                program_id=content_id,
+                kernel=kernel,
+                seed=mseed,
+                source_note="fuzz mutant",
+            )
+            test = TestCase(program, parent.test.inputs)
+            result.mutants_run += 1
+
+        found = evaluator.evaluate(test)
+        result.raw_discrepancies += len(found)
+        if not found:
+            return
+
+        promoted = False
+        new_entry = _PoolEntry(
+            test=test, corpus_index=corpus_index, lineage=lineage, content=content
+        )
+        for platform_arm, d, sig in evaluator.signatures_for(test, found):
+            if sig.key in seen:
+                continue
+            seen.add(sig.key)
+            target = test.hipified() if platform_arm == "hipify" else test
+            reduced_size: Optional[int] = None
+            reduced_cuda: Optional[str] = None
+            if config.minimize:
+                try:
+                    reduction = reduce_testcase(
+                        target,
+                        OptSetting.from_label(d.opt_label),
+                        d.input_index,
+                        runner=triage_runner,
+                    )
+                    reduced_size = reduction.reduced_size
+                    reduced_cuda = render_cuda(reduction.reduced.program)
+                except (ValueError, ReproError):
+                    pass  # finding stays unminimized; still novel
+            finding = Finding(
+                iteration=i,
+                arm=platform_arm,
+                mutant_id=test.test_id,
+                corpus_index=corpus_index,
+                lineage=lineage,
+                signature=sig,
+                discrepancy=d,
+                original_size=kernel_size(test.program.kernel),
+                reduced_size=reduced_size,
+                reduced_cuda=reduced_cuda,
+            )
+            findings.append(finding)
+            batch_findings.append(finding)
+            if parent is not None:
+                parent.energy += config.novelty_bonus
+            scheduler.record_win(arm_choice)
+            if not promoted:
+                promoted = True
+                new_entry.energy = 1.0 + config.novelty_bonus
+                pool.append(new_entry)
+                by_key[new_entry.key] = new_entry
+
+        if not promoted:
+            # Discrepant but nothing novel: still an interesting input.
+            # It joins the pool (AFL's queue) — chains of mutations walk
+            # the signature space further than one hop can — and the
+            # promotion is ledgered so a resume rebuilds the same pool.
+            promotion = Promotion(i, corpus_index, lineage)
+            batch_promotions.append(promotion)
+            new_entry.energy = promoted_energy
+            pool.append(new_entry)
+            by_key[new_entry.key] = new_entry
+
+    try:
+        for i in range(state.iterations_completed, config.max_mutants):
+            if (
+                config.max_seconds is not None
+                and time.perf_counter() - t0 > config.max_seconds
+            ):
+                stopped_by = "wall-clock"
+                break
+            result.iterations = i + 1
+            run_iteration(i)
+            # The flush check runs every iteration — including ones that
+            # produced nothing — so batch_size bounds the work a hard
+            # kill can lose even through a dry stretch.
+            if (i + 1 - batch_start) >= config.batch_size:
+                flush_batch(i + 1)
+                if progress is not None:
+                    progress("fuzz", i + 1, config.max_mutants)
+        flush_batch(result.iterations)
+        if progress is not None and result.iterations:
+            progress("fuzz", result.iterations, config.max_mutants)
+    finally:
+        if book is not None:
+            book.close()
+
+    result.pair_runs = evaluator.pair_runs - runs0
+    result.nvcc_executions = evaluator.runner.nvcc_executions
+    result.nvcc_cache_hits = evaluator.cache_hits
+    result.elapsed_seconds = time.perf_counter() - t0
+    result.stopped_by = stopped_by
+    return result
+
+
+def run_random_session(
+    config: Optional[FuzzConfig] = None,
+    n_programs: int = 0,
+    *,
+    skip_signatures: Optional[Set[str]] = None,
+    progress=None,
+) -> RandomSessionResult:
+    """Blind Varity generation at a comparable run budget (the control arm).
+
+    Generates ``n_programs`` *fresh* programs — from a control seed
+    stream disjoint from both the fuzz seed pool and the explore arm's
+    programs, but drawn from the same generator distribution — and
+    evaluates them with the same sweep machinery.  ``skip_signatures``
+    (typically the fuzz session's baseline keys) defines novelty the same
+    way the fuzzer's seen-set does, making the two arms' novel-signature
+    yields directly comparable at equal ``pair_runs``.
+    """
+    config = config or FuzzConfig()
+    skip = set(skip_signatures or ())
+    evaluator = _Evaluator(config)
+    corpus = build_corpus(
+        config.generator_config(),
+        n_programs,
+        derive_seed(config.corpus_seed, "random-control"),
+        prefix="fuzzctl",
+    )
+    result = RandomSessionResult(n_programs=n_programs)
+    seen: Set[str] = set(skip)
+    for index, test in enumerate(corpus):
+        found = evaluator.evaluate(test)
+        result.raw_discrepancies += len(found)
+        for _, _, sig in evaluator.signatures_for(test, found):
+            if sig.key not in seen:
+                seen.add(sig.key)
+                result.novel_signatures.append(sig)
+        if progress is not None:
+            progress("random", index + 1, n_programs)
+    result.pair_runs = evaluator.pair_runs
+    return result

@@ -1,0 +1,255 @@
+"""Append-only JSONL findings ledger with campaign-style resume.
+
+The file discipline (fingerprint header, flushed appends, torn-tail
+recovery) is :class:`repro.utils.checkpoint.JsonlCheckpoint` — shared
+with the campaign engine's plan-step checkpoint.  On top of it the
+ledger's record vocabulary is:
+
+* a ``header`` line carrying the fuzz config fingerprint;
+* one ``baseline`` line recording the seed pool's own signatures and the
+  corpus indices that already diverge (so a resumed session neither
+  re-runs the baseline nor mistakes an old signature for a novel one);
+* one ``batch`` line per completed batch of mutation iterations, carrying
+  that batch's findings and its pool *promotions* — discrepant mutants
+  that joined the seed pool without carrying a novel signature (the AFL
+  "interesting input" queue).  Promotions are part of the ledger because
+  the pool's evolution must be reconstructible on resume.
+
+Every line is written deterministically — no timestamps, no elapsed
+times, fixed key order — so two complete runs of the same seeded config
+produce byte-identical ledgers, and a torn final line (session killed
+mid-append) is dropped on reopen exactly like a campaign checkpoint's.
+
+A :class:`Finding` records, besides the discrepancy and its signature,
+the full *lineage* of the mutant: the corpus index it started from and
+the ``(mutation_id, seed[, donor])`` steps applied.  Mutated IR cannot be
+regenerated from a ProgramGenerator seed, but it can be *replayed* —
+deterministic generation plus deterministic mutation make the lineage a
+complete recipe, which is how a resumed session rebuilds its seed pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.signature import DiscrepancySignature
+from repro.harness.differential import Discrepancy
+from repro.utils.checkpoint import JsonlCheckpoint
+
+__all__ = ["LineageStep", "Finding", "Promotion", "FindingsLedger"]
+
+
+@dataclass(frozen=True)
+class LineageStep:
+    """One mutation applied on the way to a mutant.
+
+    ``donor_index`` is the corpus index of the splice donor (``None`` for
+    donor-free mutations).
+    """
+
+    mutation: str
+    seed: int
+    donor_index: Optional[int] = None
+
+    def to_json(self) -> List[object]:
+        if self.donor_index is None:
+            return [self.mutation, self.seed]
+        return [self.mutation, self.seed, self.donor_index]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "LineageStep":
+        return cls(
+            mutation=str(data[0]),
+            seed=int(data[1]),  # type: ignore[arg-type]
+            donor_index=int(data[2]) if len(data) > 2 else None,  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class Finding:
+    """One novel-signature discrepancy discovered by the fuzzer."""
+
+    iteration: int
+    arm: str  # "native" | "hipify"
+    mutant_id: str
+    corpus_index: int
+    lineage: Tuple[LineageStep, ...]
+    signature: DiscrepancySignature
+    discrepancy: Discrepancy
+    original_size: int
+    reduced_size: Optional[int] = None
+    reduced_cuda: Optional[str] = None
+
+    @property
+    def minimized(self) -> bool:
+        return self.reduced_size is not None
+
+    def describe(self) -> str:
+        mutations = "→".join(step.mutation for step in self.lineage) or "(seed)"
+        size = (
+            f", minimized {self.original_size}→{self.reduced_size} nodes"
+            if self.minimized
+            else ""
+        )
+        return (
+            f"#{self.iteration} [{self.arm}] {self.signature.describe()} "
+            f"via {mutations}{size}"
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "iteration": self.iteration,
+            "arm": self.arm,
+            "mutant_id": self.mutant_id,
+            "corpus_index": self.corpus_index,
+            "lineage": [step.to_json() for step in self.lineage],
+            "signature": self.signature.to_json_dict(),
+            "discrepancy": self.discrepancy.to_json_dict(),
+            "original_size": self.original_size,
+        }
+        if self.reduced_size is not None:
+            data["reduced_size"] = self.reduced_size
+        if self.reduced_cuda is not None:
+            data["reduced_cuda"] = self.reduced_cuda
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            iteration=int(data["iteration"]),  # type: ignore[arg-type]
+            arm=str(data["arm"]),
+            mutant_id=str(data["mutant_id"]),
+            corpus_index=int(data["corpus_index"]),  # type: ignore[arg-type]
+            lineage=tuple(
+                LineageStep.from_json(step) for step in data["lineage"]  # type: ignore[union-attr]
+            ),
+            signature=DiscrepancySignature.from_json_dict(data["signature"]),  # type: ignore[arg-type]
+            discrepancy=Discrepancy.from_json_dict(data["discrepancy"]),  # type: ignore[arg-type]
+            original_size=int(data["original_size"]),  # type: ignore[arg-type]
+            reduced_size=(
+                int(data["reduced_size"]) if "reduced_size" in data else None  # type: ignore[arg-type]
+            ),
+            reduced_cuda=(
+                str(data["reduced_cuda"]) if "reduced_cuda" in data else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Promotion:
+    """A discrepant mutant added to the pool without a novel signature."""
+
+    iteration: int
+    corpus_index: int
+    lineage: Tuple[LineageStep, ...]
+
+    def to_json(self) -> List[object]:
+        return [
+            self.iteration,
+            self.corpus_index,
+            [step.to_json() for step in self.lineage],
+        ]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "Promotion":
+        return cls(
+            iteration=int(data[0]),  # type: ignore[arg-type]
+            corpus_index=int(data[1]),  # type: ignore[arg-type]
+            lineage=tuple(LineageStep.from_json(s) for s in data[2]),  # type: ignore[union-attr]
+        )
+
+
+@dataclass
+class LedgerState:
+    """Everything a resumed session reloads from an existing ledger."""
+
+    baseline_signatures: List[DiscrepancySignature] = field(default_factory=list)
+    hot_corpus_indices: List[int] = field(default_factory=list)
+    baseline_runs: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    #: interleaved pool events in ledger order, for exact state replay:
+    #: ``("finding", Finding)`` and ``("promotion", Promotion)``.
+    pool_events: List[Tuple[str, object]] = field(default_factory=list)
+    iterations_completed: int = 0
+    batches_completed: int = 0
+    has_baseline: bool = False
+
+
+class FindingsLedger(JsonlCheckpoint):
+    """The append-only JSONL file behind ``repro-fuzz --ledger``."""
+
+    noun = "ledger"
+    writer = "a fuzz session"
+
+    # ------------------------------------------------------------------ read
+    def load(self, fingerprint: Dict[str, object]) -> LedgerState:
+        """Read a ledger back, validating its header against ``fingerprint``."""
+        state = LedgerState()
+        for data in self.iter_records(fingerprint):
+            kind = data.get("kind")
+            if kind == "baseline":
+                state.has_baseline = True
+                state.baseline_runs = int(data.get("runs", 0))
+                state.baseline_signatures = [
+                    DiscrepancySignature.from_json_dict(s)
+                    for s in data.get("signatures", [])
+                ]
+                state.hot_corpus_indices = [int(i) for i in data.get("hot", [])]
+            elif kind == "batch":
+                state.batches_completed += 1
+                state.iterations_completed = max(
+                    state.iterations_completed, int(data["stop"])
+                )
+                findings = [
+                    Finding.from_json_dict(f) for f in data.get("findings", [])
+                ]
+                promotions = [
+                    Promotion.from_json(p) for p in data.get("promoted", [])
+                ]
+                state.findings.extend(findings)
+                # Interleave in live-run order: all of one iteration's
+                # findings land before that iteration's promotion.
+                events = [(f.iteration, 0, "finding", f) for f in findings]
+                events += [(p.iteration, 1, "promotion", p) for p in promotions]
+                state.pool_events.extend(
+                    (kind_, obj) for _, _, kind_, obj in sorted(
+                        events, key=lambda e: (e[0], e[1])
+                    )
+                )
+        return state
+
+    # ----------------------------------------------------------------- write
+    def append_baseline(
+        self,
+        runs: int,
+        signatures: Sequence[DiscrepancySignature],
+        hot_corpus_indices: Sequence[int],
+    ) -> None:
+        self.append_record(
+            {
+                "kind": "baseline",
+                "runs": runs,
+                "signatures": [s.to_json_dict() for s in signatures],
+                "hot": list(hot_corpus_indices),
+            }
+        )
+
+    def append_batch(
+        self,
+        index: int,
+        start: int,
+        stop: int,
+        findings: Sequence[Finding],
+        promoted: Sequence[Promotion] = (),
+    ) -> None:
+        self.append_record(
+            {
+                "kind": "batch",
+                "index": index,
+                "start": start,
+                "stop": stop,
+                "findings": [f.to_json_dict() for f in findings],
+                "promoted": [p.to_json() for p in promoted],
+            }
+        )

@@ -1,0 +1,486 @@
+"""Typed, validity-preserving IR mutations.
+
+Each mutator takes a kernel (and, for the splice, a donor kernel) plus an
+RNG and returns a mutated kernel or ``None`` when it has no applicable
+site.  Mutations preserve the kernel *signature* — parameters never change,
+so the parent test's input vectors remain valid — and they preserve
+structural validity: every mutant the engine accepts is re-checked with
+:func:`repro.ir.validate.validate_kernel`, and a mutator that produced an
+invalid kernel would be a bug, not a fuzzing strategy.
+
+Determinism: a mutation is fully determined by ``(seed, mutation_id)``.
+:func:`apply_mutation` derives its RNG with
+``derive_seed(seed, "mutation", mutation_id)`` (see :mod:`repro.utils.rng`),
+so a findings ledger can record just the lineage ``(mutation_id, seed)``
+and replay the exact mutant later.
+
+The six mutation classes:
+
+``op-swap``        swap one arithmetic / comparison operator;
+``const-perturb``  move one literal by a few ULPs (re-round-tripped
+                   through the Varity literal format, because the value a
+                   test consumes is the parsed text);
+``call-mutate``    substitute a math call with another of the same arity,
+                   or wrap a float subexpression in a new unary call;
+``fma-shape``      rewrite ``x ⊕ y`` into the contractible ``a*b + c``
+                   shape the FMA-contraction pass looks for;
+``splice``         replace a float subexpression with one lifted from a
+                   donor corpus program (names restricted to parameters
+                   the target kernel also has in scope);
+``guard-toggle``   unwrap an ``if``/``for``, or wrap a top-level statement
+                   in a fresh guard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.mathlib.base import BINARY_FUNCTIONS, UNARY_FUNCTIONS
+from repro.fp.literals import format_varity_literal
+from repro.fp.ulp import perturb_ulps
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    AugAssign,
+    BINARY_OPS,
+    BinOp,
+    BoolOp,
+    COMPARE_OPS,
+    Call,
+    Compare,
+    Const,
+    Decl,
+    Expr,
+    FMA,
+    For,
+    If,
+    IntConst,
+    Node,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from repro.ir.program import Kernel
+from repro.ir.types import IRType
+from repro.ir.visitor import walk
+from repro.utils.rng import derive_seed
+
+__all__ = ["MUTATION_NAMES", "MUTATORS", "Mutator", "apply_mutation"]
+
+#: Unary calls the wrap mode may introduce — smooth everywhere-defined
+#: functions plus a few with restricted domains, which is exactly what
+#: bait NaN/Inf-class divergences.
+_WRAP_FUNCTIONS = ("sin", "cos", "exp", "log", "sqrt", "tanh", "fabs", "ceil", "floor")
+
+
+# ---------------------------------------------------------------------------
+# Site enumeration / targeted rewriting
+#
+# A *site* is one float-valued expression position in the kernel body,
+# identified by its pre-order index among all float sites.  Sites exclude
+# int contexts (array subscripts, loop bounds) and boolean contexts
+# (conditions, BoolOp operands), so a replacement expression of float kind
+# is always well-typed where it lands.
+# ---------------------------------------------------------------------------
+
+
+def _expr_float_sites(expr: Expr, out: List[Expr]) -> None:
+    """Pre-order float-valued positions inside one float-context expr."""
+    out.append(expr)
+    if isinstance(expr, (Const, IntConst, VarRef)):
+        return
+    if isinstance(expr, ArrayRef):
+        return  # index is int context
+    if isinstance(expr, UnOp):
+        _expr_float_sites(expr.operand, out)
+    elif isinstance(expr, BinOp):
+        _expr_float_sites(expr.left, out)
+        _expr_float_sites(expr.right, out)
+    elif isinstance(expr, FMA):
+        for sub in (expr.a, expr.b, expr.c):
+            _expr_float_sites(sub, out)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            _expr_float_sites(a, out)
+
+
+def _cond_float_sites(cond: Expr, out: List[Expr]) -> None:
+    """Float positions inside a boolean expression (Compare operands)."""
+    if isinstance(cond, BoolOp):
+        _cond_float_sites(cond.left, out)
+        _cond_float_sites(cond.right, out)
+    elif isinstance(cond, Compare):
+        _expr_float_sites(cond.left, out)
+        _expr_float_sites(cond.right, out)
+
+
+def _float_sites(body: Sequence[Stmt]) -> List[Expr]:
+    """All float-valued expression positions in a body, pre-order."""
+    out: List[Expr] = []
+    for stmt in body:
+        if isinstance(stmt, Decl):
+            _expr_float_sites(stmt.init, out)
+        elif isinstance(stmt, (Assign, AugAssign)):
+            _expr_float_sites(stmt.expr, out)
+        elif isinstance(stmt, For):
+            out.extend(_float_sites(stmt.body))
+        elif isinstance(stmt, If):
+            _cond_float_sites(stmt.cond, out)
+            out.extend(_float_sites(stmt.body))
+    return out
+
+
+def _replace_expr(expr: Expr, counter: List[int], target: int, repl: Expr) -> Expr:
+    """Rebuild ``expr`` with the ``target``-th float site replaced."""
+    index = counter[0]
+    counter[0] += 1
+    if index == target:
+        return repl
+    if isinstance(expr, (Const, IntConst, VarRef, ArrayRef)):
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _replace_expr(expr.operand, counter, target, repl))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _replace_expr(expr.left, counter, target, repl),
+            _replace_expr(expr.right, counter, target, repl),
+        )
+    if isinstance(expr, FMA):
+        return FMA(
+            _replace_expr(expr.a, counter, target, repl),
+            _replace_expr(expr.b, counter, target, repl),
+            _replace_expr(expr.c, counter, target, repl),
+            expr.negate_product,
+        )
+    if isinstance(expr, Call):
+        return Call(
+            expr.func,
+            [_replace_expr(a, counter, target, repl) for a in expr.args],
+            expr.variant,
+        )
+    return expr
+
+
+def _replace_cond(cond: Expr, counter: List[int], target: int, repl: Expr) -> Expr:
+    if isinstance(cond, BoolOp):
+        return BoolOp(
+            cond.op,
+            _replace_cond(cond.left, counter, target, repl),
+            _replace_cond(cond.right, counter, target, repl),
+        )
+    if isinstance(cond, Compare):
+        return Compare(
+            cond.op,
+            _replace_expr(cond.left, counter, target, repl),
+            _replace_expr(cond.right, counter, target, repl),
+        )
+    return cond
+
+
+def _replace_site(body: Sequence[Stmt], target: int, repl: Expr) -> List[Stmt]:
+    """Body with the ``target``-th float site replaced by ``repl``.
+
+    The counter threads through statements in the same pre-order as
+    :func:`_float_sites`, so site indices agree between enumeration and
+    rewriting.
+    """
+    counter = [0]
+
+    def rewrite(stmts: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Decl):
+                out.append(Decl(stmt.name, _replace_expr(stmt.init, counter, target, repl)))
+            elif isinstance(stmt, Assign):
+                out.append(Assign(stmt.target, _replace_expr(stmt.expr, counter, target, repl)))
+            elif isinstance(stmt, AugAssign):
+                out.append(
+                    AugAssign(stmt.target, stmt.op, _replace_expr(stmt.expr, counter, target, repl))
+                )
+            elif isinstance(stmt, For):
+                out.append(For(stmt.var, stmt.bound, rewrite(stmt.body)))
+            elif isinstance(stmt, If):
+                cond = _replace_cond(stmt.cond, counter, target, repl)
+                out.append(If(cond, rewrite(stmt.body)))
+            else:
+                out.append(stmt)
+        return out
+
+    return rewrite(body)
+
+
+def _site_at(body: Sequence[Stmt], target: int) -> Expr:
+    return _float_sites(body)[target]
+
+
+# ---------------------------------------------------------------------------
+# Mutators
+# ---------------------------------------------------------------------------
+
+
+def _mutate_op_swap(kernel: Kernel, rng: random.Random, donor: Optional[Kernel]) -> Optional[Kernel]:
+    """Swap one arithmetic (BinOp / AugAssign) or comparison operator."""
+    sites: List[Node] = []
+    for stmt in kernel.body:
+        for node in walk(stmt):
+            if isinstance(node, (BinOp, Compare)) or (
+                isinstance(node, AugAssign) and node.op in BINARY_OPS
+            ):
+                sites.append(node)
+    if not sites:
+        return None
+    victim = rng.choice(sites)
+    table = COMPARE_OPS if isinstance(victim, Compare) else BINARY_OPS
+    new_op = rng.choice([op for op in table if op != victim.op])
+
+    class _Swap:
+        done = False
+
+    def rebuild_expr(expr: Expr) -> Expr:
+        if expr is victim and not _Swap.done:
+            _Swap.done = True
+            assert isinstance(expr, (BinOp, Compare))
+            ctor = BinOp if isinstance(expr, BinOp) else Compare
+            return ctor(new_op, expr.left, expr.right)
+        if isinstance(expr, UnOp):
+            return UnOp(expr.op, rebuild_expr(expr.operand))
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, rebuild_expr(expr.left), rebuild_expr(expr.right))
+        if isinstance(expr, FMA):
+            return FMA(
+                rebuild_expr(expr.a), rebuild_expr(expr.b), rebuild_expr(expr.c),
+                expr.negate_product,
+            )
+        if isinstance(expr, Call):
+            return Call(expr.func, [rebuild_expr(a) for a in expr.args], expr.variant)
+        if isinstance(expr, Compare):
+            return Compare(expr.op, rebuild_expr(expr.left), rebuild_expr(expr.right))
+        if isinstance(expr, BoolOp):
+            return BoolOp(expr.op, rebuild_expr(expr.left), rebuild_expr(expr.right))
+        if isinstance(expr, ArrayRef):
+            return ArrayRef(expr.name, rebuild_expr(expr.index))
+        return expr
+
+    def rebuild_body(stmts: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Decl):
+                out.append(Decl(stmt.name, rebuild_expr(stmt.init)))
+            elif isinstance(stmt, Assign):
+                out.append(Assign(stmt.target, rebuild_expr(stmt.expr)))
+            elif isinstance(stmt, AugAssign):
+                op = stmt.op
+                if stmt is victim and not _Swap.done:
+                    _Swap.done = True
+                    op = new_op
+                out.append(AugAssign(stmt.target, op, rebuild_expr(stmt.expr)))
+            elif isinstance(stmt, For):
+                out.append(For(stmt.var, stmt.bound, rebuild_body(stmt.body)))
+            elif isinstance(stmt, If):
+                out.append(If(rebuild_expr(stmt.cond), rebuild_body(stmt.body)))
+            else:
+                out.append(stmt)
+        return out
+
+    return kernel.with_body(rebuild_body(kernel.body))
+
+
+def _mutate_const_perturb(
+    kernel: Kernel, rng: random.Random, donor: Optional[Kernel]
+) -> Optional[Kernel]:
+    """Move one literal a few ULPs in the kernel precision.
+
+    The new constant is round-tripped through a full-precision Varity
+    literal (17 significant digits for FP64) so the rendered source, the
+    parsed value, and the interpreted value stay a single number.
+    """
+    sites = _float_sites(kernel.body)
+    consts = [i for i, e in enumerate(sites) if isinstance(e, Const)]
+    if not consts:
+        return None
+    target = rng.choice(consts)
+    old = sites[target]
+    assert isinstance(old, Const)
+    steps = rng.choice([-8, -4, -2, -1, 1, 2, 4, 8])
+    new_value = perturb_ulps(old.value, steps, kernel.fptype)
+    if new_value == old.value:
+        # Saturated (e.g. the constant was already at a range boundary);
+        # fall back to a sign flip, which is always a real change.
+        new_value = -old.value
+    text = format_varity_literal(new_value, kernel.fptype, digits=16)
+    parsed = float(text.rstrip("Ff"))
+    body = _replace_site(kernel.body, target, Const(parsed, text))
+    return kernel.with_body(body)
+
+
+def _mutate_call(kernel: Kernel, rng: random.Random, donor: Optional[Kernel]) -> Optional[Kernel]:
+    """Substitute one math call's function, or wrap a subexpression."""
+    sites = _float_sites(kernel.body)
+    if not sites:
+        return None
+    calls = [i for i, e in enumerate(sites) if isinstance(e, Call)]
+    substitute = bool(calls) and rng.random() < 0.6
+    if substitute:
+        target = rng.choice(calls)
+        call = sites[target]
+        assert isinstance(call, Call)
+        pool = BINARY_FUNCTIONS if len(call.args) == 2 else UNARY_FUNCTIONS
+        choices = [f for f in pool if f != call.func]
+        func = rng.choice(choices)
+        repl: Expr = Call(func, call.args, call.variant)
+    else:
+        target = rng.randrange(len(sites))
+        func = rng.choice(_WRAP_FUNCTIONS)
+        repl = Call(func, [sites[target]])
+    return kernel.with_body(_replace_site(kernel.body, target, repl))
+
+
+def _mutate_fma_shape(
+    kernel: Kernel, rng: random.Random, donor: Optional[Kernel]
+) -> Optional[Kernel]:
+    """Rewrite one additive node into the ``a*b + c`` contractible shape.
+
+    The FMA-contraction pass fires on exactly this pattern at -O1 and
+    above (and only on one of the modeled compilers under some settings),
+    so introducing it is a targeted probe for optimization-induced
+    divergence.
+    """
+    sites = _float_sites(kernel.body)
+    adds = [
+        i for i, e in enumerate(sites) if isinstance(e, BinOp) and e.op in ("+", "-")
+    ]
+    if not adds:
+        return None
+    target = rng.choice(adds)
+    node = sites[target]
+    assert isinstance(node, BinOp)
+    x, y = node.left, node.right
+    # x ⊕ y  →  x*y + x   |   x*y + y   (operand reuse keeps names in scope)
+    c = x if rng.random() < 0.5 else y
+    repl = BinOp("+", BinOp("*", x, y), c)
+    return kernel.with_body(_replace_site(kernel.body, target, repl))
+
+
+def _donor_expr_candidates(donor: Kernel, target_scalars: frozenset) -> List[Expr]:
+    """Donor float subexpressions whose free names the target resolves.
+
+    Restricted to names that are FLOAT parameters of the *target* kernel
+    (in scope everywhere); donor expressions touching arrays or loop
+    variables are rejected rather than renamed.
+    """
+    out: List[Expr] = []
+    for expr in _float_sites(donor.body):
+        if isinstance(expr, (Const, VarRef)):
+            continue  # trivial splices add nothing over other mutators
+        ok = True
+        for node in walk(expr):
+            if isinstance(node, VarRef) and node.name not in target_scalars:
+                ok = False
+                break
+            if isinstance(node, ArrayRef):
+                ok = False
+                break
+        if ok:
+            out.append(expr)
+    return out
+
+
+def _mutate_splice(kernel: Kernel, rng: random.Random, donor: Optional[Kernel]) -> Optional[Kernel]:
+    """Replace one float subexpression with one lifted from the donor."""
+    if donor is None:
+        return None
+    target_scalars = frozenset(
+        p.name for p in kernel.params if p.type is IRType.FLOAT
+    )
+    candidates = _donor_expr_candidates(donor, target_scalars)
+    sites = _float_sites(kernel.body)
+    if not candidates or not sites:
+        return None
+    repl = rng.choice(candidates)
+    target = rng.randrange(len(sites))
+    return kernel.with_body(_replace_site(kernel.body, target, repl))
+
+
+def _mutate_guard_toggle(
+    kernel: Kernel, rng: random.Random, donor: Optional[Kernel]
+) -> Optional[Kernel]:
+    """Unwrap an ``if``/``for``, or wrap a top-level statement in a guard."""
+    body = list(kernel.body)
+    unwrappable = [i for i, s in enumerate(body) if isinstance(s, (If, For))]
+    wrap = not unwrappable or rng.random() < 0.4
+    if wrap:
+        # Never wrap a Decl: the declared name would vanish from the outer
+        # scope and any later use would (correctly) fail validation.
+        wrappable = [i for i, s in enumerate(body) if not isinstance(s, Decl)]
+        scalars = [p.name for p in kernel.params if p.type is IRType.FLOAT]
+        if not wrappable or not scalars:
+            return None
+        i = rng.choice(wrappable)
+        cond = Compare(
+            rng.choice(COMPARE_OPS),
+            VarRef(rng.choice(scalars)),
+            Const(0.0, format_varity_literal(0.0, kernel.fptype)),
+        )
+        new_body = body[:i] + [If(cond, [body[i]])] + body[i + 1 :]
+    else:
+        i = rng.choice(unwrappable)
+        stmt = body[i]
+        assert isinstance(stmt, (If, For))
+        inner = list(stmt.body)
+        # A For body may declare nothing but reference the loop variable;
+        # unwrapping would orphan those references.  Reject that case.
+        if isinstance(stmt, For):
+            for s in inner:
+                for node in walk(s):
+                    if isinstance(node, VarRef) and node.name == stmt.var:
+                        return None
+        new_body = body[:i] + inner + body[i + 1 :]
+    return kernel.with_body(new_body)
+
+
+@dataclass(frozen=True)
+class Mutator:
+    """One registered mutation class."""
+
+    name: str
+    fn: Callable[[Kernel, random.Random, Optional[Kernel]], Optional[Kernel]]
+    needs_donor: bool = False
+    doc: str = ""
+
+
+MUTATORS: Dict[str, Mutator] = {
+    m.name: m
+    for m in (
+        Mutator("op-swap", _mutate_op_swap, doc="swap one arithmetic/compare operator"),
+        Mutator("const-perturb", _mutate_const_perturb, doc="move one literal by ±1..8 ULPs"),
+        Mutator("call-mutate", _mutate_call, doc="substitute or wrap a math call"),
+        Mutator("fma-shape", _mutate_fma_shape, doc="introduce the contractible a*b+c shape"),
+        Mutator("splice", _mutate_splice, needs_donor=True, doc="graft a donor subexpression"),
+        Mutator("guard-toggle", _mutate_guard_toggle, doc="wrap/unwrap an if or for"),
+    )
+}
+
+#: Registry order is the canonical mutation_id order used by the engine.
+MUTATION_NAMES: Tuple[str, ...] = tuple(MUTATORS)
+
+
+def apply_mutation(
+    kernel: Kernel,
+    mutation_id: str,
+    seed: int,
+    donor: Optional[Kernel] = None,
+) -> Optional[Kernel]:
+    """Apply one registered mutation, fully determined by ``(seed, mutation_id)``.
+
+    Returns the mutated kernel, or ``None`` when the mutation has no
+    applicable site in this kernel (or needs a donor and got none).
+    """
+    try:
+        mutator = MUTATORS[mutation_id]
+    except KeyError:
+        raise ValueError(f"unknown mutation {mutation_id!r}") from None
+    rng = random.Random(derive_seed(seed, "mutation", mutation_id))
+    return mutator.fn(kernel, rng, donor)

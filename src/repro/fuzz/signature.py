@@ -1,0 +1,123 @@
+"""Discrepancy signatures — the fuzzer's notion of novelty.
+
+Two discrepancies are *the same finding* when they share a signature:
+triage cause × implicated math functions × optimization label ×
+directional outcome-class pair.  The fuzzer keeps one finding per
+signature, which is what turns a stream of raw divergent runs into a
+bounded, human-triageable ledger — the paper's 652k-run campaign produced
+thousands of discrepancies but only a handful of *mechanisms* (§V/§VI),
+and the signature is the in-model encoding of "mechanism".
+
+Built on :func:`repro.analysis.triage.triage_discrepancy`: the cause and
+function attribution come straight from its probes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.analysis.triage import TriageVerdict
+from repro.harness.differential import Discrepancy
+from repro.utils.tables import Table
+
+__all__ = ["DiscrepancySignature", "signature_histogram"]
+
+
+@dataclass(frozen=True)
+class DiscrepancySignature:
+    """The dedup key of one finding.
+
+    ``functions`` is the sorted tuple of math functions triage implicated
+    (empty for optimization-induced or unknown causes); the outcome pair
+    is directional (NVCC side first) because the adjacency tables treat
+    ``Num→NaN`` and ``NaN→Num`` as different cells.
+    """
+
+    cause: str
+    functions: Tuple[str, ...]
+    opt_label: str
+    nvcc_outcome: str
+    hipcc_outcome: str
+
+    @classmethod
+    def from_verdict(
+        cls, verdict: TriageVerdict, discrepancy: Discrepancy
+    ) -> "DiscrepancySignature":
+        return cls(
+            cause=verdict.cause,
+            functions=tuple(sorted(verdict.functions)),
+            opt_label=discrepancy.opt_label,
+            nvcc_outcome=discrepancy.nvcc_outcome.value,
+            hipcc_outcome=discrepancy.hipcc_outcome.value,
+        )
+
+    @property
+    def key(self) -> str:
+        """Canonical string form (stable across runs; used by the ledger)."""
+        funcs = "+".join(self.functions) or "-"
+        return (
+            f"{self.cause}|{funcs}|{self.opt_label}|"
+            f"{self.nvcc_outcome}/{self.hipcc_outcome}"
+        )
+
+    def describe(self) -> str:
+        funcs = f" via {', '.join(self.functions)}" if self.functions else ""
+        return (
+            f"{self.cause}{funcs} @ {self.opt_label} "
+            f"({self.nvcc_outcome} vs {self.hipcc_outcome})"
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "cause": self.cause,
+            "functions": list(self.functions),
+            "opt": self.opt_label,
+            "nvcc_outcome": self.nvcc_outcome,
+            "hipcc_outcome": self.hipcc_outcome,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "DiscrepancySignature":
+        return cls(
+            cause=str(data["cause"]),
+            functions=tuple(data["functions"]),  # type: ignore[arg-type]
+            opt_label=str(data["opt"]),
+            nvcc_outcome=str(data["nvcc_outcome"]),
+            hipcc_outcome=str(data["hipcc_outcome"]),
+        )
+
+
+def signature_histogram(
+    signatures: Iterable[DiscrepancySignature],
+    title: str = "Discrepancy signatures",
+    counts: Optional[Counter] = None,
+) -> Table:
+    """Histogram table of signatures (``--report`` output).
+
+    ``counts`` optionally supplies per-signature occurrence counts (e.g.
+    raw discrepancies per signature); without it every signature counts
+    once.
+    """
+    sigs = list(signatures)
+    tally: Counter = Counter()
+    for sig in sigs:
+        tally[sig] += counts.get(sig, 1) if counts is not None else 1  # type: ignore[union-attr]
+    table = Table(
+        title=title,
+        headers=["Cause", "Functions", "Opt", "Outcomes (nvcc/hipcc)", "Count"],
+    )
+    for sig, n in sorted(
+        tally.items(), key=lambda item: (-item[1], item[0].key)
+    ):
+        table.add_row(
+            [
+                sig.cause,
+                ", ".join(sig.functions) or "—",
+                sig.opt_label,
+                f"{sig.nvcc_outcome}/{sig.hipcc_outcome}",
+                n,
+            ]
+        )
+    return table

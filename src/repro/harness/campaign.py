@@ -46,18 +46,18 @@ paper-scale grid continues instead of restarting.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError
 from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
 from repro.harness.runner import DifferentialRunner, PairResult, RunCache
+from repro.utils.checkpoint import JsonlCheckpoint
 from repro.utils.rng import derive_seed
 from repro.varity.config import GeneratorConfig
 from repro.varity.corpus import Corpus, build_corpus_slice
@@ -423,91 +423,37 @@ def _worker(args: Tuple[CampaignConfig, PlanStep]) -> Tuple[str, Dict[str, ArmRe
 # ---------------------------------------------------------------------------
 
 
-class _Checkpoint:
+class _Checkpoint(JsonlCheckpoint):
     """Append-only JSONL checkpoint: a header line with the config
-    fingerprint, then one line per completed plan step."""
+    fingerprint (see :class:`~repro.utils.checkpoint.JsonlCheckpoint`),
+    then one ``step`` line per completed plan step."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
-        self._fh: Optional[IO[str]] = None
+    noun = "checkpoint"
+    writer = "a campaign"
 
     def load_completed(self, config: CampaignConfig) -> Dict[str, Dict[str, ArmResult]]:
         """Read completed steps, validating the header against ``config``."""
-        if not self.path.exists():
-            raise HarnessError(f"cannot resume: checkpoint {self.path} does not exist")
         done: Dict[str, Dict[str, ArmResult]] = {}
-        with self.path.open("r", encoding="utf-8") as fh:
-            header_seen = False
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                except json.JSONDecodeError:
-                    # A run killed mid-write leaves a torn final line; the
-                    # step it described simply reruns.
-                    continue
-                if not header_seen:
-                    if data.get("kind") != "header":
-                        raise HarnessError(
-                            f"checkpoint {self.path} has no header line"
-                        )
-                    if data.get("fingerprint") != config.fingerprint():
-                        raise HarnessError(
-                            f"checkpoint {self.path} was written by a campaign "
-                            "with a different configuration; refusing to resume"
-                        )
-                    header_seen = True
-                    continue
-                if data.get("kind") != "step":
-                    continue
-                done[str(data["key"])] = {
-                    name: ArmResult.from_json_dict(arm_data)
-                    for name, arm_data in data["arms"].items()
-                }
-        if not header_seen:
-            raise HarnessError(f"checkpoint {self.path} is empty")
+        for data in self.iter_records(config.fingerprint()):
+            if data.get("kind") != "step":
+                continue
+            done[str(data["key"])] = {
+                name: ArmResult.from_json_dict(arm_data)
+                for name, arm_data in data["arms"].items()
+            }
         return done
 
-    def open_for_append(self, config: CampaignConfig, fresh: bool) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if fresh or not self.path.exists():
-            with self.path.open("w", encoding="utf-8") as fh:
-                fh.write(
-                    json.dumps({"kind": "header", "fingerprint": config.fingerprint()})
-                    + "\n"
-                )
-        else:
-            self._trim_torn_tail()
-        self._fh = self.path.open("a", encoding="utf-8")
-
-    def _trim_torn_tail(self) -> None:
-        """Drop a half-written final line (a run killed mid-append) so the
-        next appended step starts on its own line."""
-        data = self.path.read_bytes()
-        if data and not data.endswith(b"\n"):
-            with self.path.open("wb") as fh:
-                fh.write(data[: data.rfind(b"\n") + 1])
+    def open_for_append(self, config: CampaignConfig, fresh: bool) -> None:  # type: ignore[override]
+        super().open_for_append(config.fingerprint(), fresh)
 
     def append_step(self, key: str, arms: Dict[str, ArmResult]) -> None:
-        assert self._fh is not None
-        self._fh.write(
-            json.dumps(
-                {
-                    "kind": "step",
-                    "key": key,
-                    "arms": {name: arm.to_json_dict() for name, arm in arms.items()},
-                }
-            )
-            + "\n"
+        self.append_record(
+            {
+                "kind": "step",
+                "key": key,
+                "arms": {name: arm.to_json_dict() for name, arm in arms.items()},
+            }
         )
-        self._fh.flush()
-
-    def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
 
 
 # ---------------------------------------------------------------------------

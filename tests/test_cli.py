@@ -74,6 +74,16 @@ class TestMainEndToEnd:
         payload = json.loads(out.read_text(encoding="utf-8"))
         assert payload["nvcc_cache_hits"] > 0
         assert payload["arms"]["fp64_hipify"]["runs_by_opt"]
+        # The config payload fully identifies the campaign that produced it.
+        assert payload["config"] == {
+            "seed": 3,
+            "n_programs_fp64": 4,
+            "n_programs_fp32": 4,
+            "inputs_per_program": 2,
+            "include_hipify": True,
+            "include_fp32": True,
+            "workers": 0,
+        }
 
         # Resuming the finished campaign replays the checkpoint without
         # executing anything, and reproduces the results exactly.

@@ -34,6 +34,12 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "Table IV" in out
 
+    def test_fuzzing_session(self, capsys):
+        _run("fuzzing_session.py", ["12", "11"])
+        out = capsys.readouterr().out
+        assert "novel findings" in out
+        assert "fuzzing vs blind generation" in out
+
     def test_acceptance_testing(self, tmp_path, capsys):
         _run("acceptance_testing.py", [str(tmp_path)])
         out = capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for the ``repro-fuzz`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fp.types import FPType
+from repro.fuzz.cli import _config_from_args, build_parser, main
+from repro.fuzz.mutators import MUTATION_NAMES
+
+
+def _config(argv):
+    parser = build_parser()
+    return _config_from_args(parser, parser.parse_args(argv))
+
+
+class TestConfigFromArgs:
+    def test_defaults(self):
+        config = _config([])
+        assert config.fptype is FPType.FP32
+        assert config.max_mutants == 200
+        assert config.mutations == MUTATION_NAMES
+
+    def test_overrides_apply(self):
+        config = _config(
+            ["--fptype", "fp64", "--seed-programs", "7", "--inputs", "2",
+             "--mutants", "9", "--batch", "3", "--no-hipify", "--no-minimize"]
+        )
+        assert config.fptype is FPType.FP64
+        assert config.n_seed_programs == 7
+        assert config.inputs_per_program == 2
+        assert config.max_mutants == 9
+        assert config.batch_size == 3
+        assert not config.include_hipify and not config.minimize
+
+    def test_mutation_subset(self):
+        config = _config(["--mutations", "op-swap, splice"])
+        assert config.mutations == ("op-swap", "splice")
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--seed-programs", "0"],
+            ["--inputs", "0"],
+            ["--mutants", "-1"],
+            ["--batch", "0"],
+            ["--max-seconds", "0"],
+            ["--mutations", "rot13"],
+            ["--mutations", ","],
+            ["--resume"],
+        ],
+    )
+    def test_bad_arguments_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            _config(argv)
+
+    def test_explicit_zero_mutants_honored(self):
+        # 0 is a legal budget (report-only resume), not a falsy fallback.
+        assert _config(["--mutants", "0"]).max_mutants == 0
+
+
+class TestMainEndToEnd:
+    def test_session_resume_and_report(self, tmp_path, capsys):
+        ledger = tmp_path / "findings.jsonl"
+        argv = [
+            "--seed", "11", "--seed-programs", "12", "--inputs", "2",
+            "--mutants", "15", "--batch", "5", "--no-minimize",
+            "--ledger", str(ledger),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fuzz session: 15 iterations" in out
+        first = [json.loads(l) for l in ledger.read_text().splitlines()]
+
+        assert main(argv + ["--resume", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Signature histogram" in out
+        resumed = [json.loads(l) for l in ledger.read_text().splitlines()]
+        # A finished session resumes as a no-op: no new batch lines.
+        assert resumed == first
+
+    def test_mismatched_resume_fails_cleanly(self, tmp_path, capsys):
+        ledger = tmp_path / "findings.jsonl"
+        base = ["--seed-programs", "8", "--inputs", "2", "--mutants", "5",
+                "--no-minimize", "--ledger", str(ledger)]
+        assert main(["--seed", "1"] + base) == 0
+        capsys.readouterr()
+        assert main(["--seed", "2"] + base + ["--resume"]) == 2
+        assert "refusing to resume" in capsys.readouterr().err

@@ -88,6 +88,42 @@ class TestTriage:
         text = triage_table(verdicts).render()
         assert "math-library" in text
 
+    def test_limit_zero_triages_nothing(self, runner):
+        """``limit=0`` must mean "none", not fall through to "all"."""
+        from repro.harness.differential import Discrepancy, classify_pair
+        from repro.harness.runner import DifferentialRunner
+
+        test = fig4_testcase()
+        rn, ra, _, _ = runner.run_single(test, O0, 0)
+        d = Discrepancy(
+            test_id=test.test_id,
+            input_index=0,
+            opt_label="O0",
+            dclass=classify_pair(rn.value, ra.value),
+            nvcc_printed=rn.printed,
+            hipcc_printed=ra.printed,
+            nvcc_outcome=rn.outcome,
+            hipcc_outcome=ra.outcome,
+        )
+        tests_by_id = {test.test_id: test}
+        assert triage_tests(runner, tests_by_id, [d], limit=0) == []
+        assert len(triage_tests(runner, tests_by_id, [d], limit=None)) == 1
+
+    def test_table_counts_functions_per_cause(self, runner):
+        """A function implicated under one cause must not inflate another
+        cause's row (counts used to be computed globally)."""
+        from repro.analysis.triage import Cause, TriageVerdict
+
+        verdicts = [
+            TriageVerdict("t1", 0, "O0", Cause.MATH_LIBRARY, functions=("fmod",)),
+            TriageVerdict("t2", 0, "O0", Cause.MATH_LIBRARY, functions=("fmod",)),
+            TriageVerdict("t3", 0, "O3_FM", Cause.FAST_MATH_LIBRARY, functions=("fmod",)),
+        ]
+        rows = triage_table(verdicts).rows
+        by_cause = {row[0]: row[2] for row in rows}
+        assert by_cause[Cause.MATH_LIBRARY] == "fmod×2"
+        assert by_cause[Cause.FAST_MATH_LIBRARY] == "fmod×1"
+
 
 class TestReduction:
     def test_fig4_reduces_dramatically(self, runner):
