@@ -1,0 +1,165 @@
+"""Execution-service throughput: serial vs process pool vs warm store.
+
+The workload is the fuzz engine's evaluation shape at default fuzz scale
+— one chunk per program holding the native sweep plus its HIPIFY twin
+(CUDA half replayed from the content-keyed store) — pushed through the
+three execution configurations the redesign enables:
+
+* ``serial``    — ``SerialBackend``, cold two-tier ``RunStore`` with a
+  disk tier (this pass also writes the store the warm mode reads);
+* ``pool``      — ``ProcessPoolBackend``, the same chunks fanned out to
+  spawn workers;
+* ``warm``      — ``SerialBackend`` again, reopening the disk store the
+  first pass wrote: every CUDA-side run replays, zero nvcc executions.
+
+All three modes must produce identical discrepancy sets (the backends'
+ordered-results contract).  On multi-core hosts the pool must beat
+serial on wall clock and the warm store must beat a cold one; both perf
+assertions are informational at tiny (CI smoke) scale, and the pool one
+is skipped on single-core machines where no speedup is physically
+possible.
+
+The JSON summary lands in ``benchmarks/results/exec_service.json`` — CI
+runs this bench in smoke mode and uploads that file as an artifact to
+start the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.exec import (
+    ExecutionService,
+    ProcessPoolBackend,
+    RunStore,
+    SHARED_CACHE,
+    SerialBackend,
+    SweepRequest,
+)
+from repro.compilers.options import PAPER_OPT_SETTINGS
+from repro.varity.config import GeneratorConfig
+from repro.varity.corpus import build_corpus
+
+from conftest import emit
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def _workload():
+    """One chunk per program: native sweep + HIPIFY twin, fuzz-style."""
+    n_programs = {"tiny": 12, "paper": 400}.get(SCALE, 120)
+    corpus = build_corpus(
+        GeneratorConfig.fp32(inputs_per_program=3), n_programs, root_seed=2024
+    )
+    chunks = [
+        [
+            SweepRequest(
+                test=t, opts=PAPER_OPT_SETTINGS, tag=("native",), cache=SHARED_CACHE
+            ),
+            SweepRequest(
+                test=t.hipified(),
+                opts=PAPER_OPT_SETTINGS,
+                tag=("hipify",),
+                cache=SHARED_CACHE,
+            ),
+        ]
+        for t in corpus
+    ]
+    return n_programs, chunks
+
+
+def _run(service, chunks):
+    totals = {"pair_runs": 0, "nvcc_executions": 0, "nvcc_cache_hits": 0}
+    keys = []
+    t0 = time.perf_counter()
+    try:
+        for outcomes in service.run_sweeps(chunks):
+            for o in outcomes:
+                totals["pair_runs"] += o.pair_runs
+                totals["nvcc_executions"] += o.nvcc_executions
+                totals["nvcc_cache_hits"] += o.nvcc_cache_hits
+                keys.extend(
+                    (o.tag[0], d.test_id, d.input_index, d.opt_label, d.dclass.value)
+                    for d in o.iter_discrepancies()
+                )
+    finally:
+        service.close()
+    return time.perf_counter() - t0, totals, sorted(keys)
+
+
+def test_exec_service_throughput(results_dir):
+    n_programs, chunks = _workload()
+    store_path = results_dir / "exec_service.store.jsonl"
+    if store_path.exists():
+        store_path.unlink()
+    workers = max(2, (os.cpu_count() or 2) - 1)
+
+    serial_s, serial_t, serial_keys = _run(
+        ExecutionService(SerialBackend(), RunStore(path=store_path, max_entries=4096)),
+        chunks,
+    )
+    pool_s, pool_t, pool_keys = _run(
+        ExecutionService(ProcessPoolBackend(workers)), chunks
+    )
+    warm_s, warm_t, warm_keys = _run(
+        ExecutionService(SerialBackend(), RunStore(path=store_path, max_entries=4096)),
+        chunks,
+    )
+
+    # Correctness first: every mode finds the same discrepancies and the
+    # twin's CUDA half always rides the cache.
+    assert serial_keys == pool_keys == warm_keys
+    assert serial_t == pool_t
+    assert serial_t["nvcc_cache_hits"] == serial_t["nvcc_executions"]
+    # The warm store serves the *entire* CUDA side from disk.
+    assert warm_t["nvcc_executions"] == 0
+    assert warm_t["pair_runs"] == serial_t["pair_runs"]
+
+    multicore = (os.cpu_count() or 1) >= 2
+    if SCALE != "tiny":
+        assert warm_s < serial_s, (
+            f"warm store ({warm_s:.1f}s) did not beat cold serial ({serial_s:.1f}s)"
+        )
+        if multicore:
+            assert pool_s < serial_s, (
+                f"pool backend ({pool_s:.1f}s, workers={workers}) did not beat "
+                f"serial ({serial_s:.1f}s)"
+            )
+
+    rows = [
+        ("serial (cold store)", serial_s, serial_t),
+        (f"pool (workers={workers})", pool_s, pool_t),
+        ("serial (warm store)", warm_s, warm_t),
+    ]
+    lines = [
+        f"execution service throughput ({n_programs} fp32 programs, "
+        f"native+hipify chunks, 5 opt settings)",
+        "",
+        f"{'mode':<22} {'seconds':>8} {'runs/s':>8} {'pair runs':>10} "
+        f"{'nvcc execs':>11} {'cache hits':>11}",
+    ]
+    for label, seconds, totals in rows:
+        rate = totals["pair_runs"] / seconds if seconds else 0.0
+        lines.append(
+            f"{label:<22} {seconds:>8.2f} {rate:>8.0f} {totals['pair_runs']:>10} "
+            f"{totals['nvcc_executions']:>11} {totals['nvcc_cache_hits']:>11}"
+        )
+    emit(results_dir, "exec_service_throughput", "\n".join(lines))
+
+    summary = {
+        "scale": SCALE,
+        "programs": n_programs,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "pair_runs": serial_t["pair_runs"],
+        "serial_seconds": round(serial_s, 3),
+        "pool_seconds": round(pool_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "pool_speedup": round(serial_s / pool_s, 3) if pool_s else None,
+        "warm_speedup": round(serial_s / warm_s, 3) if warm_s else None,
+    }
+    (results_dir / "exec_service.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )

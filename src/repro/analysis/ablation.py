@@ -201,21 +201,65 @@ class AblationResult:
         return sum(self.by_opt.values())
 
 
+#: tests per execution-service chunk: small enough to parallelize a
+#: modest corpus, big enough to amortize per-chunk runner construction.
+_CHUNK_TESTS = 8
+
+
 def run_ablation(
     corpus: Corpus,
     specs: Sequence[AblationSpec] = ABLATIONS,
     opts: Sequence[OptSetting] = PAPER_OPT_SETTINGS,
+    *,
+    service: Optional["ExecutionService"] = None,
+    workers: int = 0,
 ) -> List[AblationResult]:
-    """Run the corpus under each ablation spec."""
-    results: List[AblationResult] = []
-    for spec in specs:
-        runner = _build_runner(spec)
-        result = AblationResult(spec=spec, by_opt={o.label: 0 for o in opts})
-        for opt in opts:
-            for test in corpus:
-                pair = runner.run_pair(test, opt)
-                result.by_opt[opt.label] += len(pair.discrepancies)
-        results.append(result)
+    """Run the corpus under each ablation spec.
+
+    Every (spec, test) sweep goes through the execution service — each
+    spec's equalized runner is reconstructed per chunk from its
+    :class:`~repro.exec.units.RunnerSpec`, so chunks are deterministic
+    wherever they run and the counts are identical at any worker count.
+    Pass a ``service`` to share one (and its backend) across studies, or
+    ``workers`` to parallelize this call alone.
+    """
+    from repro.exec import ExecutionService, NO_CACHE, RunnerSpec, SweepRequest
+
+    owns = service is None
+    if service is None:
+        service = ExecutionService.for_workers(workers)
+    opts = tuple(opts)
+    tests = list(corpus)
+    results = [
+        AblationResult(spec=spec, by_opt={o.label: 0 for o in opts}) for spec in specs
+    ]
+    chunks: List[List[SweepRequest]] = []
+    owner: List[int] = []
+    for index, spec in enumerate(specs):
+        runner_spec = RunnerSpec(ablation=spec)
+        for lo in range(0, len(tests), _CHUNK_TESTS):
+            chunks.append(
+                [
+                    SweepRequest(
+                        test=t,
+                        opts=opts,
+                        tag=(spec.name,),
+                        cache=NO_CACHE,
+                        runner=runner_spec,
+                    )
+                    for t in tests[lo : lo + _CHUNK_TESTS]
+                ]
+            )
+            owner.append(index)
+    try:
+        for index, outcomes in zip(owner, service.run_sweeps(chunks)):
+            by_opt = results[index].by_opt
+            for outcome in outcomes:
+                for label, pair in outcome.pairs.items():
+                    by_opt[label] += len(pair.discrepancies)
+    finally:
+        if owns:
+            service.close()
     return results
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.devices.mathlib.base import (
     BINARY_FUNCTIONS,
@@ -109,14 +109,40 @@ def sweep_function(
     )
 
 
+def _sweep_task(payload: Tuple[str, FPType, int]) -> FunctionSweepResult:
+    """Module-level task wrapper so the execution service can ship one
+    function's sweep to a pool worker."""
+    func, fptype, points_per_range = payload
+    return sweep_function(func, fptype, points_per_range)
+
+
 def sweep_all(
     fptype: FPType = FPType.FP64,
     points_per_range: int = 60,
     functions: Sequence[str] = (),
+    *,
+    service: Optional["ExecutionService"] = None,
+    workers: int = 0,
 ) -> List[FunctionSweepResult]:
-    """Sweep every supported function (or an explicit subset)."""
+    """Sweep every supported function (or an explicit subset).
+
+    Per-function sweeps are independent pure work units, so they run
+    through the execution service's generic task map — ordered and
+    deterministic at any worker count.
+    """
+    from repro.exec import ExecutionService
+
     names = list(functions) if functions else list(UNARY_FUNCTIONS + BINARY_FUNCTIONS)
-    return [sweep_function(f, fptype, points_per_range) for f in names]
+    owns = service is None
+    if service is None:
+        service = ExecutionService.for_workers(workers)
+    try:
+        return service.map(
+            _sweep_task, [(f, fptype, points_per_range) for f in names]
+        )
+    finally:
+        if owns:
+            service.close()
 
 
 def sweep_table(results: Sequence[FunctionSweepResult], title: str = "") -> Table:

@@ -134,11 +134,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             "elapsed_seconds": result.elapsed_seconds,
             "resumed_steps": result.resumed_steps,
             "nvcc_cache_hits": result.nvcc_cache_hits,
+            # Execution-service counters.  Every value here is a function
+            # of the executed plan alone, never of scheduling, so this
+            # block is identical at any --workers (the backend name is
+            # deliberately omitted for that reason).
+            "exec": {
+                "nvcc_executions": result.nvcc_executions,
+                "nvcc_cache_hits": result.nvcc_cache_hits,
+                "sweep_requests": result.exec_metrics.get("requests", 0),
+                "deduped_requests": result.exec_metrics.get("deduped", 0),
+                "store": result.exec_metrics.get("store", {}),
+            },
             "arms": {
                 name: {
                     "total_runs": arm.total_runs,
                     "runs_by_opt": dict(arm.runs_by_opt),
                     "skipped_by_opt": dict(arm.skipped_by_opt),
+                    "nvcc_executions": arm.nvcc_executions,
+                    "nvcc_cache_hits": arm.nvcc_cache_hits,
                     "discrepancies": [d.to_json_dict() for d in arm.discrepancies],
                 }
                 for name, arm in result.arms.items()

@@ -1,0 +1,62 @@
+"""repro.exec — the unified execution-service layer.
+
+Every result this reproduction reports comes from the same primitive:
+run a test across an optimization sweep on both platforms.  This package
+owns that primitive once, as data plus policy:
+
+* :mod:`~repro.exec.units` — typed work units (:class:`SweepRequest` /
+  :class:`SweepOutcome`) plus cache and runner policies;
+* :mod:`~repro.exec.content` — content keying: structurally identical
+  kernels with identical inputs share one identity;
+* :mod:`~repro.exec.store` — the two-tier content-keyed
+  :class:`RunStore` (memory LRU + optional on-disk JSONL);
+* :mod:`~repro.exec.backends` — ordered chunk execution, serial or on a
+  persistent process pool, deterministic at any worker count;
+* :mod:`~repro.exec.service` — the :class:`ExecutionService` facade:
+  dedup, store routing, dispatch, metrics.
+
+The campaign engine, the fuzzer, the mechanism ablation, and the
+math-function sweep all execute through it.
+"""
+
+from repro.exec.backends import (
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.exec.content import content_id, content_text, content_id_for
+from repro.exec.service import ExecMetrics, ExecutionService
+from repro.exec.store import BoundRunCache, RunStore
+from repro.exec.units import (
+    CachePolicy,
+    CHUNK_CACHE,
+    CorpusTestSpec,
+    NO_CACHE,
+    RunnerSpec,
+    SHARED_CACHE,
+    SweepOutcome,
+    SweepRequest,
+)
+
+__all__ = [
+    "Backend",
+    "BoundRunCache",
+    "CachePolicy",
+    "CHUNK_CACHE",
+    "CorpusTestSpec",
+    "ExecMetrics",
+    "ExecutionService",
+    "make_backend",
+    "NO_CACHE",
+    "ProcessPoolBackend",
+    "RunnerSpec",
+    "RunStore",
+    "SerialBackend",
+    "SHARED_CACHE",
+    "SweepOutcome",
+    "SweepRequest",
+    "content_id",
+    "content_text",
+    "content_id_for",
+]

@@ -1,0 +1,121 @@
+"""Execution backends: where chunks of work actually run.
+
+A backend is deliberately tiny — *ordered* chunk execution and nothing
+else: ``imap(fn, payloads)`` must yield one result per payload **in
+payload order** no matter how execution is scheduled.  That single rule
+is what makes every caller's output worker-count-invariant: the service
+hands backends deterministic chunks, and backends may only change *when*
+a chunk runs, never what it computes or the order results come back.
+
+``SerialBackend`` runs in-process (and lazily, so streaming callers
+interleave their own work between chunks).  ``ProcessPoolBackend`` owns
+a persistent spawn pool — created on first use, reused across calls so
+repeated small submissions (the fuzzer's speculation windows) do not pay
+process startup each time.  Workers import the repo fresh; payloads and
+the mapped function must be picklable (module-level functions only).
+
+Future backends (async, distributed) implement the same two methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+try:  # pragma: no cover - Protocol missing only on <3.8
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = ["Backend", "SerialBackend", "ProcessPoolBackend", "make_backend"]
+
+
+class Backend(Protocol):
+    """Ordered chunk execution."""
+
+    #: backend name for reports ("serial", "process-pool").
+    name: str
+    #: True when payloads cross a process boundary (workers cannot see
+    #: in-process state such as the service's shared run store).
+    remote: bool
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        """Apply ``fn`` to each payload, yielding results in payload order."""
+        ...  # pragma: no cover
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], payloads: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Like :meth:`imap` but yielding in completion order."""
+        ...  # pragma: no cover
+
+    def close(self) -> None:
+        ...  # pragma: no cover
+
+
+class SerialBackend:
+    """In-process, lazy, deterministic — the reference backend."""
+
+    name = "serial"
+    remote = False
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        return map(fn, payloads)
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], payloads: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Completion order == payload order in-process."""
+        return map(fn, payloads)
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessPoolBackend:
+    """A persistent spawn pool; results are re-ordered to payload order.
+
+    ``imap`` (not ``imap_unordered``) keeps results in submission order,
+    so callers see the exact sequence a serial run would produce — the
+    scheduling is free to complete chunks out of order underneath.
+    """
+
+    name = "process-pool"
+    remote = True
+
+    def __init__(self, workers: int, mp_context: str = "spawn") -> None:
+        if workers < 2:
+            raise ValueError("ProcessPoolBackend needs workers >= 2")
+        self.workers = workers
+        self._mp_context = mp_context
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing as mp
+
+            self._pool = mp.get_context(self._mp_context).Pool(self.workers)
+        return self._pool
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        return self._ensure_pool().imap(fn, payloads)
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], payloads: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Results in completion order — for callers that persist results
+        as they finish (crash durability) and re-order for aggregation
+        themselves."""
+        return self._ensure_pool().imap_unordered(fn, payloads)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_backend(workers: Optional[int]) -> "Backend":
+    """Serial for 0/1 workers, a process pool otherwise."""
+    if workers and workers > 1:
+        return ProcessPoolBackend(workers)
+    return SerialBackend()

@@ -1,0 +1,52 @@
+"""Content-keyed identity of executable work.
+
+The execution layer dedupes and caches by *what actually runs*, not by
+how a test is labeled: two structurally identical kernels with the same
+input vectors produce bit-identical device runs on the CUDA side no
+matter which arm, fuzz lineage, or session they came from, because
+device execution is a pure function of ``(kernel, optimization, inputs)``
+and ``Program.via_hipify`` only changes the HIP compilation.
+
+The canonical text is the rendered kernel signature + body followed by
+the exact input lines, hashed with the repo's stable 64-bit hash — the
+one identity shared by :class:`~repro.exec.store.RunStore` keys, the
+execution service's dedup, and the fuzzer's mutant program ids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.fp.types import FPType
+from repro.ir.program import Kernel
+from repro.utils.hashing import hash_bytes
+from repro.varity.inputs import InputVector
+from repro.varity.testcase import TestCase
+
+__all__ = ["content_text", "content_id", "content_id_for"]
+
+
+def content_text(kernel: Kernel, inputs: Sequence[InputVector]) -> str:
+    """Canonical text identity of (kernel, inputs) for dedup/cache keying."""
+    cfg = EmitterConfig(fptype=kernel.fptype)
+    parts = [render_signature(kernel, cfg), render_kernel_body(kernel, cfg)]
+    parts.extend(vec.line for vec in inputs)
+    return "\n".join(parts)
+
+
+def content_id(fptype: FPType, content: str, prefix: str = "ck") -> str:
+    """Stable id of a canonical content text.
+
+    ``prefix`` only namespaces the rendered id (the fuzzer uses ``fuzz``
+    so mutant program ids keep their historical shape); the hash itself
+    depends on the content alone.
+    """
+    return f"{prefix}-{fptype.value}-{hash_bytes(content.encode('utf-8')):016x}"
+
+
+def content_id_for(test: TestCase, prefix: str = "ck") -> str:
+    """Content id of a test case (its kernel plus its exact input lines)."""
+    return content_id(
+        test.fptype, content_text(test.program.kernel, test.inputs), prefix
+    )

@@ -1,0 +1,296 @@
+"""The execution-service facade.
+
+One object owns what the campaign engine, the fuzzer, and the analysis
+harnesses used to hand-roll separately: resolving work units to concrete
+tests, building runners, routing the nvcc side through the content-keyed
+:class:`~repro.exec.store.RunStore`, deduping identical work, dispatching
+chunks to a :mod:`~repro.exec.backends` backend, and aggregating
+hit/miss/execution metrics.
+
+Guarantees:
+
+* **Determinism** — a chunk's outcomes depend only on its requests
+  (runner construction, generation, and device execution are all pure
+  functions of the specs), and backends return chunk results in
+  submission order; every caller's output is therefore identical at any
+  worker count.
+* **Colocation is the pairing rule** — requests that must share cache
+  entries (a native test and its HIPIFY twin) belong in one chunk;
+  chunk-scope stores then behave identically in-process and in a
+  worker.
+* **Dedup** — two requests in one chunk with the same (content, hipify
+  flag, opts, runner) are executed once; the duplicate's outcome is the
+  original's, rebound to the duplicate's test id, with zero execution
+  counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exec.backends import Backend, SerialBackend, make_backend
+from repro.exec.content import content_id, content_text
+from repro.exec.store import BoundRunCache, RunStore
+from repro.exec.units import SweepOutcome, SweepRequest
+from repro.harness.runner import PairResult
+from repro.varity.testcase import TestCase
+
+__all__ = ["ExecutionService", "ExecMetrics"]
+
+
+@dataclass
+class ExecMetrics:
+    """Aggregate counters across everything a service executed."""
+
+    chunks: int = 0
+    requests: int = 0
+    executed: int = 0
+    deduped: int = 0
+    tasks: int = 0
+    pair_runs: int = 0
+    nvcc_executions: int = 0
+    nvcc_cache_hits: int = 0
+    hipcc_executions: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_evictions: int = 0
+    store_disk_hits: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "chunks": self.chunks,
+            "requests": self.requests,
+            "executed": self.executed,
+            "deduped": self.deduped,
+            "tasks": self.tasks,
+            "pair_runs": self.pair_runs,
+            "nvcc_executions": self.nvcc_executions,
+            "nvcc_cache_hits": self.nvcc_cache_hits,
+            "hipcc_executions": self.hipcc_executions,
+            "store": {
+                "hits": self.store_hits,
+                "misses": self.store_misses,
+                "evictions": self.store_evictions,
+                "disk_hits": self.store_disk_hits,
+            },
+        }
+
+
+def _rebound_outcome(
+    prev: SweepOutcome, test_id: str, tag: Tuple[object, ...]
+) -> SweepOutcome:
+    """A dedup hit: the original's results under the duplicate's identity."""
+    if test_id == prev.test_id:
+        pairs = prev.pairs
+    else:
+        pairs = {
+            label: PairResult(
+                nvcc_runs=[replace(r, test_id=test_id) for r in pair.nvcc_runs],
+                hipcc_runs=[replace(r, test_id=test_id) for r in pair.hipcc_runs],
+                discrepancies=[
+                    replace(d, test_id=test_id) for d in pair.discrepancies
+                ],
+                skipped_inputs=list(pair.skipped_inputs),
+            )
+            for label, pair in prev.pairs.items()
+        }
+    return SweepOutcome(
+        tag=tag,
+        test_id=test_id,
+        content_key=prev.content_key,
+        pairs=pairs,
+        deduped=True,
+    )
+
+
+def _execute_requests(
+    requests: Sequence[SweepRequest], shared_store: Optional[RunStore] = None
+) -> Tuple[List[SweepOutcome], Dict[str, int]]:
+    """Run one chunk serially; the core every backend executes.
+
+    ``shared_store`` is the service's own store (in-process execution
+    only); chunk-scope requests — and shared-scope ones running in a
+    worker — use a store private to this chunk.
+    """
+    chunk_store: Optional[RunStore] = None
+    runners: Dict[Any, Any] = {}
+    memo: Dict[object, TestCase] = {}
+    seen: Dict[Tuple[object, ...], SweepOutcome] = {}
+    outcomes: List[SweepOutcome] = []
+    for req in requests:
+        runner = runners.get(req.runner)
+        if runner is None:
+            runner = runners[req.runner] = req.runner.build()
+        test = req.resolve_test(memo)
+        key = content_id(
+            test.fptype, content_text(test.program.kernel, test.inputs)
+        )
+        dedup_key = (
+            key,
+            test.program.via_hipify,
+            tuple(o.label for o in req.opts),
+            req.runner,
+        )
+        prev = seen.get(dedup_key)
+        if prev is not None:
+            outcomes.append(_rebound_outcome(prev, test.test_id, req.tag))
+            continue
+        view: Optional[BoundRunCache] = None
+        if req.cache.reuse:
+            store = shared_store
+            if store is None or req.cache.scope == "chunk":
+                if chunk_store is None:
+                    chunk_store = RunStore()
+                store = chunk_store
+            view = BoundRunCache(store, key)
+        nv0, hp0 = runner.nvcc_executions, runner.hipcc_executions
+        pairs = runner.run_sweep(
+            test, req.opts, nvcc_cache=view, populate_cache=view
+        )
+        outcome = SweepOutcome(
+            tag=req.tag,
+            test_id=test.test_id,
+            content_key=key,
+            pairs=pairs,
+            nvcc_executions=runner.nvcc_executions - nv0,
+            nvcc_cache_hits=view.hits if view is not None else 0,
+            hipcc_executions=runner.hipcc_executions - hp0,
+        )
+        seen[dedup_key] = outcome
+        outcomes.append(outcome)
+    stats = chunk_store.stats() if chunk_store is not None else {}
+    return outcomes, stats
+
+
+def _execute_chunk_task(
+    requests: Sequence[SweepRequest],
+) -> Tuple[List[SweepOutcome], Dict[str, int]]:
+    """Top-level chunk entry point for process-pool workers."""
+    return _execute_requests(requests)
+
+
+def _execute_indexed_chunk_task(
+    payload: Tuple[int, Sequence[SweepRequest]],
+) -> Tuple[int, List[SweepOutcome], Dict[str, int]]:
+    """Chunk entry point for unordered dispatch: the index rides along so
+    completion-order consumers can re-associate results with chunks."""
+    index, requests = payload
+    outcomes, stats = _execute_requests(requests)
+    return index, outcomes, stats
+
+
+class ExecutionService:
+    """The one sweep interface every subsystem executes through."""
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        store: Optional[RunStore] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        # `is not None`, not `or`: an empty RunStore is falsy (__len__).
+        self.store = store if store is not None else RunStore()
+        self.metrics = ExecMetrics()
+
+    @classmethod
+    def for_workers(
+        cls, workers: Optional[int], store: Optional[RunStore] = None
+    ) -> "ExecutionService":
+        return cls(backend=make_backend(workers), store=store)
+
+    # ------------------------------------------------------------- sweeps
+    def run_sweeps(
+        self, chunks: Iterable[Sequence[SweepRequest]]
+    ) -> Iterator[List[SweepOutcome]]:
+        """Execute chunks through the backend, yielding outcome lists in
+        chunk order as they complete (consume lazily to stream)."""
+        if self.backend.remote:
+            results = self.backend.imap(
+                _execute_chunk_task, (tuple(chunk) for chunk in chunks)
+            )
+        else:
+            results = (
+                _execute_requests(list(chunk), shared_store=self.store)
+                for chunk in chunks
+            )
+        for outcomes, stats in results:
+            self._absorb(outcomes, stats)
+            yield outcomes
+
+    def run_sweeps_unordered(
+        self, chunks: Iterable[Sequence[SweepRequest]]
+    ) -> Iterator[Tuple[int, List[SweepOutcome]]]:
+        """Like :meth:`run_sweeps`, but yielding ``(chunk_index, outcomes)``
+        in *completion* order.  For callers that persist each chunk's
+        result as it finishes (crash durability) and re-order for
+        aggregation themselves; outcome content is identical to the
+        ordered path's, only arrival order is scheduling-dependent.
+        """
+        indexed = ((i, tuple(chunk)) for i, chunk in enumerate(chunks))
+        if self.backend.remote:
+            results = self.backend.imap_unordered(_execute_indexed_chunk_task, indexed)
+        else:
+            results = (
+                (i, *_execute_requests(list(chunk), shared_store=self.store))
+                for i, chunk in indexed
+            )
+        for index, outcomes, stats in results:
+            self._absorb(outcomes, stats)
+            yield index, outcomes
+
+    def run_chunk(self, requests: Sequence[SweepRequest]) -> List[SweepOutcome]:
+        """One chunk, synchronously, on the calling process."""
+        outcomes, stats = _execute_requests(list(requests), shared_store=self.store)
+        self._absorb(outcomes, stats)
+        return outcomes
+
+    # -------------------------------------------------------------- tasks
+    def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> List[Any]:
+        """Ordered parallel map for non-sweep work units (module-level
+        ``fn`` only — payloads may cross a process boundary)."""
+        payloads = list(payloads)
+        self.metrics.tasks += len(payloads)
+        if self.backend.remote:
+            return list(self.backend.imap(fn, payloads))
+        return [fn(p) for p in payloads]
+
+    # ----------------------------------------------------------- plumbing
+    def _absorb(self, outcomes: List[SweepOutcome], stats: Dict[str, int]) -> None:
+        m = self.metrics
+        m.chunks += 1
+        m.requests += len(outcomes)
+        for out in outcomes:
+            if out.deduped:
+                m.deduped += 1
+            else:
+                m.executed += 1
+            m.pair_runs += out.pair_runs
+            m.nvcc_executions += out.nvcc_executions
+            m.nvcc_cache_hits += out.nvcc_cache_hits
+            m.hipcc_executions += out.hipcc_executions
+        m.store_hits += stats.get("hits", 0)
+        m.store_misses += stats.get("misses", 0)
+        m.store_evictions += stats.get("evictions", 0)
+        m.store_disk_hits += stats.get("disk_hits", 0)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate metrics: chunk stores plus the service's shared store."""
+        merged = ExecMetrics(**vars(self.metrics))
+        shared = self.store.stats()
+        merged.store_hits += shared["hits"]
+        merged.store_misses += shared["misses"]
+        merged.store_evictions += shared["evictions"]
+        merged.store_disk_hits += shared["disk_hits"]
+        return merged.as_dict()
+
+    def close(self) -> None:
+        self.backend.close()
+        self.store.close()
+
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,172 @@
+"""Typed work units of the execution service.
+
+A :class:`SweepRequest` is the system's one schedulable primitive: *run
+one test across an optimization sweep on both platforms*.  Making it data
+— a test (or a regenerable spec of one), the opt settings, a cache
+policy, a runner spec, and opaque caller metadata — is what lets the
+campaign engine, the fuzzer, and the analysis harnesses share one
+scheduler, one cache, and one set of counters instead of four private
+loops.
+
+Requests must be picklable: the process-pool backend ships whole chunks
+to spawn workers.  Campaign requests therefore carry a
+:class:`CorpusTestSpec` (the worker regenerates the program from its
+seed — no IR pickling at scale), while fuzz mutants, which cannot be
+regenerated from a generator seed, ship their small concrete
+:class:`~repro.varity.testcase.TestCase` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, TYPE_CHECKING, Union
+
+from repro.compilers.options import OptSetting
+from repro.harness.runner import PairResult
+from repro.varity.config import GeneratorConfig
+from repro.varity.testcase import TestCase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ablation uses exec)
+    from repro.analysis.ablation import AblationSpec
+    from repro.harness.runner import DifferentialRunner
+
+__all__ = [
+    "CachePolicy",
+    "NO_CACHE",
+    "CHUNK_CACHE",
+    "SHARED_CACHE",
+    "RunnerSpec",
+    "CorpusTestSpec",
+    "SweepRequest",
+    "SweepOutcome",
+]
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """How a request interacts with the content-keyed nvcc run store.
+
+    ``reuse=False`` executes everything (the standalone-arm semantics);
+    with ``reuse=True`` the request both consults and populates a store.
+    ``scope`` picks which one: ``"chunk"`` is a store private to the
+    request's chunk — the old per-program ``RunCache`` discipline, exact
+    and worker-count-invariant by construction — while ``"shared"`` is
+    the service's own two-tier store (cross-chunk and, with a disk tier,
+    cross-session reuse).  Process-pool workers cannot see the service
+    store, so ``"shared"`` degrades to chunk scope remotely; callers that
+    need identical counters at every worker count colocate the requests
+    that must pair (native test + HIPIFY twin) in one chunk.
+    """
+
+    reuse: bool = True
+    scope: str = "chunk"  # "chunk" | "shared"
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("chunk", "shared"):
+            raise ValueError(f"unknown cache scope {self.scope!r}")
+
+
+NO_CACHE = CachePolicy(reuse=False)
+CHUNK_CACHE = CachePolicy(reuse=True, scope="chunk")
+SHARED_CACHE = CachePolicy(reuse=True, scope="shared")
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """How to build the differential runner a request executes on.
+
+    A *spec* rather than a runner instance so requests stay picklable and
+    every backend — in-process or spawn worker — constructs an identical,
+    deterministic runner.  ``ablation`` selects an equalized runner from
+    :data:`repro.analysis.ablation.ABLATIONS`-style specs.
+    """
+
+    ablation: Optional["AblationSpec"] = None
+    record_flags: bool = False
+
+    def build(self) -> "DifferentialRunner":
+        if self.ablation is not None:
+            from repro.analysis.ablation import build_ablated_runner
+
+            return build_ablated_runner(self.ablation)
+        from repro.harness.runner import DifferentialRunner
+
+        return DifferentialRunner(record_flags=self.record_flags)
+
+
+DEFAULT_RUNNER = RunnerSpec()
+
+
+@dataclass(frozen=True)
+class CorpusTestSpec:
+    """A regenerable test: absolute corpus index + generation identity.
+
+    Workers rebuild the test from the seed instead of unpickling IR —
+    the campaign's chunking discipline.  ``hipify`` marks the HIPIFY twin
+    (same program and inputs; only the HIP compilation changes).
+    """
+
+    gen: GeneratorConfig
+    index: int
+    root_seed: int
+    prefix: str = "prog"
+    hipify: bool = False
+
+    def resolve(self, memo: Optional[Dict[object, TestCase]] = None) -> TestCase:
+        from repro.varity.corpus import build_corpus_slice
+
+        # The memo is shared across a whole chunk, which may mix specs
+        # from different generator configs; id(gen) keeps them distinct
+        # (requests of one arm share the config *object*, pickled or not).
+        key = (id(self.gen), self.root_seed, self.prefix, self.index)
+        base = memo.get(key) if memo is not None else None
+        if base is None:
+            base = build_corpus_slice(
+                self.gen, self.index, self.index + 1, self.root_seed, self.prefix
+            ).tests[0]
+            if memo is not None:
+                memo[key] = base
+        return base.hipified() if self.hipify else base
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One unit of schedulable work: a test swept across opt settings."""
+
+    test: Union[TestCase, CorpusTestSpec]
+    opts: Tuple[OptSetting, ...]
+    #: opaque caller metadata echoed on the outcome (arm name, index, ...).
+    tag: Tuple[object, ...] = ()
+    cache: CachePolicy = CHUNK_CACHE
+    runner: RunnerSpec = DEFAULT_RUNNER
+
+    def resolve_test(self, memo: Optional[Dict[object, TestCase]] = None) -> TestCase:
+        if isinstance(self.test, TestCase):
+            return self.test
+        return self.test.resolve(memo)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one executed (or deduped) request produced."""
+
+    tag: Tuple[object, ...]
+    test_id: str
+    content_key: str
+    pairs: Dict[str, PairResult] = field(default_factory=dict)
+    nvcc_executions: int = 0
+    nvcc_cache_hits: int = 0
+    hipcc_executions: int = 0
+    #: served from an identical request earlier in the same chunk; the
+    #: counters above are zero because no new work ran.
+    deduped: bool = False
+
+    @property
+    def pair_runs(self) -> int:
+        """Compared record pairs across the sweep (the campaign run unit)."""
+        return sum(len(p.nvcc_runs) for p in self.pairs.values())
+
+    def iter_discrepancies(self):
+        for pair in self.pairs.values():
+            for d in pair.discrepancies:
+                yield d

@@ -8,6 +8,7 @@ stacks and prints the novel findings.  Examples::
     repro-fuzz --mutants 400 --ledger findings.jsonl
     repro-fuzz --mutants 800 --ledger findings.jsonl --resume
     repro-fuzz --max-seconds 120 --mutants 100000 --ledger findings.jsonl
+    repro-fuzz --mutants 400 --workers 4      # same ledger, less wall clock
 """
 
 from __future__ import annotations
@@ -55,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=None, help="ledger batch size (default 25)"
     )
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for mutant evaluation (0 = serial; the "
+        "ledger is byte-identical at any worker count)",
+    )
+    parser.add_argument(
         "--no-hipify", action="store_true", help="skip each mutant's HIPIFY twin"
     )
     parser.add_argument(
@@ -89,6 +95,7 @@ def _config_from_args(
         ("--inputs", args.inputs, 1),
         ("--mutants", args.mutants, 0),
         ("--batch", args.batch, 1),
+        ("--workers", args.workers, 0),
     ):
         if value is not None and value < minimum:
             parser.error(f"{name} must be >= {minimum} (got {value})")
@@ -120,6 +127,7 @@ def _config_from_args(
         include_hipify=not args.no_hipify,
         minimize=not args.no_minimize,
         mutations=mutations,
+        workers=args.workers if args.workers is not None else base.workers,
     )
 
 
@@ -174,6 +182,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 title="Signature histogram (baseline + findings)",
             ).render()
         )
+        # Execution metrics for committed work only — invariant across
+        # --workers, like the ledger (mirrors repro-campaign --json's
+        # exec block).
+        print()
+        print("Execution service (committed work):")
+        print(f"  pair runs            {result.pair_runs}")
+        print(f"  baseline pair runs   {result.baseline_pair_runs}")
+        # Per-input accounting: every executed input is a cache miss,
+        # every replayed one a hit, so executions ARE the miss count.
+        print(f"  nvcc cache misses    {result.nvcc_executions}  (= executions)")
+        print(f"  nvcc cache hits      {result.nvcc_cache_hits}")
+        print(f"  cache hit rate       {100.0 * result.cache_hit_rate:.0f}%")
+        print(f"  duplicates avoided   {result.duplicates}")
     return 0
 
 

@@ -2,13 +2,12 @@
 
 One *iteration* = pick a seed from the pool (power-scheduled), pick a
 mutation, produce a mutant, and — if it is structurally valid and not a
-duplicate — run it through the campaign machinery: one
-:meth:`~repro.compilers.compiler.Compiler.compile_sweep`-backed
-:meth:`~repro.harness.runner.DifferentialRunner.run_sweep` per arm, with
-the HIPIFY twin's CUDA half replayed from a content-keyed
-:class:`~repro.harness.runner.RunCache` exactly as the campaign's fused
-fp64 arms do (mutants share compiled nvcc arms with their native run, so
-the hipify probe costs zero extra nvcc executions).
+duplicate — run it through the shared execution layer: one
+:class:`~repro.exec.units.SweepRequest` per arm submitted to
+:class:`~repro.exec.service.ExecutionService`, with the HIPIFY twin's
+CUDA half replayed from the content-keyed run store exactly as the
+campaign's fused fp64 arms do (a mutant and its twin share one content
+id, so the hipify probe costs zero extra nvcc executions).
 
 Feedback: every discrepancy is triaged
 (:func:`repro.analysis.triage.triage_discrepancy`) and condensed to a
@@ -43,10 +42,25 @@ findings as an uninterrupted one.  (A ``max_seconds`` budget can stop a
 session early between iterations; the *prefix* of findings is still
 deterministic.)
 
+Parallelism (``config.workers``): iteration *i*'s selection depends only
+on scheduler wins, the pool, and the dedup set — none of which change
+while evaluations come back clean — so the engine *speculates* a window
+of upcoming iterations against the frozen state, evaluates their mutants
+concurrently through the service's process-pool backend, and commits the
+results in iteration order.  The first discrepant iteration changes the
+pool, invalidating everything speculated after it; those outcomes are
+discarded (their runs are not counted) and speculation restarts from the
+updated state.  The committed trajectory is therefore *exactly* the
+serial one: the ledger is byte-identical at every worker count.  Triage
+of a discrepant mutant's findings fans out over the same pool.
+Speculation pays off in proportion to how rarely mutants diverge — an
+FP64 session parallelizes almost perfectly, a divergence-rich FP32
+session mainly gains on the seed-pool baseline and triage.
+
 Accounting: ``pair_runs`` counts compared record pairs in baseline and
-mutation sweeps; triage probes and minimization reruns are bookkept by
-their own tools and excluded, mirroring how the paper's run totals count
-campaign runs, not debugging reruns.
+mutation sweeps of *committed* iterations; discarded speculation, triage
+probes, and minimization reruns are excluded, mirroring how the paper's
+run totals count campaign runs, not debugging reruns.
 """
 
 from __future__ import annotations
@@ -58,20 +72,26 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.reduce import kernel_size, reduce_testcase
-from repro.analysis.triage import triage_discrepancy
-from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.analysis.triage import TriageVerdict, triage_discrepancy
 from repro.codegen.cuda import render_cuda
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError, ReproError
+from repro.exec import (
+    CHUNK_CACHE,
+    ExecutionService,
+    SweepOutcome,
+    SweepRequest,
+    content_id,
+    content_text,
+)
 from repro.fp.types import FPType
 from repro.fuzz.ledger import Finding, FindingsLedger, LedgerState, LineageStep, Promotion
 from repro.fuzz.mutators import MUTATION_NAMES, MUTATORS, apply_mutation
 from repro.fuzz.signature import DiscrepancySignature, signature_histogram
 from repro.harness.differential import Discrepancy
-from repro.harness.runner import DifferentialRunner, RunCache
+from repro.harness.runner import DifferentialRunner
 from repro.ir.program import Kernel, Program
 from repro.ir.validate import validate_kernel
-from repro.utils.hashing import hash_bytes
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 from repro.varity.config import GeneratorConfig
@@ -124,6 +144,12 @@ class FuzzConfig:
     #: delta-debug every novel finding down to a minimal reproducer.
     minimize: bool = True
     mutations: Tuple[str, ...] = MUTATION_NAMES
+    #: process-pool size for mutant evaluation (0/1 = serial).  Pure
+    #: scheduling: the committed trajectory — and the ledger — is
+    #: byte-identical at every worker count, which is why ``workers`` is
+    #: excluded from :meth:`fingerprint` exactly like the campaign
+    #: checkpoint's.
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.n_seed_programs < 1:
@@ -132,6 +158,8 @@ class FuzzConfig:
             raise HarnessError("batch_size must be >= 1")
         if self.max_mutants < 0:
             raise HarnessError("max_mutants must be >= 0")
+        if self.workers < 0:
+            raise HarnessError("workers must be >= 0")
         unknown = [m for m in self.mutations if m not in MUTATORS]
         if unknown:
             raise HarnessError(f"unknown mutations: {', '.join(unknown)}")
@@ -154,6 +182,8 @@ class FuzzConfig:
         say how *far* to run the deterministic iteration stream, so a
         ledger written under a smaller budget resumes under a larger one —
         the fuzz analogue of the campaign checkpoint's ``workers`` rule.
+        ``workers`` is excluded for the same reason it is there: it only
+        changes scheduling, never results.
         """
         return {
             "seed": self.seed,
@@ -186,6 +216,10 @@ class _Scheduler:
     commits to a paying region immediately instead of waiting for rate
     estimates to stabilize.)
 
+    :meth:`select` is pure — it reads wins but mutates nothing — so the
+    speculative window can look several iterations ahead against frozen
+    state; attempts are counted at *commit* time, in iteration order.
+
     Determinism/resume: wins are replayed from ledger findings (a
     finding with an empty lineage is an explore win), and attempts from
     re-simulating the selection sequence — selection at iteration *i*
@@ -203,12 +237,19 @@ class _Scheduler:
         self.attempts: Dict[str, int] = {a: 0 for a in self.arms}
         self.wins: Dict[str, int] = {a: 0 for a in self.arms}
 
-    def pick(self, rng: random.Random) -> str:
-        """Choose this iteration's action and count the attempt."""
-        arm = rng.choices(
+    def select(self, rng: random.Random) -> str:
+        """Choose this iteration's action (no state is touched)."""
+        return rng.choices(
             self.arms, weights=[1 + self.wins[a] for a in self.arms], k=1
         )[0]
+
+    def count_attempt(self, arm: str) -> None:
         self.attempts[arm] += 1
+
+    def pick(self, rng: random.Random) -> str:
+        """Choose and count in one step (the resume-replay path)."""
+        arm = self.select(rng)
+        self.count_attempt(arm)
         return arm
 
     def record_win(self, arm: str) -> None:
@@ -293,52 +334,84 @@ class RandomSessionResult:
 # ---------------------------------------------------------------------------
 
 
-def _content_text(kernel: Kernel, test: TestCase) -> str:
-    """Canonical text identity of (kernel, inputs) for dedup/cache keying."""
-    cfg = EmitterConfig(fptype=kernel.fptype)
-    parts = [render_signature(kernel, cfg), render_kernel_body(kernel, cfg)]
-    parts.extend(vec.line for vec in test.inputs)
-    return "\n".join(parts)
+def _mutant_content_id(fptype: FPType, content: str) -> str:
+    """Mutant program ids keep their historical ``fuzz-`` shape."""
+    return content_id(fptype, content, prefix="fuzz")
 
 
-def _content_id(fptype: FPType, content: str) -> str:
-    return f"fuzz-{fptype.value}-{hash_bytes(content.encode('utf-8')):016x}"
+def _triage_verdict_task(
+    payload: Tuple[TestCase, str, int],
+) -> TriageVerdict:
+    """Triage one discrepancy in a pool worker.
+
+    Runner construction and triage probes are pure functions of the
+    payload, so a worker's verdict is identical to the serial path's.
+    The isolation report (execution traces) is stripped before pickling
+    back — nothing downstream of signature construction reads it.
+    """
+    test, opt_label, input_index = payload
+    verdict = triage_discrepancy(
+        DifferentialRunner(), test, OptSetting.from_label(opt_label), input_index
+    )
+    verdict.isolation = None
+    return verdict
 
 
 class _Evaluator:
-    """Runs tests through both arms and condenses discrepancies to signatures."""
+    """Runs tests through the execution service and condenses
+    discrepancies to signatures."""
 
-    def __init__(self, config: FuzzConfig) -> None:
+    def __init__(self, config: FuzzConfig, service: ExecutionService) -> None:
         self.config = config
+        self.service = service
+        #: main-process runner for triage and minimization probes only
+        #: (their device runs are bookkept by their own tools, not here).
         self.runner = DifferentialRunner()
         self.pair_runs = 0
         self.cache_hits = 0
+        self.executions = 0
+
+    def chunk_for(self, test: TestCase) -> List[SweepRequest]:
+        """One evaluation as one chunk: the native sweep, then the HIPIFY
+        twin with its CUDA half replayed from the chunk's run store (the
+        campaign's fused-arm reuse invariant, applied per mutant).  The
+        store lives one chunk: content dedup already prevents identical
+        mutants from re-running, so entries could only ever be hit by the
+        test's own twin, and chunk scope keeps the counters identical at
+        every worker count."""
+        requests = [
+            SweepRequest(
+                test=test, opts=self.config.opts, tag=("native",), cache=CHUNK_CACHE
+            )
+        ]
+        if self.config.include_hipify:
+            requests.append(
+                SweepRequest(
+                    test=test.hipified(),
+                    opts=self.config.opts,
+                    tag=("hipify",),
+                    cache=CHUNK_CACHE,
+                )
+            )
+        return requests
+
+    def absorb(
+        self, outcomes: Sequence[SweepOutcome]
+    ) -> List[Tuple[str, Discrepancy]]:
+        """Count one committed evaluation and collect its discrepancies."""
+        found: List[Tuple[str, Discrepancy]] = []
+        for outcome in outcomes:
+            self.pair_runs += outcome.pair_runs
+            self.executions += outcome.nvcc_executions
+            self.cache_hits += outcome.nvcc_cache_hits
+            arm = outcome.tag[0]
+            for pair in outcome.pairs.values():
+                found.extend((arm, d) for d in pair.discrepancies)
+        return found
 
     def evaluate(self, test: TestCase) -> List[Tuple[str, Discrepancy]]:
-        """Sweep ``test`` natively (and as its HIPIFY twin) on both platforms.
-
-        The native sweep populates a run cache and the twin replays its
-        CUDA half from it — the campaign's fused-arm reuse invariant,
-        applied per mutant.  The cache lives one evaluation (like the
-        fused campaign walk's): entries could only ever be hit by the
-        test's own twin — content dedup already prevents identical
-        mutants from re-running — so a session-lifetime cache would just
-        be an unbounded memory leak on long ``--max-seconds`` sessions.
-        """
-        out: List[Tuple[str, Discrepancy]] = []
-        cache = RunCache()
-        sweep = self.runner.run_sweep(test, self.config.opts, populate_cache=cache)
-        for pair in sweep.values():
-            self.pair_runs += len(pair.nvcc_runs)
-            out.extend(("native", d) for d in pair.discrepancies)
-        if self.config.include_hipify:
-            twin = test.hipified()
-            sweep = self.runner.run_sweep(twin, self.config.opts, nvcc_cache=cache)
-            for pair in sweep.values():
-                self.pair_runs += len(pair.nvcc_runs)
-                out.extend(("hipify", d) for d in pair.discrepancies)
-        self.cache_hits += cache.hits
-        return out
+        """Sweep ``test`` natively (and as its HIPIFY twin), synchronously."""
+        return self.absorb(self.service.run_chunk(self.chunk_for(test)))
 
     def signatures_for(
         self, test: TestCase, found: Sequence[Tuple[str, Discrepancy]]
@@ -348,20 +421,36 @@ class _Evaluator:
         Triage is per-(opt, input) — two inputs diverging with the same
         outcome pair can implicate different functions or even different
         causes — so dedup happens *after* attribution, on the signature
-        itself, never by collapsing discrepancies up front.
+        itself, never by collapsing discrepancies up front.  With a pool
+        backend the independent triage probes fan out to workers;
+        verdicts come back in order, so the dedup is unchanged.
         """
         out: List[Tuple[str, Discrepancy, DiscrepancySignature]] = []
         local_seen: Set[str] = set()
-        for arm, d in found:
-            target = test.hipified() if arm == "hipify" else test
-            verdict = triage_discrepancy(
-                self.runner, target, OptSetting.from_label(d.opt_label), d.input_index
-            )
+        for (arm, d), verdict in zip(found, self._verdicts(test, found)):
             sig = DiscrepancySignature.from_verdict(verdict, d)
             if sig.key not in local_seen:
                 local_seen.add(sig.key)
                 out.append((arm, d, sig))
         return out
+
+    def _verdicts(
+        self, test: TestCase, found: Sequence[Tuple[str, Discrepancy]]
+    ) -> List[TriageVerdict]:
+        targets = [
+            (test.hipified() if arm == "hipify" else test, d) for arm, d in found
+        ]
+        if self.service.backend.remote and len(found) > 1:
+            return self.service.map(
+                _triage_verdict_task,
+                [(t, d.opt_label, d.input_index) for t, d in targets],
+            )
+        return [
+            triage_discrepancy(
+                self.runner, t, OptSetting.from_label(d.opt_label), d.input_index
+            )
+            for t, d in targets
+        ]
 
 
 class _LazyCorpus:
@@ -417,6 +506,24 @@ def _replay_lineage(
     return kernel
 
 
+@dataclass
+class _Prep:
+    """One speculated iteration: everything selection decided, nothing
+    committed.  ``skip`` names the counter a non-evaluable iteration
+    lands in; otherwise ``test`` is the candidate to evaluate."""
+
+    iteration: int
+    arm: str
+    skip: Optional[str] = None  # "no_site" | "invalid" | "noop" | "duplicate"
+    kind: str = ""  # "explore" | "mutant"
+    test: Optional[TestCase] = None
+    content: str = ""
+    content_id: str = ""
+    corpus_index: int = -1
+    lineage: Tuple[LineageStep, ...] = ()
+    parent: Optional[_PoolEntry] = None
+
+
 # ---------------------------------------------------------------------------
 # The session
 # ---------------------------------------------------------------------------
@@ -442,8 +549,9 @@ def run_fuzz(
         raise HarnessError("resume requires a ledger path")
     t0 = time.perf_counter()
 
+    service = ExecutionService.for_workers(config.workers)
     corpus = _LazyCorpus(config)
-    evaluator = _Evaluator(config)
+    evaluator = _Evaluator(config, service)
     triage_runner = evaluator.runner
 
     book: Optional[FindingsLedger] = None
@@ -468,7 +576,7 @@ def run_fuzz(
             test=test,
             corpus_index=index,
             lineage=(),
-            content=_content_text(test.program.kernel, test),
+            content=content_text(test.program.kernel, test.inputs),
         )
         pool.append(entry)
         by_key[entry.key] = entry
@@ -479,137 +587,159 @@ def run_fuzz(
     hot_indices: List[int]
     baseline_pair_runs: int
 
-    # ---------------------------------------------------------- baseline
-    if resuming and state.has_baseline:
-        baseline_signatures = state.baseline_signatures
-        hot_indices = state.hot_corpus_indices
-        baseline_pair_runs = state.baseline_runs
-    else:
-        baseline_signatures = []
-        hot_indices = []
-        runs0 = evaluator.pair_runs
-        for index, test in enumerate(corpus.seed_tests()):
-            found = evaluator.evaluate(test)
-            if found:
-                hot_indices.append(index)
-            for _, _, sig in evaluator.signatures_for(test, found):
-                if sig.key not in {s.key for s in baseline_signatures}:
-                    baseline_signatures.append(sig)
-            if progress is not None:
-                progress("baseline", index + 1, config.n_seed_programs)
-        baseline_pair_runs = evaluator.pair_runs - runs0
-        if book is not None:
-            book.append_baseline(baseline_pair_runs, baseline_signatures, hot_indices)
-
-    seen.update(s.key for s in baseline_signatures)
-    for index in hot_indices:
-        pool[index].energy += config.novelty_bonus
-
-    scheduler = _Scheduler(config)
-
-    # ------------------------------------------- replay prior pool events
-    evaluated: Set[str] = set()
-
-    def add_pool_entry(
-        corpus_index: int, lineage: Tuple[LineageStep, ...], energy: float
-    ) -> None:
-        base = corpus.get(corpus_index)
-        if lineage:
-            kernel = _replay_lineage(corpus, corpus_index, lineage)
-            content = _content_text(kernel, base)
-            program = Program(
-                program_id=_content_id(config.fptype, content),
-                kernel=kernel,
-                seed=lineage[-1].seed,
-                source_note="fuzz mutant",
-            )
-            test = TestCase(program, base.inputs)
+    try:
+        # -------------------------------------------------------- baseline
+        if resuming and state.has_baseline:
+            baseline_signatures = state.baseline_signatures
+            hot_indices = state.hot_corpus_indices
+            baseline_pair_runs = state.baseline_runs
         else:
-            test = base  # an explore-arm program: the corpus test itself
-            content = _content_text(test.program.kernel, test)
-        entry = _PoolEntry(
-            test=test,
-            corpus_index=corpus_index,
-            lineage=lineage,
-            content=content,
-            energy=energy,
-        )
-        pool.append(entry)
-        by_key[entry.key] = entry
-        evaluated.add(_content_id(config.fptype, content))
+            baseline_signatures = []
+            hot_indices = []
+            runs0 = evaluator.pair_runs
+            seeds = corpus.seed_tests()
+            baseline_chunks = (evaluator.chunk_for(t) for t in seeds)
+            for index, outcomes in enumerate(service.run_sweeps(baseline_chunks)):
+                found = evaluator.absorb(outcomes)
+                if found:
+                    hot_indices.append(index)
+                for _, _, sig in evaluator.signatures_for(seeds[index], found):
+                    if sig.key not in {s.key for s in baseline_signatures}:
+                        baseline_signatures.append(sig)
+                if progress is not None:
+                    progress("baseline", index + 1, config.n_seed_programs)
+            baseline_pair_runs = evaluator.pair_runs - runs0
+            if book is not None:
+                book.append_baseline(
+                    baseline_pair_runs, baseline_signatures, hot_indices
+                )
 
-    promoted_energy = config.promotion_energy
-    # Re-simulate the completed iterations' *selections* (cheap: no
-    # compilation, no execution) while applying the ledger's findings and
-    # promotions at the iterations they occurred — this reconstructs the
-    # scheduler's attempt counters and the pool's evolution exactly.
-    events_by_iter: Dict[int, List[Tuple[str, object]]] = {}
-    for kind, event in state.pool_events:
-        events_by_iter.setdefault(event.iteration, []).append((kind, event))  # type: ignore[union-attr]
-    for i in range(state.iterations_completed):
-        rng = random.Random(derive_seed(config.seed, "select", i))
-        scheduler.pick(rng)
-        for kind, event in events_by_iter.get(i, ()):
-            if kind == "finding":
-                f = event  # type: Finding
-                seen.add(f.signature.key)
-                scheduler.record_win(f.lineage[-1].mutation if f.lineage else "explore")
-                if f.lineage:
-                    parent = by_key.get((f.corpus_index, f.lineage[:-1]))
-                    if parent is not None:
-                        parent.energy += config.novelty_bonus
-                if (f.corpus_index, f.lineage) not in by_key:
-                    add_pool_entry(f.corpus_index, f.lineage, 1.0 + config.novelty_bonus)
+        seen.update(s.key for s in baseline_signatures)
+        for index in hot_indices:
+            pool[index].energy += config.novelty_bonus
+
+        scheduler = _Scheduler(config)
+
+        # --------------------------------------- replay prior pool events
+        evaluated: Set[str] = set()
+
+        def add_pool_entry(
+            corpus_index: int, lineage: Tuple[LineageStep, ...], energy: float
+        ) -> None:
+            base = corpus.get(corpus_index)
+            if lineage:
+                kernel = _replay_lineage(corpus, corpus_index, lineage)
+                content = content_text(kernel, base.inputs)
+                program = Program(
+                    program_id=_mutant_content_id(config.fptype, content),
+                    kernel=kernel,
+                    seed=lineage[-1].seed,
+                    source_note="fuzz mutant",
+                )
+                test = TestCase(program, base.inputs)
             else:
-                p = event  # type: Promotion
-                if (p.corpus_index, p.lineage) not in by_key:
-                    add_pool_entry(p.corpus_index, p.lineage, promoted_energy)
-
-    result = FuzzResult(
-        config=config,
-        findings=findings,
-        baseline_signatures=baseline_signatures,
-        hot_seed_indices=hot_indices,
-        iterations=state.iterations_completed,
-        resumed_iterations=state.iterations_completed,
-        baseline_pair_runs=baseline_pair_runs,
-    )
-
-    # ------------------------------------------------------ the loop
-    runs0 = evaluator.pair_runs
-    batch_findings: List[Finding] = []
-    batch_promotions: List[Promotion] = []
-    batch_start = state.iterations_completed
-    batches_written = state.batches_completed
-    stopped_by = "budget"
-
-    def flush_batch(stop: int) -> None:
-        nonlocal batch_start, batches_written, batch_findings, batch_promotions
-        if book is not None and stop > batch_start:
-            book.append_batch(
-                batches_written, batch_start, stop, batch_findings, batch_promotions
+                test = base  # an explore-arm program: the corpus test itself
+                content = content_text(test.program.kernel, test.inputs)
+            entry = _PoolEntry(
+                test=test,
+                corpus_index=corpus_index,
+                lineage=lineage,
+                content=content,
+                energy=energy,
             )
-            batches_written += 1
-        batch_start = stop
-        batch_findings = []
-        batch_promotions = []
+            pool.append(entry)
+            by_key[entry.key] = entry
+            evaluated.add(_mutant_content_id(config.fptype, content))
 
-    def run_iteration(i: int) -> None:
-        """One scheduler pick, mutation/exploration, evaluation, feedback."""
-        rng = random.Random(derive_seed(config.seed, "select", i))
-        arm_choice = scheduler.pick(rng)
+        promoted_energy = config.promotion_energy
+        # Re-simulate the completed iterations' *selections* (cheap: no
+        # compilation, no execution) while applying the ledger's findings
+        # and promotions at the iterations they occurred — this
+        # reconstructs the scheduler's counters and the pool's evolution
+        # exactly.
+        events_by_iter: Dict[int, List[Tuple[str, object]]] = {}
+        for kind, event in state.pool_events:
+            events_by_iter.setdefault(event.iteration, []).append((kind, event))  # type: ignore[union-attr]
+        for i in range(state.iterations_completed):
+            rng = random.Random(derive_seed(config.seed, "select", i))
+            scheduler.pick(rng)
+            for kind, event in events_by_iter.get(i, ()):
+                if kind == "finding":
+                    f = event  # type: Finding
+                    seen.add(f.signature.key)
+                    scheduler.record_win(
+                        f.lineage[-1].mutation if f.lineage else "explore"
+                    )
+                    if f.lineage:
+                        parent = by_key.get((f.corpus_index, f.lineage[:-1]))
+                        if parent is not None:
+                            parent.energy += config.novelty_bonus
+                    if (f.corpus_index, f.lineage) not in by_key:
+                        add_pool_entry(
+                            f.corpus_index, f.lineage, 1.0 + config.novelty_bonus
+                        )
+                else:
+                    p = event  # type: Promotion
+                    if (p.corpus_index, p.lineage) not in by_key:
+                        add_pool_entry(p.corpus_index, p.lineage, promoted_energy)
 
-        parent: Optional[_PoolEntry] = None
-        if arm_choice == "explore":
-            # A fresh generated program; its index extends the corpus,
-            # so any finding's (corpus_index, lineage=()) replays.
-            corpus_index = config.n_seed_programs + i
-            test = corpus.get(corpus_index)
-            lineage: Tuple[LineageStep, ...] = ()
-            content = _content_text(test.program.kernel, test)
-            evaluated.add(_content_id(config.fptype, content))
-            result.fresh_explored += 1
-        else:
+        result = FuzzResult(
+            config=config,
+            findings=findings,
+            baseline_signatures=baseline_signatures,
+            hot_seed_indices=hot_indices,
+            iterations=state.iterations_completed,
+            resumed_iterations=state.iterations_completed,
+            baseline_pair_runs=baseline_pair_runs,
+        )
+
+        # ---------------------------------------------------- the loop
+        runs0 = evaluator.pair_runs
+        batch_findings: List[Finding] = []
+        batch_promotions: List[Promotion] = []
+        batch_start = state.iterations_completed
+        batches_written = state.batches_completed
+        stopped_by = "budget"
+
+        def flush_batch(stop: int) -> None:
+            nonlocal batch_start, batches_written, batch_findings, batch_promotions
+            if book is not None and stop > batch_start:
+                book.append_batch(
+                    batches_written, batch_start, stop, batch_findings, batch_promotions
+                )
+                batches_written += 1
+            batch_start = stop
+            batch_findings = []
+            batch_promotions = []
+
+        def prepare_iteration(i: int, overlay: Set[str]) -> _Prep:
+            """Select and mutate against the *current* state, committing
+            nothing: scheduler counters, result counters, and the dedup
+            set are untouched (``overlay`` carries the window's own
+            content ids so speculated iterations dedup against each
+            other the way committed ones would)."""
+            rng = random.Random(derive_seed(config.seed, "select", i))
+            arm_choice = scheduler.select(rng)
+
+            if arm_choice == "explore":
+                # A fresh generated program; its index extends the corpus,
+                # so any finding's (corpus_index, lineage=()) replays.
+                corpus_index = config.n_seed_programs + i
+                test = corpus.get(corpus_index)
+                content = content_text(test.program.kernel, test.inputs)
+                cid = _mutant_content_id(config.fptype, content)
+                overlay.add(cid)
+                return _Prep(
+                    iteration=i,
+                    arm=arm_choice,
+                    kind="explore",
+                    test=test,
+                    content=content,
+                    content_id=cid,
+                    corpus_index=corpus_index,
+                    lineage=(),
+                )
+
             parent = rng.choices(pool, weights=[e.energy for e in pool], k=1)[0]
             donor_index: Optional[int] = None
             donor: Optional[Kernel] = None
@@ -628,123 +758,192 @@ def run_fuzz(
                 parent.test.program.kernel, arm_choice, mseed, donor
             )
             if kernel is None:
-                result.mutants_no_site += 1
-                return
+                return _Prep(iteration=i, arm=arm_choice, skip="no_site")
             if validate_kernel(kernel):
-                result.mutants_invalid += 1
-                return
-            content = _content_text(kernel, parent.test)
+                return _Prep(iteration=i, arm=arm_choice, skip="invalid")
+            content = content_text(kernel, parent.test.inputs)
             if content == parent.content:
-                result.mutants_noop += 1
-                return
-            content_id = _content_id(config.fptype, content)
-            if content_id in evaluated:
-                result.duplicates += 1
-                return
-            evaluated.add(content_id)
-            corpus_index = parent.corpus_index
-            lineage = parent.lineage + (LineageStep(arm_choice, mseed, donor_index),)
+                return _Prep(iteration=i, arm=arm_choice, skip="noop")
+            cid = _mutant_content_id(config.fptype, content)
+            if cid in evaluated or cid in overlay:
+                return _Prep(iteration=i, arm=arm_choice, skip="duplicate")
+            overlay.add(cid)
             program = Program(
-                program_id=content_id,
+                program_id=cid,
                 kernel=kernel,
                 seed=mseed,
                 source_note="fuzz mutant",
             )
-            test = TestCase(program, parent.test.inputs)
-            result.mutants_run += 1
-
-        found = evaluator.evaluate(test)
-        result.raw_discrepancies += len(found)
-        if not found:
-            return
-
-        promoted = False
-        new_entry = _PoolEntry(
-            test=test, corpus_index=corpus_index, lineage=lineage, content=content
-        )
-        for platform_arm, d, sig in evaluator.signatures_for(test, found):
-            if sig.key in seen:
-                continue
-            seen.add(sig.key)
-            target = test.hipified() if platform_arm == "hipify" else test
-            reduced_size: Optional[int] = None
-            reduced_cuda: Optional[str] = None
-            if config.minimize:
-                try:
-                    reduction = reduce_testcase(
-                        target,
-                        OptSetting.from_label(d.opt_label),
-                        d.input_index,
-                        runner=triage_runner,
-                    )
-                    reduced_size = reduction.reduced_size
-                    reduced_cuda = render_cuda(reduction.reduced.program)
-                except (ValueError, ReproError):
-                    pass  # finding stays unminimized; still novel
-            finding = Finding(
+            return _Prep(
                 iteration=i,
-                arm=platform_arm,
-                mutant_id=test.test_id,
-                corpus_index=corpus_index,
-                lineage=lineage,
-                signature=sig,
-                discrepancy=d,
-                original_size=kernel_size(test.program.kernel),
-                reduced_size=reduced_size,
-                reduced_cuda=reduced_cuda,
+                arm=arm_choice,
+                kind="mutant",
+                test=TestCase(program, parent.test.inputs),
+                content=content,
+                content_id=cid,
+                corpus_index=parent.corpus_index,
+                lineage=parent.lineage + (LineageStep(arm_choice, mseed, donor_index),),
+                parent=parent,
             )
-            findings.append(finding)
-            batch_findings.append(finding)
-            if parent is not None:
-                parent.energy += config.novelty_bonus
-            scheduler.record_win(arm_choice)
+
+        def commit_iteration(
+            p: _Prep, found: List[Tuple[str, Discrepancy]]
+        ) -> bool:
+            """Apply one iteration's results in order; True when it
+            changed the pool/scheduler state (which invalidates anything
+            speculated after it)."""
+            scheduler.count_attempt(p.arm)
+            if p.skip is not None:
+                if p.skip == "no_site":
+                    result.mutants_no_site += 1
+                elif p.skip == "invalid":
+                    result.mutants_invalid += 1
+                elif p.skip == "noop":
+                    result.mutants_noop += 1
+                else:
+                    result.duplicates += 1
+                return False
+            evaluated.add(p.content_id)
+            if p.kind == "explore":
+                result.fresh_explored += 1
+            else:
+                result.mutants_run += 1
+
+            result.raw_discrepancies += len(found)
+            if not found:
+                return False
+
+            promoted = False
+            new_entry = _PoolEntry(
+                test=p.test,
+                corpus_index=p.corpus_index,
+                lineage=p.lineage,
+                content=p.content,
+            )
+            for platform_arm, d, sig in evaluator.signatures_for(p.test, found):
+                if sig.key in seen:
+                    continue
+                seen.add(sig.key)
+                target = p.test.hipified() if platform_arm == "hipify" else p.test
+                reduced_size: Optional[int] = None
+                reduced_cuda: Optional[str] = None
+                if config.minimize:
+                    try:
+                        reduction = reduce_testcase(
+                            target,
+                            OptSetting.from_label(d.opt_label),
+                            d.input_index,
+                            runner=triage_runner,
+                        )
+                        reduced_size = reduction.reduced_size
+                        reduced_cuda = render_cuda(reduction.reduced.program)
+                    except (ValueError, ReproError):
+                        pass  # finding stays unminimized; still novel
+                finding = Finding(
+                    iteration=p.iteration,
+                    arm=platform_arm,
+                    mutant_id=p.test.test_id,
+                    corpus_index=p.corpus_index,
+                    lineage=p.lineage,
+                    signature=sig,
+                    discrepancy=d,
+                    original_size=kernel_size(p.test.program.kernel),
+                    reduced_size=reduced_size,
+                    reduced_cuda=reduced_cuda,
+                )
+                findings.append(finding)
+                batch_findings.append(finding)
+                if p.parent is not None:
+                    p.parent.energy += config.novelty_bonus
+                scheduler.record_win(p.arm)
+                if not promoted:
+                    promoted = True
+                    new_entry.energy = 1.0 + config.novelty_bonus
+                    pool.append(new_entry)
+                    by_key[new_entry.key] = new_entry
+
             if not promoted:
-                promoted = True
-                new_entry.energy = 1.0 + config.novelty_bonus
+                # Discrepant but nothing novel: still an interesting input.
+                # It joins the pool (AFL's queue) — chains of mutations walk
+                # the signature space further than one hop can — and the
+                # promotion is ledgered so a resume rebuilds the same pool.
+                promotion = Promotion(p.iteration, p.corpus_index, p.lineage)
+                batch_promotions.append(promotion)
+                new_entry.energy = promoted_energy
                 pool.append(new_entry)
                 by_key[new_entry.key] = new_entry
+            return True
 
-        if not promoted:
-            # Discrepant but nothing novel: still an interesting input.
-            # It joins the pool (AFL's queue) — chains of mutations walk
-            # the signature space further than one hop can — and the
-            # promotion is ledgered so a resume rebuilds the same pool.
-            promotion = Promotion(i, corpus_index, lineage)
-            batch_promotions.append(promotion)
-            new_entry.energy = promoted_energy
-            pool.append(new_entry)
-            by_key[new_entry.key] = new_entry
+        # Speculation window: how many candidate evaluations are in
+        # flight at once.  1 (serial) trivially matches the reference
+        # trajectory; larger windows commit the same trajectory because
+        # invalidated speculation is discarded uncounted.
+        window = min(config.workers, 16) if config.workers > 1 else 1
 
-    try:
-        for i in range(state.iterations_completed, config.max_mutants):
-            if (
-                config.max_seconds is not None
-                and time.perf_counter() - t0 > config.max_seconds
-            ):
-                stopped_by = "wall-clock"
-                break
-            result.iterations = i + 1
-            run_iteration(i)
-            # The flush check runs every iteration — including ones that
-            # produced nothing — so batch_size bounds the work a hard
-            # kill can lose even through a dry stretch.
-            if (i + 1 - batch_start) >= config.batch_size:
-                flush_batch(i + 1)
-                if progress is not None:
-                    progress("fuzz", i + 1, config.max_mutants)
-        flush_batch(result.iterations)
-        if progress is not None and result.iterations:
-            progress("fuzz", result.iterations, config.max_mutants)
+        try:
+            i = state.iterations_completed
+            while i < config.max_mutants:
+                if (
+                    config.max_seconds is not None
+                    and time.perf_counter() - t0 > config.max_seconds
+                ):
+                    stopped_by = "wall-clock"
+                    break
+                preps: List[_Prep] = []
+                overlay: Set[str] = set()
+                n_eval = 0
+                j = i
+                while j < config.max_mutants and n_eval < window:
+                    p = prepare_iteration(j, overlay)
+                    preps.append(p)
+                    if p.test is not None:
+                        n_eval += 1
+                    j += 1
+                outcome_iter = iter(())  # type: ignore[assignment]
+                if n_eval:
+                    outcome_iter = service.run_sweeps(
+                        [
+                            evaluator.chunk_for(p.test)
+                            for p in preps
+                            if p.test is not None
+                        ]
+                    )
+                for p in preps:
+                    found: List[Tuple[str, Discrepancy]] = []
+                    if p.test is not None:
+                        found = evaluator.absorb(next(outcome_iter))
+                    changed = commit_iteration(p, found)
+                    i = p.iteration + 1
+                    result.iterations = i
+                    # The flush check runs every iteration — including ones
+                    # that produced nothing — so batch_size bounds the work
+                    # a hard kill can lose even through a dry stretch.
+                    if (i - batch_start) >= config.batch_size:
+                        flush_batch(i)
+                        if progress is not None:
+                            progress("fuzz", i, config.max_mutants)
+                    if changed:
+                        # The pool changed: every later speculation chose
+                        # parents against stale state.  Drain and discard
+                        # (their runs are never counted), then re-speculate.
+                        for _ in outcome_iter:
+                            pass
+                        break
+            flush_batch(result.iterations)
+            if progress is not None and result.iterations:
+                progress("fuzz", result.iterations, config.max_mutants)
+        finally:
+            if book is not None:
+                book.close()
+
+        result.pair_runs = evaluator.pair_runs - runs0
+        result.nvcc_executions = evaluator.executions
+        result.nvcc_cache_hits = evaluator.cache_hits
+        result.elapsed_seconds = time.perf_counter() - t0
+        result.stopped_by = stopped_by
+        return result
     finally:
-        if book is not None:
-            book.close()
-
-    result.pair_runs = evaluator.pair_runs - runs0
-    result.nvcc_executions = evaluator.runner.nvcc_executions
-    result.nvcc_cache_hits = evaluator.cache_hits
-    result.elapsed_seconds = time.perf_counter() - t0
-    result.stopped_by = stopped_by
-    return result
+        service.close()
 
 
 def run_random_session(
@@ -766,7 +965,11 @@ def run_random_session(
     """
     config = config or FuzzConfig()
     skip = set(skip_signatures or ())
-    evaluator = _Evaluator(config)
+    # The control arm honors config.workers too: its chunks stream with
+    # no feedback loop, so parallelism never changes the result — only
+    # the wall clock, keeping the fuzz-vs-blind timing comparison fair.
+    service = ExecutionService.for_workers(config.workers)
+    evaluator = _Evaluator(config, service)
     corpus = build_corpus(
         config.generator_config(),
         n_programs,
@@ -775,14 +978,18 @@ def run_random_session(
     )
     result = RandomSessionResult(n_programs=n_programs)
     seen: Set[str] = set(skip)
-    for index, test in enumerate(corpus):
-        found = evaluator.evaluate(test)
-        result.raw_discrepancies += len(found)
-        for _, _, sig in evaluator.signatures_for(test, found):
-            if sig.key not in seen:
-                seen.add(sig.key)
-                result.novel_signatures.append(sig)
-        if progress is not None:
-            progress("random", index + 1, n_programs)
+    try:
+        chunks = (evaluator.chunk_for(t) for t in corpus)
+        for index, outcomes in enumerate(service.run_sweeps(chunks)):
+            found = evaluator.absorb(outcomes)
+            result.raw_discrepancies += len(found)
+            for _, _, sig in evaluator.signatures_for(corpus.tests[index], found):
+                if sig.key not in seen:
+                    seen.add(sig.key)
+                    result.novel_signatures.append(sig)
+            if progress is not None:
+                progress("random", index + 1, n_programs)
+    finally:
+        service.close()
     result.pair_runs = evaluator.pair_runs
     return result

@@ -16,7 +16,7 @@ from repro.harness.differential import (
     classify_pair,
     compare_runs,
 )
-from repro.harness.runner import DifferentialRunner, PairResult, RunCache
+from repro.harness.runner import DifferentialRunner, PairResult
 from repro.harness.campaign import (
     ArmResult,
     CampaignConfig,
@@ -36,7 +36,6 @@ __all__ = [
     "compare_runs",
     "DifferentialRunner",
     "PairResult",
-    "RunCache",
     "ArmResult",
     "CampaignConfig",
     "CampaignResult",

@@ -24,24 +24,27 @@ paper-shaped summary rows.
 FP64 programs and inputs as the ``fp64`` arm; HIPIFY conversion only
 changes how the HIP side is compiled (``Program.via_hipify`` is consulted
 by the hipcc model alone).  The CUDA half of the hipify arm is therefore
-bit-identical to the fp64 arm's, and the engine replays it from a
-:class:`~repro.harness.runner.RunCache` keyed by ``(test_id, opt_label)``
-— including cached trap outcomes, so skips replay exactly.  The two arms
-execute *fused*: each worker walks its program slice once, running the
-native test and its hipified twin back to back, which halves the nvcc
-executions of a three-arm campaign whether serial or parallel.
-:attr:`ArmResult.nvcc_executions` / :attr:`ArmResult.nvcc_cache_hits`
-expose the proof.
+bit-identical to the fp64 arm's, and the execution service replays it
+from the content-keyed :class:`~repro.exec.store.RunStore` — native test
+and twin share one content id, and cached trap outcomes replay too, so
+skips replay exactly.  The two arms execute *fused*: each plan step's
+chunk interleaves the native request and its hipified twin back to back,
+which halves the nvcc executions of a three-arm campaign whether serial
+or parallel.  :attr:`ArmResult.nvcc_executions` /
+:attr:`ArmResult.nvcc_cache_hits` expose the proof.
 
 **Execution plan & checkpoints.**  ``run_campaign`` expands the config
 into deterministic :class:`PlanStep` slices (chunking depends only on the
-program count, never on worker count), runs the pending ones serially or
-on a process pool where each worker *regenerates* its slice from the
-campaign seed (deterministic generation ⇒ no IR pickling), and streams
-each completed step into a JSONL checkpoint.  ``resume=True`` reloads
-completed steps from the checkpoint — after validating the config
-fingerprint — and only executes the remainder, so an interrupted
-paper-scale grid continues instead of restarting.
+program count, never on worker count), turns each pending step into one
+chunk of :class:`~repro.exec.units.SweepRequest`\\ s, and executes the
+chunks through :class:`~repro.exec.service.ExecutionService` — serially
+or on a process pool whose workers *regenerate* their tests from the
+campaign seed (deterministic generation ⇒ no IR pickling).  Chunk results
+come back in plan order at any worker count, and each completed step
+streams into a JSONL checkpoint.  ``resume=True`` reloads completed steps
+from the checkpoint — after validating the config fingerprint — and only
+executes the remainder, so an interrupted paper-scale grid continues
+instead of restarting.
 """
 
 from __future__ import annotations
@@ -54,13 +57,20 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError
+from repro.exec import (
+    CachePolicy,
+    CorpusTestSpec,
+    ExecutionService,
+    NO_CACHE,
+    SweepOutcome,
+    SweepRequest,
+)
 from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
-from repro.harness.runner import DifferentialRunner, PairResult, RunCache
+from repro.harness.runner import PairResult
 from repro.utils.checkpoint import JsonlCheckpoint
 from repro.utils.rng import derive_seed
 from repro.varity.config import GeneratorConfig
-from repro.varity.corpus import Corpus, build_corpus_slice
 
 __all__ = [
     "CampaignConfig",
@@ -285,6 +295,10 @@ class CampaignResult:
     elapsed_seconds: float
     #: plan steps reloaded from a checkpoint instead of executed.
     resumed_steps: int = 0
+    #: execution-service counters for the steps this run actually
+    #: executed (resumed steps replay from the checkpoint and are not
+    #: re-counted here).  See :meth:`repro.exec.ExecutionService.stats`.
+    exec_metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_runs(self) -> int:
@@ -356,54 +370,50 @@ def build_plan(config: CampaignConfig) -> List[PlanStep]:
     return steps
 
 
-def _run_plan_step(config: CampaignConfig, step: PlanStep) -> Dict[str, ArmResult]:
-    """Execute one plan step serially; returns one ArmResult per arm."""
+def _step_requests(config: CampaignConfig, step: PlanStep) -> List[SweepRequest]:
+    """One plan step as one execution-service chunk.
+
+    A fused step interleaves each program's native request with its
+    HIPIFY twin — they share a content id, so the twin's CUDA half
+    replays from the chunk's run store; standalone steps (and the fp32
+    arm) have nothing to pair and skip the store entirely, like the seed
+    engine's from-scratch walk.
+    """
+    gen = config.generator_config(config.arm_fptype(step.arms[0]))
+    root_seed = config.arm_seed(step.arms[0])
+    fused = len(step.arms) > 1
+    policy = CachePolicy(reuse=True, scope="chunk") if fused else NO_CACHE
+    requests: List[SweepRequest] = []
+    for index in range(step.start, step.stop):
+        for arm in step.arms:
+            spec = CorpusTestSpec(
+                gen=gen,
+                index=index,
+                root_seed=root_seed,
+                hipify=(arm == "fp64_hipify"),
+            )
+            requests.append(
+                SweepRequest(test=spec, opts=config.opts, tag=(arm,), cache=policy)
+            )
+    return requests
+
+
+def _step_results(
+    config: CampaignConfig, step: PlanStep, outcomes: List[SweepOutcome]
+) -> Dict[str, ArmResult]:
+    """Fold one chunk's outcomes back into per-arm results."""
     opt_labels = tuple(o.label for o in config.opts)
     results = {
         arm: ArmResult(arm=arm, n_programs=0, opt_labels=opt_labels)
         for arm in step.arms
     }
-    gen_cfg = config.generator_config(config.arm_fptype(step.arms[0]))
-    corpus = build_corpus_slice(
-        gen_cfg, step.start, step.stop, config.arm_seed(step.arms[0])
-    )
-    runner = DifferentialRunner()
-    if step.arms == ("fp64", "fp64_hipify"):
-        _run_fused_fp64(config, corpus, runner, results)
-    else:
-        arm = step.arms[0]
-        tests = (t.hipified() for t in corpus) if arm == "fp64_hipify" else iter(corpus)
-        out = results[arm]
-        for test in tests:
-            nv0 = runner.nvcc_executions
-            sweep = runner.run_sweep(test, config.opts)
-            _accumulate(out, sweep)
-            out.nvcc_executions += runner.nvcc_executions - nv0
-            out.n_programs += 1
+    for outcome in outcomes:
+        out = results[outcome.tag[0]]
+        _accumulate(out, outcome.pairs)
+        out.nvcc_executions += outcome.nvcc_executions
+        out.nvcc_cache_hits += outcome.nvcc_cache_hits
+        out.n_programs += 1
     return results
-
-
-def _run_fused_fp64(
-    config: CampaignConfig,
-    corpus: Corpus,
-    runner: DifferentialRunner,
-    results: Dict[str, ArmResult],
-) -> None:
-    """The fused fp64 + fp64_hipify walk: native test, then its twin with
-    the CUDA side replayed from the just-populated cache."""
-    native, hipify = results["fp64"], results["fp64_hipify"]
-    for test, twin in corpus.iter_with_hipified():
-        cache = RunCache()
-        nv0 = runner.nvcc_executions
-        _accumulate(native, runner.run_sweep(test, config.opts, populate_cache=cache))
-        native.nvcc_executions += runner.nvcc_executions - nv0
-        native.n_programs += 1
-
-        nv0 = runner.nvcc_executions
-        _accumulate(hipify, runner.run_sweep(twin, config.opts, nvcc_cache=cache))
-        hipify.nvcc_executions += runner.nvcc_executions - nv0
-        hipify.nvcc_cache_hits += cache.hits
-        hipify.n_programs += 1
 
 
 def _accumulate(out: ArmResult, sweep: Dict[str, PairResult]) -> None:
@@ -411,11 +421,6 @@ def _accumulate(out: ArmResult, sweep: Dict[str, PairResult]) -> None:
         out.runs_by_opt[label] += len(pair.nvcc_runs)
         out.skipped_by_opt[label] += len(pair.skipped_inputs)
         out.discrepancies.extend(pair.discrepancies)
-
-
-def _worker(args: Tuple[CampaignConfig, PlanStep]) -> Tuple[str, Dict[str, ArmResult]]:
-    config, step = args
-    return step.key, _run_plan_step(config, step)
 
 
 # ---------------------------------------------------------------------------
@@ -535,24 +540,32 @@ def run_campaign(
         else:
             pending.append(step)
 
+    # Multiple pending steps are the only parallelism opportunity; a
+    # single chunk runs in-process under any worker count.
+    workers = config.workers if len(pending) > 1 else 0
+    service = ExecutionService.for_workers(workers)
     try:
-        if config.workers and config.workers > 1 and len(pending) > 1:
-            import multiprocessing as mp
-
-            by_key = {step.key: step for step in pending}
-            with mp.get_context("spawn").Pool(config.workers) as pool:
-                jobs = [(config, step) for step in pending]
-                for key, arms in pool.imap_unordered(_worker, jobs):
-                    if ckpt is not None:
-                        ckpt.append_step(key, arms)
-                    _absorb(by_key[key], arms)
-        else:
-            for step in pending:
-                arms = _run_plan_step(config, step)
-                if ckpt is not None:
-                    ckpt.append_step(step.key, arms)
-                _absorb(step, arms)
+        chunks = (_step_requests(config, step) for step in pending)
+        # Steps are checkpointed the moment they complete — a kill loses
+        # at most the steps still in flight, whatever their plan position
+        # — while absorption is re-ordered to plan order so the merged
+        # result (and the --json payload) is identical at any worker
+        # count.  Checkpoint line order is scheduling-dependent; resume
+        # keys steps by PlanStep.key, so that never matters.
+        buffered: Dict[int, Dict[str, ArmResult]] = {}
+        next_absorb = 0
+        for index, outcomes in service.run_sweeps_unordered(chunks):
+            step = pending[index]
+            arms = _step_results(config, step, outcomes)
+            if ckpt is not None:
+                ckpt.append_step(step.key, arms)
+            buffered[index] = arms
+            while next_absorb in buffered:
+                _absorb(pending[next_absorb], buffered.pop(next_absorb))
+                next_absorb += 1
+        exec_metrics = service.stats()
     finally:
+        service.close()
         if ckpt is not None:
             ckpt.close()
 
@@ -563,4 +576,5 @@ def run_campaign(
         arms=arms_ordered,
         elapsed_seconds=time.perf_counter() - t0,
         resumed_steps=resumed_steps,
+        exec_metrics=exec_metrics,
     )

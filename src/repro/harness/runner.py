@@ -1,19 +1,22 @@
 """Single-test differential execution.
 
-:meth:`DifferentialRunner.run_sweep` is the campaign engine's unit of
+:meth:`DifferentialRunner.run_sweep` is the execution service's unit of
 work: one test compiled once per compiler (front end shared across the
-optimization settings) and executed at every setting.  A
-:class:`RunCache` keyed by ``(test_id, opt_label)`` lets a later arm
-reuse one arm's nvcc run outcomes verbatim — the ``fp64_hipify`` arm
-runs the *same* FP64 programs through nvcc (HIPIFY conversion only
-changes the HIP compilation), so its CUDA-side records are bit-identical
-to the ``fp64`` arm's and never need re-executing.
+optimization settings) and executed at every setting.  The ``nvcc_cache``
+/ ``populate_cache`` arguments take a cache *view* — any object with
+``get(test_id, opt_label)``, ``put(test_id, opt_label, outcomes)`` and a
+``hits`` counter, in practice a content-keyed
+:class:`~repro.exec.store.BoundRunCache` — letting a later request replay
+an earlier one's nvcc run outcomes verbatim: the ``fp64_hipify`` arm and
+every fuzz mutant's HIPIFY twin run the *same* kernels through nvcc
+(HIPIFY conversion only changes the HIP compilation), so their CUDA-side
+records are bit-identical and never need re-executing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.compilers.compiler import CompiledKernel, Compiler
 from repro.compilers.hipcc import HipccCompiler
@@ -27,7 +30,10 @@ from repro.harness.differential import Discrepancy
 from repro.harness.outcomes import RunRecord
 from repro.varity.testcase import TestCase
 
-__all__ = ["DifferentialRunner", "PairResult", "RunCache", "pair_discrepancies"]
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from repro.exec.store import BoundRunCache
+
+__all__ = ["DifferentialRunner", "PairResult", "pair_discrepancies"]
 
 
 @dataclass
@@ -80,33 +86,6 @@ def pair_discrepancies(
     return out
 
 
-class RunCache:
-    """Per-input nvcc run outcomes, keyed by ``(test_id, opt_label)``.
-
-    Each entry stores one element per input vector: the :class:`RunRecord`
-    the nvcc execution produced, or ``None`` when the device trapped on
-    that input.  Trap outcomes are cached too, so a replay skips exactly
-    the inputs the original execution skipped.
-    """
-
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str], Tuple[Optional[RunRecord], ...]] = {}
-        self.hits = 0
-
-    def put(
-        self, test_id: str, opt_label: str, outcomes: Sequence[Optional[RunRecord]]
-    ) -> None:
-        self._entries[(test_id, opt_label)] = tuple(outcomes)
-
-    def get(
-        self, test_id: str, opt_label: str
-    ) -> Optional[Tuple[Optional[RunRecord], ...]]:
-        return self._entries.get((test_id, opt_label))
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-
 class DifferentialRunner:
     """Owns one device + compiler per vendor and runs tests through both.
 
@@ -148,16 +127,17 @@ class DifferentialRunner:
         test: TestCase,
         opts: Sequence[OptSetting],
         *,
-        nvcc_cache: Optional[RunCache] = None,
-        populate_cache: Optional[RunCache] = None,
+        nvcc_cache: Optional["BoundRunCache"] = None,
+        populate_cache: Optional["BoundRunCache"] = None,
     ) -> Dict[str, PairResult]:
         """One test across every optimization setting, keyed by opt label.
 
         Each compiler's front end runs once for the whole sweep (see
-        :meth:`Compiler.compile_sweep`).  When ``nvcc_cache`` holds an
-        entry for ``(test_id, opt)``, the CUDA side is replayed from the
-        cached outcomes instead of executing; ``populate_cache`` stores
-        this sweep's nvcc outcomes for a later arm to reuse.
+        :meth:`Compiler.compile_sweep`).  When ``nvcc_cache`` (a
+        content-keyed store view) holds this test's entry at an opt
+        setting, the CUDA side is replayed from the cached outcomes
+        instead of executing; ``populate_cache`` stores this sweep's nvcc
+        outcomes for a later request to reuse.
         """
         nv_kernels = self.nvcc.compile_sweep(test.program, opts)
         amd_kernels = self.hipcc.compile_sweep(test.program, opts)
@@ -194,8 +174,8 @@ class DifferentialRunner:
         ck_nv: CompiledKernel,
         ck_amd: CompiledKernel,
         *,
-        nvcc_cache: Optional[RunCache] = None,
-        populate_cache: Optional[RunCache] = None,
+        nvcc_cache: Optional["BoundRunCache"] = None,
+        populate_cache: Optional["BoundRunCache"] = None,
     ) -> PairResult:
         cached = (
             nvcc_cache.get(test.test_id, opt.label) if nvcc_cache is not None else None

@@ -22,7 +22,8 @@ from repro.harness.differential import (
 )
 from repro.harness.metadata import CampaignMetadata, RunStore
 from repro.harness.outcomes import RunRecord
-from repro.harness.runner import DifferentialRunner, RunCache, pair_discrepancies
+from repro.exec import RunStore as ExecRunStore
+from repro.harness.runner import DifferentialRunner, pair_discrepancies
 from repro.harness.transfer import (
     SYSTEM1,
     SYSTEM2,
@@ -260,10 +261,12 @@ class TestCampaignEngine:
     def test_per_opt_accounting_with_uneven_traps(self, monkeypatch):
         """Regression for the runs_counted latch: a program that traps at
         -O3 -ffast-math but not -O0 must shrink only O3_FM's run total."""
-        import repro.harness.campaign as campaign_mod
+        import repro.harness.runner as runner_mod
 
+        # The execution service builds its runners from repro.harness.runner
+        # (RunnerSpec.build), so that is where the trap wrapper hooks in.
         monkeypatch.setattr(
-            campaign_mod, "DifferentialRunner", _trapping_runner_factory("O3_FM")
+            runner_mod, "DifferentialRunner", _trapping_runner_factory("O3_FM")
         )
         config = CampaignConfig(
             seed=3, n_programs_fp64=6, inputs_per_program=2,
@@ -280,10 +283,10 @@ class TestCampaignEngine:
 
     def test_trap_outcomes_replay_identically_across_arms(self, monkeypatch):
         """Cached nvcc traps skip the same inputs in the hipify arm."""
-        import repro.harness.campaign as campaign_mod
+        import repro.harness.runner as runner_mod
 
         monkeypatch.setattr(
-            campaign_mod, "DifferentialRunner", _trapping_runner_factory("O3_FM")
+            runner_mod, "DifferentialRunner", _trapping_runner_factory("O3_FM")
         )
         config = CampaignConfig(
             seed=3, n_programs_fp64=6, inputs_per_program=2, include_fp32=False
@@ -313,14 +316,17 @@ class TestCampaignEngine:
         assert scratch.nvcc_cache_hits == 0
 
     def test_cached_nvcc_records_equal_from_scratch(self, small_fp64_corpus):
-        """The RunCache replay hands back records bit-identical to what a
-        fresh nvcc execution of the hipified twin would produce."""
+        """The content-keyed store replay hands back records bit-identical
+        to what a fresh nvcc execution of the hipified twin would produce."""
         test = small_fp64_corpus.tests[0]
-        cache = RunCache()
-        DifferentialRunner().run_sweep(test, PAPER_OPT_SETTINGS, populate_cache=cache)
+        store = ExecRunStore()
+        DifferentialRunner().run_sweep(
+            test, PAPER_OPT_SETTINGS, populate_cache=store.view_for(test)
+        )
         twin = test.hipified()
+        # The twin shares the native test's content id: its view hits.
         via_cache = DifferentialRunner().run_sweep(
-            twin, PAPER_OPT_SETTINGS, nvcc_cache=cache
+            twin, PAPER_OPT_SETTINGS, nvcc_cache=store.view_for(twin)
         )
         from_scratch = DifferentialRunner().run_sweep(twin, PAPER_OPT_SETTINGS)
         # NaN values defeat dataclass equality; the printed %.17g line
