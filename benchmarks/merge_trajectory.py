@@ -1,0 +1,153 @@
+"""Merge nightly benchmark outputs into one trajectory artifact.
+
+The nightly workflow runs three probes — a smoke-budget ``repro-fuzz``
+session, ``bench_fuzz_engine.py`` and ``bench_campaign_engine.py`` (both
+at ``REPRO_BENCH_SCALE=tiny``, each with ``--benchmark-json``) — and this
+script folds whatever they produced under ``benchmarks/results/`` into a
+single ``trajectory.json``:
+
+* one ``meta`` block (commit SHA / ref / run id from the GitHub
+  environment when present, so points can be ordered across nights);
+* one entry per pytest-benchmark JSON (min/mean/max seconds per bench);
+* a ``fuzz_smoke`` block summarizing the nightly fuzz ledger (iterations,
+  batches, finding count) parsed directly from the JSONL.
+
+Stdlib only, runnable locally::
+
+    python benchmarks/merge_trajectory.py --out benchmarks/results/trajectory.json
+
+Missing inputs are skipped with a note instead of failing: the artifact
+should record what the night measured, not hide it behind a crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: pytest-benchmark JSON files the nightly produces, keyed by probe name.
+#: Absent entries are reported in the artifact's ``skipped`` list.
+BENCHMARK_JSONS = {
+    "fuzz_engine": "bench_fuzz_engine.json",
+    "campaign_engine": "bench_campaign_engine.json",
+}
+
+#: Extra summaries folded in when present (produced by other jobs or
+#: local runs — the exec-service smoke lives in ci.yml); their absence
+#: is expected, so they never appear in ``skipped``.
+OPPORTUNISTIC_JSONS = {
+    "exec_service_bench": "exec_service.json",
+}
+
+FUZZ_LEDGER = "nightly_fuzz.jsonl"
+
+
+def _meta() -> Dict[str, object]:
+    return {
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "ref": os.environ.get("GITHUB_REF", ""),
+        "run_id": os.environ.get("GITHUB_RUN_ID", ""),
+        "scale": os.environ.get("REPRO_BENCH_SCALE", ""),
+    }
+
+
+def _summarize_pytest_benchmark(path: Path) -> object:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    benches = data.get("benchmarks")
+    if benches is None:
+        # Not a pytest-benchmark file (e.g. the exec-service bench writes
+        # its own summary dict); pass it through verbatim.
+        return data
+    out: List[Dict[str, object]] = []
+    for bench in benches:
+        stats = bench.get("stats", {})
+        out.append(
+            {
+                "name": bench.get("name", "?"),
+                "min_s": stats.get("min"),
+                "mean_s": stats.get("mean"),
+                "max_s": stats.get("max"),
+                "rounds": stats.get("rounds"),
+            }
+        )
+    return out
+
+
+def _summarize_fuzz_ledger(path: Path) -> Dict[str, object]:
+    iterations = 0
+    batches = 0
+    findings = 0
+    baseline_signatures = 0
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail: the ledger's own readers drop it too
+        kind = record.get("kind")
+        if kind == "baseline":
+            baseline_signatures = len(record.get("signatures", []))
+        elif kind == "batch":
+            batches += 1
+            iterations = max(iterations, int(record.get("stop", 0)))
+            findings += len(record.get("findings", []))
+    return {
+        "iterations": iterations,
+        "batches": batches,
+        "findings": findings,
+        "baseline_signatures": baseline_signatures,
+    }
+
+
+def merge(results_dir: Path) -> Dict[str, object]:
+    payload: Dict[str, object] = {"meta": _meta(), "benchmarks": {}, "skipped": []}
+    benchmarks: Dict[str, object] = payload["benchmarks"]  # type: ignore[assignment]
+    skipped: List[str] = payload["skipped"]  # type: ignore[assignment]
+    for name, filename in BENCHMARK_JSONS.items():
+        path = results_dir / filename
+        if path.exists():
+            benchmarks[name] = _summarize_pytest_benchmark(path)
+        else:
+            skipped.append(filename)
+    for name, filename in OPPORTUNISTIC_JSONS.items():
+        path = results_dir / filename
+        if path.exists():
+            benchmarks[name] = _summarize_pytest_benchmark(path)
+    ledger = results_dir / FUZZ_LEDGER
+    if ledger.exists():
+        payload["fuzz_smoke"] = _summarize_fuzz_ledger(ledger)
+    else:
+        skipped.append(FUZZ_LEDGER)
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir", type=Path, default=RESULTS_DIR, help="input directory"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RESULTS_DIR / "trajectory.json",
+        help="merged artifact path",
+    )
+    args = parser.parse_args(argv)
+    payload = merge(args.results_dir)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    if payload["skipped"]:
+        print(f"skipped missing inputs: {', '.join(payload['skipped'])}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ the generated assembly.  Our in-model analogue:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.codegen.cuda import render_cuda

@@ -14,11 +14,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.devices.mathlib.base import (
     BINARY_FUNCTIONS,
-    EXACT_FUNCTIONS,
     UNARY_FUNCTIONS,
 )
 from repro.devices.mathlib.libdevice import LibdeviceMath
@@ -31,17 +30,27 @@ from repro.utils.tables import Table
 __all__ = ["FunctionSweepResult", "sweep_function", "sweep_all", "sweep_table"]
 
 
+#: Near-subnormal and near-overflow sweep ranges per precision (the
+#: moderate/small/large ranges below are shared by every lane; FP16's
+#: "large" band is clipped under HALF_MAX).
+_EDGE_RANGES = {
+    FPType.FP64: [(1.0e-310, 1.0e-305), (1.0e300, 1.0e305)],
+    FPType.FP32: [(1.0e-41, 1.0e-38), (1.0e34, 1.0e37)],
+    FPType.FP16: [(1.0e-7, 6.0e-5), (1.0e3, 6.0e4)],
+}
+
+
 def _operand_grid(fptype: FPType, points_per_range: int) -> List[float]:
     """Deterministic operands across the ranges Varity inputs sample."""
     ranges: List[Tuple[float, float]] = [
         (0.1, 10.0),  # moderate
         (1.0e-6, 1.0e-3),  # small
-        (1.0e3, 1.0e6),  # large
+        (1.0e3, 1.0e6) if fptype is not FPType.FP16 else (1.0e1, 1.0e3),  # large
     ]
-    if fptype is FPType.FP64:
-        ranges += [(1.0e-310, 1.0e-305), (1.0e300, 1.0e305)]
-    else:
-        ranges += [(1.0e-41, 1.0e-38), (1.0e34, 1.0e37)]
+    try:
+        ranges += _EDGE_RANGES[fptype]
+    except KeyError:
+        raise ValueError(f"no sweep ranges for {fptype!r}") from None
     grid: List[float] = []
     for lo, hi in ranges:
         step = (hi - lo) / points_per_range

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.harness.campaign import ArmResult
 from repro.harness.differential import DISCREPANCY_CLASS_ORDER, DiscrepancyClass

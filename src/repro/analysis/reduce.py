@@ -22,7 +22,7 @@ accepted only if the discrepancy class is unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.compilers.options import OptSetting
 from repro.errors import ReproError, TrapError
@@ -43,10 +43,9 @@ from repro.ir.nodes import (
     UnOp,
     VarRef,
 )
-from repro.ir.program import Kernel, Param, Program
-from repro.ir.types import IRType
+from repro.ir.program import Kernel, Program
 from repro.ir.validate import validate_kernel
-from repro.ir.visitor import collect, walk
+from repro.ir.visitor import walk
 from repro.varity.inputs import InputVector
 from repro.varity.testcase import TestCase
 

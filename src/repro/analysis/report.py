@@ -7,24 +7,30 @@ source of the measured columns in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.harness.campaign import CampaignResult
-from repro.analysis.summary import ARM_TITLES, summary_table
+from repro.analysis.summary import summary_table
 from repro.analysis.per_opt import per_opt_table
 from repro.analysis.adjacency import adjacency_tables
 
 __all__ = ["render_campaign_report"]
 
+#: The FP16 arms extend the paper's grid, so their tables carry extension
+#: labels instead of paper table numbers.
 _PER_OPT_TITLES = {
     "fp64": "Table V — Discrepancies per optimization option, FP64 (measured)",
     "fp64_hipify": "Table VII — Discrepancies per optimization option, HIPIFY-converted FP64 (measured)",
     "fp32": "Table IX — Discrepancies per optimization option, FP32 (measured)",
+    "fp16": "Extension — Discrepancies per optimization option, FP16 (measured)",
+    "fp16_hipify": "Extension — Discrepancies per optimization option, HIPIFY-converted FP16 (measured)",
 }
 _ADJACENCY_TITLES = {
     "fp64": "Table VI — Adjacency matrices, FP64 (measured)",
     "fp64_hipify": "Table VIII — Adjacency matrices, HIPIFY-converted FP64 (measured)",
     "fp32": "Table X — Adjacency matrices, FP32 (measured)",
+    "fp16": "Extension — Adjacency matrices, FP16 (measured)",
+    "fp16_hipify": "Extension — Adjacency matrices, HIPIFY-converted FP16 (measured)",
 }
 
 

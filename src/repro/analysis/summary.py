@@ -19,6 +19,8 @@ ARM_TITLES = {
     "fp64": "FP64",
     "fp64_hipify": "FP64 with HIPIFY",
     "fp32": "FP32",
+    "fp16": "FP16",
+    "fp16_hipify": "FP16 with HIPIFY",
 }
 
 

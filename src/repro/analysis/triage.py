@@ -22,7 +22,7 @@ isolation report attached — the case a human (or a vendor) should look at.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.ablation import AblationSpec, build_ablated_runner
@@ -32,7 +32,7 @@ from repro.fp.classify import outcomes_equivalent
 from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
 from repro.harness.runner import DifferentialRunner
-from repro.ir.nodes import Call, Stmt
+from repro.ir.nodes import Call
 from repro.ir.visitor import collect
 from repro.utils.tables import Table
 from repro.varity.testcase import TestCase

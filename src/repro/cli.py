@@ -7,6 +7,8 @@ paper's tables.  Examples::
     repro-campaign --scale default --workers 4
     repro-campaign --scale paper --workers 8 --json results.json
     repro-campaign --fp64-programs 500 --inputs 5 --no-hipify
+    repro-campaign --scale tiny --include-fp16          # + fp16/fp16_hipify arms
+    repro-campaign --include-fp16 --fp16-programs 400
     repro-campaign --scale paper --checkpoint grid.jsonl
     repro-campaign --scale paper --checkpoint grid.jsonl --resume
 """
@@ -42,9 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--fp64-programs", type=int, default=None, help="override FP64 program count")
     parser.add_argument("--fp32-programs", type=int, default=None, help="override FP32 program count")
+    parser.add_argument("--fp16-programs", type=int, default=None, help="override FP16 program count")
     parser.add_argument("--inputs", type=int, default=None, help="inputs per program")
     parser.add_argument("--no-hipify", action="store_true", help="skip the HIPIFY arm")
     parser.add_argument("--no-fp32", action="store_true", help="skip the FP32 arm")
+    parser.add_argument(
+        "--include-fp16",
+        action="store_true",
+        help="add the reduced-precision fp16 + fp16_hipify arm pair "
+        "(half precision; not part of the paper's grid)",
+    )
     parser.add_argument("--no-adjacency", action="store_true", help="omit adjacency matrices")
     parser.add_argument("--json", metavar="PATH", default=None, help="also dump results as JSON")
     parser.add_argument(
@@ -69,6 +78,7 @@ def _config_from_args(
     for name, value, minimum in (
         ("--fp64-programs", args.fp64_programs, 1),
         ("--fp32-programs", args.fp32_programs, 1),
+        ("--fp16-programs", args.fp16_programs, 1),
         ("--inputs", args.inputs, 1),
         ("--workers", args.workers, 0),
     ):
@@ -89,9 +99,11 @@ def _config_from_args(
         seed=base.seed,
         n_programs_fp64=args.fp64_programs if args.fp64_programs is not None else base.n_programs_fp64,
         n_programs_fp32=args.fp32_programs if args.fp32_programs is not None else base.n_programs_fp32,
+        n_programs_fp16=args.fp16_programs if args.fp16_programs is not None else base.n_programs_fp16,
         inputs_per_program=args.inputs if args.inputs is not None else base.inputs_per_program,
         include_hipify=not args.no_hipify,
         include_fp32=not args.no_fp32,
+        include_fp16=args.include_fp16,
         workers=args.workers if args.workers is not None else base.workers,
     )
 
@@ -126,9 +138,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "seed": config.seed,
                 "n_programs_fp64": config.n_programs_fp64,
                 "n_programs_fp32": config.n_programs_fp32,
+                "n_programs_fp16": config.n_programs_fp16,
                 "inputs_per_program": config.inputs_per_program,
                 "include_hipify": config.include_hipify,
                 "include_fp32": config.include_fp32,
+                "include_fp16": config.include_fp16,
                 "workers": config.workers,
             },
             "elapsed_seconds": result.elapsed_seconds,

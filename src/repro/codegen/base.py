@@ -1,9 +1,13 @@
 """Language-neutral C-family emission of kernel bodies.
 
 CUDA, HIP and plain C share the body syntax; they differ in kernel
-qualifiers, headers, memory management, and launch syntax, which the
-per-language modules provide.  FP32 campaigns emit ``f``-suffixed math
-calls and ``F``-suffixed literals (§III-C), both handled here.
+qualifiers, headers, memory management, launch syntax, and the spelling of
+the half-precision type (``__half`` vs ``_Float16``), which the
+per-language modules select via :attr:`EmitterConfig.dialect`.  FP32
+campaigns emit ``f``-suffixed math calls and ``F``-suffixed literals
+(§III-C); FP16 campaigns emit ``h``-suffixed math calls and C23
+``F16``-suffixed literals, both handled here via the exhaustive
+:class:`~repro.fp.types.FPType` suffix properties.
 """
 
 from __future__ import annotations
@@ -35,37 +39,63 @@ from repro.ir.nodes import (
 )
 from repro.ir.program import Kernel
 
-__all__ = ["EmitterConfig", "render_kernel_body", "render_expr", "render_signature"]
+__all__ = [
+    "EmitterConfig",
+    "render_kernel_body",
+    "render_expr",
+    "render_signature",
+    "kernel_needs_fp16_header",
+]
 
 _PRECEDENCE = {"||": 1, "&&": 2, "==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
                "+": 5, "-": 5, "*": 6, "/": 6}
 
-#: Functions that keep their name in FP32 (no ``f`` suffix variant is used
-#: by either toolchain for these in generated code).
+#: Functions that keep their name in every precision (no suffix variant is
+#: used by either toolchain for these in generated code).
 _NO_SUFFIX = frozenset({"__fdividef"})
+
+#: The precision-cast internal function (introduced by the fuzz mutator of
+#: the same name; canonical registration lives in
+#: ``repro.devices.mathlib.base.INTERNAL_FUNCTIONS``).  Rendered as a
+#: round-trip cast through the dialect's half type, not as a call.
+_DEMOTE_FP16 = "__demote_fp16"
 
 
 @dataclass(frozen=True)
 class EmitterConfig:
-    """Per-language emission knobs."""
+    """Per-language emission knobs.
+
+    ``dialect`` selects the type-name spelling where the languages differ
+    (FP16: ``__half`` under ``cuda``, ``_Float16`` under ``hip``/``c``).
+    """
 
     fptype: FPType
     indent: str = "  "
+    dialect: str = "cuda"
 
     @property
     def fp_name(self) -> str:
-        return self.fptype.c_name
+        return self.fptype.c_name_for(self.dialect)
 
     def math_name(self, func: str, variant: str = "default") -> str:
-        """Source spelling of a math call."""
+        """Source spelling of a math call.
+
+        FP32's ``f`` marker is a suffix (``cosf``); FP16's ``h`` marker is
+        a *prefix* (``hsin``, ``hexp`` — CUDA's real half-math spellings),
+        because suffixing would collide with existing functions
+        (``sin`` + ``h`` is hyperbolic sine).  Both read the exhaustive
+        :attr:`FPType.math_suffix` table, so an unknown precision raises
+        instead of silently emitting the FP64 name.
+        """
         if func in _NO_SUFFIX:
             return func
         if variant == "approx" and self.fptype is FPType.FP32:
             # Fast-math intrinsic spelling (__cosf, __expf, ...).
             return f"__{func}f"
-        if self.fptype is FPType.FP32:
-            return f"{func}f"
-        return func
+        marker = self.fptype.math_suffix
+        if self.fptype is FPType.FP16:
+            return f"{marker}{func}"
+        return f"{func}{marker}"
 
     def literal(self, node: Const) -> str:
         if node.text is not None:
@@ -75,8 +105,9 @@ class EmitterConfig:
                 text = format_varity_literal(node.value, self.fptype)
             except ValueError as exc:
                 raise CodegenError(f"cannot emit literal {node.value!r}") from exc
-        if self.fptype is FPType.FP32 and not text.upper().endswith("F"):
-            text += "F"
+        suffix = self.fptype.literal_suffix
+        if suffix and not text.upper().endswith(suffix):
+            text += suffix
         return text
 
 
@@ -104,12 +135,18 @@ def render_expr(expr: Expr, cfg: EmitterConfig, parent_prec: int = 0) -> str:
         text = f"{left} {expr.op} {right}"
         return f"({text})" if prec < parent_prec else text
     if isinstance(expr, FMA):
-        name = "fmaf" if cfg.fptype is FPType.FP32 else "fma"
+        # fma / fmaf / __hfma — the half spelling is CUDA's intrinsic name.
+        name = "__hfma" if cfg.fptype is FPType.FP16 else f"fma{cfg.fptype.math_suffix}"
         a = render_expr(expr.a, cfg)
         if expr.negate_product:
             a = f"-({a})"
         return f"{name}({a}, {render_expr(expr.b, cfg)}, {render_expr(expr.c, cfg)})"
     if isinstance(expr, Call):
+        if expr.func == _DEMOTE_FP16:
+            # The precision-cast round-trip: narrow to binary16, widen back.
+            half = FPType.FP16.c_name_for(cfg.dialect)
+            inner = render_expr(expr.args[0], cfg)
+            return f"({cfg.fp_name})({half})({inner})"
         args = ", ".join(render_expr(a, cfg) for a in expr.args)
         return f"{cfg.math_name(expr.func, expr.variant)}({args})"
     raise CodegenError(f"cannot emit {type(expr).__name__}")
@@ -143,15 +180,39 @@ def _stmt_lines(stmt: Stmt, cfg: EmitterConfig, depth: int) -> List[str]:
     raise CodegenError(f"cannot emit {type(stmt).__name__}")
 
 
+def kernel_needs_fp16_header(kernel: Kernel) -> bool:
+    """True when the rendered source references the half type.
+
+    Either the whole kernel is FP16, or a precision-cast mutation left a
+    ``__demote_fp16`` wrapper (rendered as a cast through the half type)
+    inside an FP64/FP32 kernel — both need ``cuda_fp16.h`` /
+    ``hip/hip_fp16.h`` for the artifact to stand alone.
+    """
+    if kernel.fptype is FPType.FP16:
+        return True
+    from repro.ir.visitor import walk
+
+    for stmt in kernel.body:
+        for node in walk(stmt):
+            if isinstance(node, Call) and node.func == _DEMOTE_FP16:
+                return True
+    return False
+
+
 def render_signature(kernel: Kernel, cfg: EmitterConfig) -> str:
     """Parameter list of the compute kernel."""
     return ", ".join(p.c_decl(cfg.fp_name) for p in kernel.params)
 
 
 def render_kernel_body(kernel: Kernel, cfg: EmitterConfig, depth: int = 1) -> str:
-    """Body statements plus the final %.17g printf (§III-B)."""
+    """Body statements plus the final %.17g printf (§III-B).
+
+    A half-precision accumulator is widened explicitly — ``__half`` /
+    ``_Float16`` do not promote through printf varargs on their own.
+    """
     lines: List[str] = []
     for stmt in kernel.body:
         lines.extend(_stmt_lines(stmt, cfg, depth))
-    lines.append(f'{cfg.indent * depth}printf("%.17g\\n", comp);')
+    comp = "(double)comp" if kernel.fptype is FPType.FP16 else "comp"
+    lines.append(f'{cfg.indent * depth}printf("%.17g\\n", {comp});')
     return "\n".join(lines)

@@ -19,7 +19,8 @@ __all__ = ["render_c"]
 def render_c(program: Program) -> str:
     """Render a complete self-contained .c test file."""
     kernel = program.kernel
-    cfg = EmitterConfig(fptype=kernel.fptype)
+    # Plain C spells half precision _Float16 (C23), like the HIP dialect.
+    cfg = EmitterConfig(fptype=kernel.fptype, dialect="c")
     fp = cfg.fp_name
     nparams = len(kernel.params)
     lines = [

@@ -4,10 +4,14 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.fp.types import FPType
 from repro.ir.program import Kernel, Program
 from repro.ir.types import IRType
-from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.codegen.base import (
+    EmitterConfig,
+    kernel_needs_fp16_header,
+    render_kernel_body,
+    render_signature,
+)
 
 __all__ = ["render_cuda", "ARRAY_EXTENT_MACRO"]
 
@@ -57,7 +61,7 @@ def _host_teardown(kernel: Kernel, *, api: str) -> List[str]:
 def render_cuda(program: Program) -> str:
     """Render a complete self-contained .cu test file."""
     kernel = program.kernel
-    cfg = EmitterConfig(fptype=kernel.fptype)
+    cfg = EmitterConfig(fptype=kernel.fptype, dialect="cuda")
     args = ", ".join(p.name for p in kernel.params)
     nparams = len(kernel.params)
     lines = [
@@ -65,6 +69,10 @@ def render_cuda(program: Program) -> str:
         "#include <stdio.h>",
         "#include <stdlib.h>",
         "#include <cuda_runtime.h>",
+    ]
+    if kernel_needs_fp16_header(kernel):
+        lines.append("#include <cuda_fp16.h>")
+    lines += [
         "",
         f"#define {ARRAY_EXTENT_MACRO} 64",
         "",

@@ -10,7 +10,12 @@ the items listed in the paper.
 from __future__ import annotations
 
 from repro.ir.program import Program
-from repro.codegen.base import EmitterConfig, render_kernel_body, render_signature
+from repro.codegen.base import (
+    EmitterConfig,
+    kernel_needs_fp16_header,
+    render_kernel_body,
+    render_signature,
+)
 from repro.codegen.cuda import ARRAY_EXTENT_MACRO, _host_setup, _host_teardown
 
 __all__ = ["render_hip"]
@@ -19,7 +24,7 @@ __all__ = ["render_hip"]
 def render_hip(program: Program) -> str:
     """Render a complete self-contained .hip test file."""
     kernel = program.kernel
-    cfg = EmitterConfig(fptype=kernel.fptype)
+    cfg = EmitterConfig(fptype=kernel.fptype, dialect="hip")
     args = ", ".join(p.name for p in kernel.params)
     nparams = len(kernel.params)
     lines = [
@@ -27,6 +32,10 @@ def render_hip(program: Program) -> str:
         "#include <stdio.h>",
         "#include <stdlib.h>",
         "#include <hip/hip_runtime.h>",
+    ]
+    if kernel_needs_fp16_header(kernel):
+        lines.append("#include <hip/hip_fp16.h>")
+    lines += [
         "",
         f"#define {ARRAY_EXTENT_MACRO} 64",
         "",

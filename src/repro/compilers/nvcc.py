@@ -58,7 +58,8 @@ class NvccCompiler(Compiler):
 
     def flush_mode(self, opt: OptSetting, fptype: FPType) -> FlushMode:
         # --use_fast_math implies --ftz=true, FP32 only (FP64 has no FTZ
-        # mode on NVIDIA GPUs).  nvcc flushes operands and results.
+        # mode on NVIDIA GPUs, and the __half pipeline keeps subnormal
+        # support at every setting).  nvcc flushes operands and results.
         if opt.fast_math and fptype is FPType.FP32:
             return FlushMode.FLUSH_INPUTS_OUTPUTS
         return FlushMode.NONE

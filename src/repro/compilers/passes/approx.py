@@ -13,7 +13,10 @@ explosion (13,877 discrepancies at O3_FM vs 45 at O0):
 
 Both sides get faster and less accurate, but differently, so nearly every
 approximated call disagrees between the vendors.  FP64 has no hardware
-approximation path on either stack; the pass only touches FP32 kernels.
+approximation path on either stack, and FP16 math in our model routes
+through the same half-precision library entry points at every setting
+(neither vendor documents a separate ``__h*`` fast-math variant set for
+the functions the generator emits) — the pass only touches FP32 kernels.
 """
 
 from __future__ import annotations

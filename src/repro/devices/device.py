@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence, Union
 
-from repro.devices.interpreter import CostModel, ExecOptions, ExecutionResult, Interpreter
+from repro.devices.interpreter import ExecOptions, ExecutionResult, Interpreter
 from repro.devices.mathlib.base import MathLibrary
 from repro.devices.vendor import Vendor
 

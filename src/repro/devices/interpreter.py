@@ -3,6 +3,15 @@
 Executes a (possibly compiler-transformed) kernel with:
 
 * per-operation rounding in the campaign precision (NumPy scalar ops);
+  **FP16 arithmetic follows the GPU ``__half`` promotion model**: each
+  operand is rounded to binary16, the operation is computed in binary32
+  (NumPy evaluates ``float16`` arithmetic in ``float32`` internally,
+  matching how both real stacks promote ``__half``/``_Float16`` scalar
+  math to their FP32 pipelines), and the result is rounded once back to
+  binary16.  For ``+ - *`` the compute-in-fp32-round-to-fp16 result is
+  identical to a correctly-rounded native half operation (22 significand
+  bits fit binary32 exactly); for ``/`` and fused ops a double-rounding
+  corner is possible, shared by both vendors;
 * a vendor math library for every ``Call`` node;
 * exact fused multiply-add for ``FMA`` nodes (rational-arithmetic
   reference, shared by both vendors — contraction *pattern* differences,
@@ -20,7 +29,7 @@ harness compares between platforms.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -96,7 +105,9 @@ class CostModel:
     #: __fdividef
     call_fdividef: int = 5
 
-    _CHEAP = frozenset({"fabs", "fmin", "fmax", "ceil", "floor", "trunc"})
+    _CHEAP = frozenset(
+        {"fabs", "fmin", "fmax", "ceil", "floor", "trunc", "__demote_fp16"}
+    )
 
     def call_cost(self, func: str, variant: str) -> int:
         if func == "__fdividef":
@@ -406,13 +417,22 @@ class Interpreter:
         state.charge(self.cost_model.fma)
         if expr.negate_product:
             a = -a
-        if env.fptype is FPType.FP32:
-            # 24-bit operands: the double product is exact; one more double
-            # add then a single narrowing keeps error below 1/2 ULP except
-            # double-rounding corners shared by both vendors.
-            raw = np.float32(np.float64(a) * np.float64(b) + np.float64(c))
-        else:
-            raw = np.float64(fma_exact(a, b, c))
+        with np.errstate(all="ignore"):
+            if env.fptype is FPType.FP64:
+                raw = np.float64(fma_exact(a, b, c))
+            elif env.fptype is FPType.FP32:
+                # 24-bit operands: the double product is exact; one more
+                # double add then a single narrowing keeps error below 1/2
+                # ULP except double-rounding corners shared by both vendors.
+                raw = np.float32(np.float64(a) * np.float64(b) + np.float64(c))
+            elif env.fptype is FPType.FP16:
+                # 11-bit operands: the float32 product is exact (22 bits),
+                # one float32 add then a single narrowing to binary16 — the
+                # same compute-in-fp32-round-to-fp16 model as plain FP16
+                # arithmetic (module docstring), shared by both vendors.
+                raw = np.float16(np.float32(a) * np.float32(b) + np.float32(c))
+            else:
+                raise ExecutionError(f"FMA is not defined for {env.fptype!r}")
         env.observe_result(raw, a, b, c)
         return float(env.flush_output(env.cast(raw)))
 

@@ -11,7 +11,6 @@ against vendor, as the paper does — but the analysis layer uses it to say
 from __future__ import annotations
 
 import abc
-import math
 from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
@@ -21,11 +20,13 @@ from repro.fp.types import FPType
 __all__ = [
     "MathLibrary",
     "reference_call",
+    "demote_through_fp16",
     "SUPPORTED_FUNCTIONS",
     "UNARY_FUNCTIONS",
     "BINARY_FUNCTIONS",
     "EXACT_FUNCTIONS",
     "APPROX_CAPABLE",
+    "DEMOTE_FP16",
 ]
 
 
@@ -84,18 +85,38 @@ APPROX_CAPABLE = frozenset(
     {"sin", "cos", "tan", "exp", "exp2", "log", "log2", "log10", "pow"}
 )
 
-#: Internal names introduced by compiler passes (not in the generator
-#: grammar).  ``__fdividef`` is nvcc's fast FP32 division intrinsic.
-INTERNAL_FUNCTIONS: Tuple[str, ...] = ("__fdividef", "rsqrt")
+#: The precision-cast round trip introduced by the fuzz mutator of the
+#: same name: narrow a value to binary16, widen it back.  Both real
+#: toolchains convert correctly rounded (__half/_Float16 conversions are
+#: IEEE), so both vendor models implement it identically and exactly.
+DEMOTE_FP16 = "__demote_fp16"
+
+#: Internal names introduced by compiler passes or mutators (not in the
+#: generator grammar).  ``__fdividef`` is nvcc's fast FP32 division
+#: intrinsic.
+INTERNAL_FUNCTIONS: Tuple[str, ...] = ("__fdividef", "rsqrt", DEMOTE_FP16)
+
+
+def demote_through_fp16(value: float, fptype: FPType) -> float:
+    """Round ``value`` to binary16 and widen back to the campaign precision.
+
+    Widening binary16 into binary32/binary64 is exact, so the round trip
+    is a single correctly-rounded narrowing — NaN propagates, values above
+    the binary16 range overflow to ±Inf, and tiny values flush through the
+    binary16 subnormal range, which is exactly what makes the precision-
+    cast mutation a rich source of outcome-class flips.
+    """
+    with np.errstate(all="ignore"):
+        return float(fptype.dtype.type(np.float16(value)))
 
 
 def reference_call(func: str, args: Sequence[float], fptype: FPType) -> float:
     """Evaluate ``func`` in binary64, then round once to ``fptype``.
 
     This is the model's notion of the correctly-rounded result.  (For FP32
-    a double-evaluation + single rounding can differ from true correct
-    rounding only in double-rounding corner cases, which is far below the
-    ULP budgets of either vendor model.)
+    and FP16 a double-evaluation + single rounding can differ from true
+    correct rounding only in double-rounding corner cases, which is far
+    below the ULP budgets of either vendor model.)
     """
     with np.errstate(all="ignore"):
         if len(args) == 1:
@@ -112,9 +133,14 @@ def reference_call(func: str, args: Sequence[float], fptype: FPType) -> float:
             result = impl2(np.float64(args[0]), np.float64(args[1]))
         else:
             raise ValueError(f"{func} called with {len(args)} arguments")
+        # Exhaustive final rounding into the campaign precision.
+        if fptype is FPType.FP64:
+            return float(result)
         if fptype is FPType.FP32:
             return float(np.float32(result))
-        return float(result)
+        if fptype is FPType.FP16:
+            return float(np.float16(result))
+        raise ValueError(f"reference_call is not defined for {fptype!r}")
 
 
 class MathLibrary(abc.ABC):

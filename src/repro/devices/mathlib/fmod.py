@@ -34,9 +34,13 @@ from repro.fp.types import FPType
 
 __all__ = ["fmod_exact", "fmod_chunked_reduction", "nvidia_fmod", "amd_fmod"]
 
-#: Quotient chunk width (bits) of the modeled reduction loop.
-_CHUNK_BITS_FP64 = 26
-_CHUNK_BITS_FP32 = 12
+#: Quotient chunk width (bits) of the modeled reduction loop, per
+#: precision (roughly half the significand, like the binary64 original).
+_CHUNK_BITS = {
+    FPType.FP64: 26,
+    FPType.FP32: 12,
+    FPType.FP16: 6,
+}
 
 #: Hard iteration cap; the binary64 exponent range over the chunk width is
 #: < 100, so this is generous.
@@ -50,8 +54,9 @@ def fmod_exact(x: float, y: float, fptype: FPType = FPType.FP64) -> float:
     if math.isinf(y) or x == 0.0:
         # fmod(x, inf) = x; fmod(±0, y) = ±0.
         return float(fptype.dtype.type(x))
-    # math.fmod is exact for binary64; fp32 operands are exact in binary64
-    # and their exact remainder is fp32-representable, so one cast is exact.
+    # math.fmod is exact for binary64; fp32/fp16 operands are exact in
+    # binary64 and their exact remainder is representable in the operand
+    # format, so one cast is exact.
     r = math.fmod(float(x), float(y))
     return float(fptype.dtype.type(r))
 
@@ -68,7 +73,10 @@ def fmod_chunked_reduction(x: float, y: float, fptype: FPType = FPType.FP64) -> 
         return float(fptype.dtype.type(x))
 
     dtype = fptype.dtype
-    chunk_bits = _CHUNK_BITS_FP32 if fptype is FPType.FP32 else _CHUNK_BITS_FP64
+    try:
+        chunk_bits = _CHUNK_BITS[fptype]
+    except KeyError:
+        raise ValueError(f"no fmod chunk width for {fptype!r}") from None
     ax = abs(float(dtype.type(x)))
     ay = abs(float(dtype.type(y)))
     sign = math.copysign(1.0, x)

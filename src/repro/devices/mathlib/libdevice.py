@@ -23,8 +23,10 @@ import numpy as np
 
 from repro.fp.types import FPType
 from repro.devices.mathlib.base import (
+    DEMOTE_FP16,
     EXACT_FUNCTIONS,
     MathLibrary,
+    demote_through_fp16,
     reference_call,
 )
 from repro.devices.mathlib.accuracy import AccuracyModel
@@ -52,6 +54,9 @@ class LibdeviceMath(MathLibrary):
         fptype: FPType,
         variant: str = "default",
     ) -> float:
+        if func == DEMOTE_FP16:
+            # Correctly-rounded __half conversion: identical on both vendors.
+            return demote_through_fp16(args[0], fptype)
         if func == "__fdividef":
             return self._fdividef(args[0], args[1], fptype)
         if func == "fmod":

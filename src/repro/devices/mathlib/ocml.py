@@ -24,8 +24,10 @@ import numpy as np
 
 from repro.fp.types import FPType
 from repro.devices.mathlib.base import (
+    DEMOTE_FP16,
     EXACT_FUNCTIONS,
     MathLibrary,
+    demote_through_fp16,
     reference_call,
 )
 from repro.devices.mathlib.accuracy import AccuracyModel
@@ -56,6 +58,10 @@ class OcmlMath(MathLibrary):
         hipify = variant == "hipify"
         base_variant = "default" if hipify else variant
 
+        if func == DEMOTE_FP16:
+            # Correctly-rounded _Float16 conversion: identical on both
+            # vendors, and never routed through the HIPIFY wrapper.
+            return demote_through_fp16(args[0], fptype)
         if func == "__fdividef":
             # hipcc has no __fdividef; HIPIFY maps it to plain division.
             with np.errstate(all="ignore"):

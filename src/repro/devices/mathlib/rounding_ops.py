@@ -24,15 +24,28 @@ from repro.fp.types import FPType
 
 __all__ = ["nvidia_ceil", "amd_ceil", "exact_floor", "exact_trunc"]
 
-#: The largest double below 1.0 — the "magic" addend of the fast path.
-_MAGIC_FP64 = float(np.nextafter(np.float64(1.0), np.float64(0.0)))
-#: Same for binary32.
-_MAGIC_FP32 = float(np.nextafter(np.float32(1.0), np.float32(0.0)))
+#: The largest value below 1.0 in each precision — the "magic" addend of
+#: the fast path.
+_MAGIC = {
+    FPType.FP64: float(np.nextafter(np.float64(1.0), np.float64(0.0))),
+    FPType.FP32: float(np.nextafter(np.float32(1.0), np.float32(0.0))),
+    FPType.FP16: float(np.nextafter(np.float16(1.0), np.float16(0.0))),
+}
 
-#: Magnitude at which every binary64 / binary32 value is an integer, so the
+#: Magnitude at which every value of the precision is an integer, so the
 #: fast path short-circuits (mirrors the real inlined sequence's guard).
-_INTEGRAL_LIMIT_FP64 = 2.0**52
-_INTEGRAL_LIMIT_FP32 = 2.0**23
+_INTEGRAL_LIMIT = {
+    FPType.FP64: 2.0**52,
+    FPType.FP32: 2.0**23,
+    FPType.FP16: 2.0**10,
+}
+
+
+def _lookup(table, fptype: FPType, what: str):
+    try:
+        return table[fptype]
+    except KeyError:
+        raise ValueError(f"no {what} constant for {fptype!r}") from None
 
 
 def nvidia_ceil(x: float, fptype: FPType = FPType.FP64) -> float:
@@ -41,7 +54,7 @@ def nvidia_ceil(x: float, fptype: FPType = FPType.FP64) -> float:
     xv = float(dtype.type(x))
     if math.isnan(xv) or math.isinf(xv):
         return xv
-    limit = _INTEGRAL_LIMIT_FP32 if fptype is FPType.FP32 else _INTEGRAL_LIMIT_FP64
+    limit = _lookup(_INTEGRAL_LIMIT, fptype, "integral-limit")
     if abs(xv) >= limit or xv == 0.0:
         return xv
     if xv == float(np.trunc(dtype.type(xv))):
@@ -51,7 +64,7 @@ def nvidia_ceil(x: float, fptype: FPType = FPType.FP64) -> float:
     if xv < 0.0:
         # ceil of a negative value is truncation toward zero — exact.
         return float(np.trunc(dtype.type(xv)))
-    magic = _MAGIC_FP32 if fptype is FPType.FP32 else _MAGIC_FP64
+    magic = _lookup(_MAGIC, fptype, "magic-addend")
     with np.errstate(all="ignore"):
         shifted = dtype.type(xv) + dtype.type(magic)  # rounds: may absorb x
         return float(np.trunc(shifted))

@@ -19,7 +19,7 @@ Future backends (async, distributed) implement the same two methods.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 try:  # pragma: no cover - Protocol missing only on <3.8
     from typing import Protocol

@@ -11,6 +11,8 @@ from repro.fp.bits import (
     bits_to_float,
     float32_to_bits,
     bits_to_float32,
+    float16_to_bits,
+    bits_to_float16,
     is_negative,
 )
 from repro.fp.ulp import ulp_distance, nextafter_n, perturb_ulps, ulp_of
@@ -21,7 +23,11 @@ from repro.fp.classify import (
     outcomes_equivalent,
 )
 from repro.fp.env import FPEnv, FPExceptionFlags, FlushMode
-from repro.fp.literals import format_varity_literal, parse_varity_literal
+from repro.fp.literals import (
+    format_varity_literal,
+    parse_varity_literal,
+    strip_literal_suffix,
+)
 
 __all__ = [
     "FPType",
@@ -31,6 +37,8 @@ __all__ = [
     "bits_to_float",
     "float32_to_bits",
     "bits_to_float32",
+    "float16_to_bits",
+    "bits_to_float16",
     "is_negative",
     "ulp_distance",
     "nextafter_n",
@@ -45,4 +53,5 @@ __all__ = [
     "FlushMode",
     "format_varity_literal",
     "parse_varity_literal",
+    "strip_literal_suffix",
 ]

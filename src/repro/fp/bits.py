@@ -1,4 +1,4 @@
-"""Raw bit-pattern conversions for IEEE-754 binary32/binary64.
+"""Raw bit-pattern conversions for IEEE-754 binary16/binary32/binary64.
 
 Used by the ULP utilities, the deterministic error-placement hash in the
 vendor math-library models, and the metadata store (exact value
@@ -17,6 +17,8 @@ __all__ = [
     "bits_to_float",
     "float32_to_bits",
     "bits_to_float32",
+    "float16_to_bits",
+    "bits_to_float16",
     "is_negative",
     "sign_exponent_mantissa",
     "compose_float",
@@ -46,6 +48,17 @@ def bits_to_float32(bits: int) -> np.float32:
     return np.float32(value)
 
 
+def float16_to_bits(value: float) -> int:
+    """IEEE-754 binary16 bit pattern (value is first rounded to float16)."""
+    (bits,) = struct.unpack("<H", struct.pack("<e", np.float16(value)))
+    return bits
+
+
+def bits_to_float16(bits: int) -> np.float16:
+    (value,) = struct.unpack("<e", struct.pack("<H", bits & 0xFFFF))
+    return np.float16(value)
+
+
 def is_negative(value: float) -> bool:
     """Sign bit of ``value`` — distinguishes ``-0.0`` and ``-nan``.
 
@@ -62,7 +75,10 @@ def sign_exponent_mantissa(value: float, *, bits: int = 64):
     if bits == 32:
         raw = float32_to_bits(value)
         return (raw >> 31) & 1, (raw >> 23) & 0xFF, raw & ((1 << 23) - 1)
-    raise ValueError(f"bits must be 32 or 64, got {bits}")
+    if bits == 16:
+        raw = float16_to_bits(value)
+        return (raw >> 15) & 1, (raw >> 10) & 0x1F, raw & ((1 << 10) - 1)
+    raise ValueError(f"bits must be 16, 32 or 64, got {bits}")
 
 
 def compose_float(sign: int, exponent: int, mantissa: int, *, bits: int = 64) -> float:
@@ -73,4 +89,7 @@ def compose_float(sign: int, exponent: int, mantissa: int, *, bits: int = 64) ->
     if bits == 32:
         raw = ((sign & 1) << 31) | ((exponent & 0xFF) << 23) | (mantissa & ((1 << 23) - 1))
         return float(bits_to_float32(raw))
-    raise ValueError(f"bits must be 32 or 64, got {bits}")
+    if bits == 16:
+        raw = ((sign & 1) << 15) | ((exponent & 0x1F) << 10) | (mantissa & ((1 << 10) - 1))
+        return float(bits_to_float16(raw))
+    raise ValueError(f"bits must be 16, 32 or 64, got {bits}")

@@ -19,8 +19,6 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
-import numpy as np
-
 from repro.fp.types import FPType
 from repro.fp.classify import is_subnormal
 

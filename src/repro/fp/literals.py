@@ -23,12 +23,29 @@ import numpy as np
 
 from repro.fp.types import FPType
 
-__all__ = ["format_varity_literal", "parse_varity_literal", "VARITY_LITERAL_RE"]
+__all__ = [
+    "format_varity_literal",
+    "parse_varity_literal",
+    "strip_literal_suffix",
+    "VARITY_LITERAL_RE",
+]
 
 #: Regex matching literals we emit (sign mandatory, as in Varity output).
+#: ``F16`` is the C23 half-precision suffix used by the FP16 lane; it must
+#: come before the bare ``F`` alternative so it is matched whole.
 VARITY_LITERAL_RE = re.compile(
-    r"[+-]\d\.\d+(?:E[+-]?\d+)?F?", re.IGNORECASE
+    r"[+-]\d\.\d+(?:E[+-]?\d+)?(?:F16|F)?", re.IGNORECASE
 )
+
+
+def strip_literal_suffix(text: str) -> str:
+    """Drop a trailing precision suffix (``F16`` or ``F``/``f``) if present."""
+    upper = text.upper()
+    if upper.endswith("F16"):
+        return text[:-3]
+    if upper.endswith("F"):
+        return text[:-1]
+    return text
 
 
 def format_varity_literal(
@@ -68,10 +85,20 @@ def parse_varity_literal(text: str, fptype: FPType = FPType.FP64):
     compilers would embed in the binary).
     """
     text = text.strip()
-    if text.upper().endswith("F"):
-        text = text[:-1]
-        if fptype is not FPType.FP32:
-            # An F-suffixed literal in an FP64 program would be a generator
-            # bug; accept it but honour the suffix.
-            return np.float32(float(text))
-    return fptype.dtype.type(float(text))
+    upper = text.upper()
+    # Narrowing may overflow to Inf (e.g. a 9.9E4 input into binary16) —
+    # that is the compiled program's real behavior, not a warning.
+    with np.errstate(all="ignore"):
+        if upper.endswith("F16"):
+            text = text[:-3]
+            if fptype is not FPType.FP16:
+                # An F16-suffixed literal outside an FP16 program would be
+                # a generator bug; accept it but honour the suffix.
+                return np.float16(float(text))
+        elif upper.endswith("F"):
+            text = text[:-1]
+            if fptype is not FPType.FP32:
+                # An F-suffixed literal in an FP64 program would be a
+                # generator bug; accept it but honour the suffix.
+                return np.float32(float(text))
+        return fptype.dtype.type(float(text))

@@ -3,18 +3,18 @@
 The vendor math-library models express accuracy as "result within N ULPs of
 the correctly-rounded value", matching how NVIDIA's libdevice and AMD's OCML
 document their functions.  These helpers convert between values and ULP
-counts for both binary32 and binary64.
+counts for binary16, binary32 and binary64 — the ULP line is a property of
+the campaign precision, never an assumed 52/23-bit mantissa.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Union
 
 import numpy as np
 
 from repro.fp.types import FPType
-from repro.fp.bits import float_to_bits, float32_to_bits
+from repro.fp.bits import float16_to_bits, float32_to_bits, float_to_bits
 
 __all__ = ["ulp_distance", "nextafter_n", "perturb_ulps", "ulp_of"]
 
@@ -34,6 +34,13 @@ def _ordered_bits32(value: float) -> int:
     return bits + (1 << 31) - 1
 
 
+def _ordered_bits16(value: float) -> int:
+    bits = float16_to_bits(value)
+    if bits & (1 << 15):
+        return (1 << 15) - (bits & ~(1 << 15)) - 1
+    return bits + (1 << 15) - 1
+
+
 def ulp_distance(a: float, b: float, fptype: FPType = FPType.FP64) -> int:
     """Number of representable values between ``a`` and ``b`` (symmetric).
 
@@ -47,7 +54,11 @@ def ulp_distance(a: float, b: float, fptype: FPType = FPType.FP64) -> int:
         raise ValueError("ulp_distance is undefined for NaN")
     if fptype is FPType.FP64:
         return abs(_ordered_bits64(af) - _ordered_bits64(bf))
-    return abs(_ordered_bits32(np.float32(af)) - _ordered_bits32(np.float32(bf)))
+    if fptype is FPType.FP32:
+        return abs(_ordered_bits32(np.float32(af)) - _ordered_bits32(np.float32(bf)))
+    if fptype is FPType.FP16:
+        return abs(_ordered_bits16(np.float16(af)) - _ordered_bits16(np.float16(bf)))
+    raise ValueError(f"ulp_distance is not defined for {fptype!r}")
 
 
 def nextafter_n(value: float, n: int, fptype: FPType = FPType.FP64):

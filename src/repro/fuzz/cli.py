@@ -34,9 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2024, help="session root seed")
     parser.add_argument(
         "--fptype",
-        choices=["fp32", "fp64"],
+        choices=["fp16", "fp32", "fp64"],
         default="fp32",
-        help="kernel precision (default fp32 — the richest discrepancy surface)",
+        help="kernel precision (default fp32 — the richest discrepancy "
+        "surface; fp16 fuzzes the reduced-precision lane)",
     )
     parser.add_argument(
         "--seed-programs", type=int, default=None, help="seed-pool size (default 40)"
@@ -118,7 +119,7 @@ def _config_from_args(
             parser.error("--mutations must name at least one mutation")
     return FuzzConfig(
         seed=args.seed,
-        fptype=FPType.FP64 if args.fptype == "fp64" else FPType.FP32,
+        fptype=FPType.from_string(args.fptype),
         n_seed_programs=args.seed_programs if args.seed_programs is not None else base.n_seed_programs,
         inputs_per_program=args.inputs if args.inputs is not None else base.inputs_per_program,
         max_mutants=args.mutants if args.mutants is not None else base.max_mutants,

@@ -21,7 +21,7 @@ and fed back three ways:
   power schedule drifts toward regions of program space that keep
   yielding new mechanisms;
 * the arm that produced it gains scheduling weight (an AFL-style bandit
-  over the six mutators plus an *explore* arm that evaluates a fresh
+  over the seven mutators plus an *explore* arm that evaluates a fresh
   generated program: a session whose novelty comes from call
   substitution spends its budget there; a session whose pool runs dry
   drifts back toward blind generation);
@@ -184,8 +184,18 @@ class FuzzConfig:
         the fuzz analogue of the campaign checkpoint's ``workers`` rule.
         ``workers`` is excluded for the same reason it is there: it only
         changes scheduling, never results.
+
+        Compatibility: the ``format`` key versions the ledger record
+        vocabulary.  Format 2 (the FP16 lane) added the ``precision-cast``
+        mutation to the default set and a ``fptype`` field to every
+        signature, so format-1 ledgers no longer resume under default
+        configs — strict ``--resume`` reports the mismatch, ``"auto"``
+        starts fresh.  A format-1 session can still be *continued* by an
+        old checkout; it cannot be continued by this engine, whose
+        scheduler would disagree with the recorded trajectory.
         """
         return {
+            "format": 2,
             "seed": self.seed,
             "fptype": self.fptype.value,
             "n_seed_programs": self.n_seed_programs,
@@ -204,7 +214,7 @@ class FuzzConfig:
 class _Scheduler:
     """Win-count bandit over the iteration's action.
 
-    The arms are the six mutators plus (when enabled) "explore" —
+    The arms are the registered mutators plus (when enabled) "explore" —
     evaluate a fresh generated program instead of mutating.  An arm's
     selection weight is ``1 + its novel-signature findings so far``, so
     budget flows to whatever is currently paying: a barren pool drifts
@@ -428,7 +438,7 @@ class _Evaluator:
         out: List[Tuple[str, Discrepancy, DiscrepancySignature]] = []
         local_seen: Set[str] = set()
         for (arm, d), verdict in zip(found, self._verdicts(test, found)):
-            sig = DiscrepancySignature.from_verdict(verdict, d)
+            sig = DiscrepancySignature.from_verdict(verdict, d, test.fptype)
             if sig.key not in local_seen:
                 local_seen.add(sig.key)
                 out.append((arm, d, sig))

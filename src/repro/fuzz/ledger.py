@@ -20,6 +20,12 @@ times, fixed key order — so two complete runs of the same seeded config
 produce byte-identical ledgers, and a torn final line (session killed
 mid-append) is dropped on reopen exactly like a campaign checkpoint's.
 
+Format compatibility: the header fingerprint carries a ``format`` version
+(see :meth:`repro.fuzz.engine.FuzzConfig.fingerprint`).  Format 2 — the
+FP16 lane — added the ``precision-cast`` mutation to the default set and
+an ``fptype`` field to every signature record; format-1 ledgers are
+rejected on resume rather than silently misread.
+
 A :class:`Finding` records, besides the discrepancy and its signature,
 the full *lineage* of the mutant: the corpus index it started from and
 the ``(mutation_id, seed[, donor])`` steps applied.  Mutated IR cannot be

@@ -14,21 +14,29 @@ Determinism: a mutation is fully determined by ``(seed, mutation_id)``.
 so a findings ledger can record just the lineage ``(mutation_id, seed)``
 and replay the exact mutant later.
 
-The six mutation classes:
+The seven mutation classes:
 
-``op-swap``        swap one arithmetic / comparison operator;
-``const-perturb``  move one literal by a few ULPs (re-round-tripped
-                   through the Varity literal format, because the value a
-                   test consumes is the parsed text);
-``call-mutate``    substitute a math call with another of the same arity,
-                   or wrap a float subexpression in a new unary call;
-``fma-shape``      rewrite ``x ⊕ y`` into the contractible ``a*b + c``
-                   shape the FMA-contraction pass looks for;
-``splice``         replace a float subexpression with one lifted from a
-                   donor corpus program (names restricted to parameters
-                   the target kernel also has in scope);
-``guard-toggle``   unwrap an ``if``/``for``, or wrap a top-level statement
-                   in a fresh guard.
+``op-swap``          swap one arithmetic / comparison operator;
+``const-perturb``    move one literal by a few ULPs (re-round-tripped
+                     through the Varity literal format, because the value a
+                     test consumes is the parsed text);
+``call-mutate``      substitute a math call with another of the same arity,
+                     or wrap a float subexpression in a new unary call;
+``fma-shape``        rewrite ``x ⊕ y`` into the contractible ``a*b + c``
+                     shape the FMA-contraction pass looks for;
+``splice``           replace a float subexpression with one lifted from a
+                     donor corpus program (names restricted to parameters
+                     the target kernel also has in scope);
+``guard-toggle``     unwrap an ``if``/``for``, or wrap a top-level statement
+                     in a fresh guard;
+``precision-cast``   demote/promote one float subexpression through IEEE
+                     binary16 (``(T)(__half)(e)``): the round trip is a
+                     single correctly-rounded narrowing, identical on both
+                     vendors, that overflows moderate values to Inf and
+                     flushes small ones toward zero — a targeted probe for
+                     reduced-precision outcome-class flips.  A no-op on
+                     FP16 kernels (the value is already binary16), so it
+                     reports no applicable site there.
 """
 
 from __future__ import annotations
@@ -37,8 +45,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.devices.mathlib.base import BINARY_FUNCTIONS, UNARY_FUNCTIONS
-from repro.fp.literals import format_varity_literal
+from repro.devices.mathlib.base import BINARY_FUNCTIONS, DEMOTE_FP16, UNARY_FUNCTIONS
+from repro.fp.literals import format_varity_literal, strip_literal_suffix
+from repro.fp.types import FPType
 from repro.fp.ulp import perturb_ulps
 from repro.ir.nodes import (
     ArrayRef,
@@ -311,7 +320,7 @@ def _mutate_const_perturb(
         # fall back to a sign flip, which is always a real change.
         new_value = -old.value
     text = format_varity_literal(new_value, kernel.fptype, digits=16)
-    parsed = float(text.rstrip("Ff"))
+    parsed = float(strip_literal_suffix(text))
     body = _replace_site(kernel.body, target, Const(parsed, text))
     return kernel.with_body(body)
 
@@ -441,6 +450,42 @@ def _mutate_guard_toggle(
     return kernel.with_body(new_body)
 
 
+def _mutate_precision_cast(
+    kernel: Kernel, rng: random.Random, donor: Optional[Kernel]
+) -> Optional[Kernel]:
+    """Round-trip one float subexpression through IEEE binary16.
+
+    Wraps the site in the ``__demote_fp16`` internal function, which the
+    vendor models evaluate as a single correctly-rounded narrowing to
+    binary16 followed by an exact widening — both real toolchains convert
+    ``__half``/``_Float16`` correctly rounded, so the mutation itself is
+    vendor-neutral; what it changes is which *downstream* operations see a
+    coarsened (possibly Inf/zero-flushed) operand.  Sites where the round
+    trip would be the identity are excluded: an existing demote wrapper
+    (wrapping it again) and a wrapper's direct argument (nesting inside
+    it) both yield ``demote(demote(e))`` ≡ ``demote(e)``.
+    """
+    if kernel.fptype is FPType.FP16:
+        return None  # already binary16: the round trip cannot change anything
+    sites = _float_sites(kernel.body)
+    already_demoted = {
+        id(e.args[0])
+        for e in sites
+        if isinstance(e, Call) and e.func == DEMOTE_FP16
+    }
+    candidates = [
+        i
+        for i, e in enumerate(sites)
+        if not (isinstance(e, Call) and e.func == DEMOTE_FP16)
+        and id(e) not in already_demoted
+    ]
+    if not candidates:
+        return None
+    target = rng.choice(candidates)
+    repl = Call(DEMOTE_FP16, [sites[target]])
+    return kernel.with_body(_replace_site(kernel.body, target, repl))
+
+
 @dataclass(frozen=True)
 class Mutator:
     """One registered mutation class."""
@@ -460,6 +505,11 @@ MUTATORS: Dict[str, Mutator] = {
         Mutator("fma-shape", _mutate_fma_shape, doc="introduce the contractible a*b+c shape"),
         Mutator("splice", _mutate_splice, needs_donor=True, doc="graft a donor subexpression"),
         Mutator("guard-toggle", _mutate_guard_toggle, doc="wrap/unwrap an if or for"),
+        Mutator(
+            "precision-cast",
+            _mutate_precision_cast,
+            doc="round-trip a subexpression through binary16",
+        ),
     )
 }
 

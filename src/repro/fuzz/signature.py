@@ -2,7 +2,10 @@
 
 Two discrepancies are *the same finding* when they share a signature:
 triage cause × implicated math functions × optimization label ×
-directional outcome-class pair.  The fuzzer keeps one finding per
+directional outcome-class pair × campaign precision.  (Precision joined
+the key with the FP16 lane: the same mechanism surfacing in binary16 and
+binary32 is two distinct findings, exactly as the paper's FP64 and FP32
+tables are reported separately.)  The fuzzer keeps one finding per
 signature, which is what turns a stream of raw divergent runs into a
 bounded, human-triageable ledger — the paper's 652k-run campaign produced
 thousands of discrepancies but only a handful of *mechanisms* (§V/§VI),
@@ -19,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.analysis.triage import TriageVerdict
+from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
 from repro.utils.tables import Table
 
@@ -32,7 +36,9 @@ class DiscrepancySignature:
     ``functions`` is the sorted tuple of math functions triage implicated
     (empty for optimization-induced or unknown causes); the outcome pair
     is directional (NVCC side first) because the adjacency tables treat
-    ``Num→NaN`` and ``NaN→Num`` as different cells.
+    ``Num→NaN`` and ``NaN→Num`` as different cells.  ``fptype`` is the
+    campaign precision the discrepancy was observed in (``"fp64"`` /
+    ``"fp32"`` / ``"fp16"``).
     """
 
     cause: str
@@ -40,10 +46,14 @@ class DiscrepancySignature:
     opt_label: str
     nvcc_outcome: str
     hipcc_outcome: str
+    fptype: str
 
     @classmethod
     def from_verdict(
-        cls, verdict: TriageVerdict, discrepancy: Discrepancy
+        cls,
+        verdict: TriageVerdict,
+        discrepancy: Discrepancy,
+        fptype: FPType,
     ) -> "DiscrepancySignature":
         return cls(
             cause=verdict.cause,
@@ -51,6 +61,7 @@ class DiscrepancySignature:
             opt_label=discrepancy.opt_label,
             nvcc_outcome=discrepancy.nvcc_outcome.value,
             hipcc_outcome=discrepancy.hipcc_outcome.value,
+            fptype=fptype.value,
         )
 
     @property
@@ -59,13 +70,13 @@ class DiscrepancySignature:
         funcs = "+".join(self.functions) or "-"
         return (
             f"{self.cause}|{funcs}|{self.opt_label}|"
-            f"{self.nvcc_outcome}/{self.hipcc_outcome}"
+            f"{self.nvcc_outcome}/{self.hipcc_outcome}|{self.fptype}"
         )
 
     def describe(self) -> str:
         funcs = f" via {', '.join(self.functions)}" if self.functions else ""
         return (
-            f"{self.cause}{funcs} @ {self.opt_label} "
+            f"{self.cause}{funcs} @ {self.opt_label}/{self.fptype} "
             f"({self.nvcc_outcome} vs {self.hipcc_outcome})"
         )
 
@@ -76,6 +87,7 @@ class DiscrepancySignature:
             "opt": self.opt_label,
             "nvcc_outcome": self.nvcc_outcome,
             "hipcc_outcome": self.hipcc_outcome,
+            "fptype": self.fptype,
         }
 
     @classmethod
@@ -86,6 +98,7 @@ class DiscrepancySignature:
             opt_label=str(data["opt"]),
             nvcc_outcome=str(data["nvcc_outcome"]),
             hipcc_outcome=str(data["hipcc_outcome"]),
+            fptype=str(data["fptype"]),
         )
 
 
@@ -106,7 +119,7 @@ def signature_histogram(
         tally[sig] += counts.get(sig, 1) if counts is not None else 1  # type: ignore[union-attr]
     table = Table(
         title=title,
-        headers=["Cause", "Functions", "Opt", "Outcomes (nvcc/hipcc)", "Count"],
+        headers=["Cause", "Functions", "Opt", "Prec", "Outcomes (nvcc/hipcc)", "Count"],
     )
     for sig, n in sorted(
         tally.items(), key=lambda item: (-item[1], item[0].key)
@@ -116,6 +129,7 @@ def signature_histogram(
                 sig.cause,
                 ", ".join(sig.functions) or "—",
                 sig.opt_label,
+                sig.fptype,
                 f"{sig.nvcc_outcome}/{sig.hipcc_outcome}",
                 n,
             ]

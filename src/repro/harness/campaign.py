@@ -1,10 +1,18 @@
 """Campaign orchestration — the §IV-B experiment grid.
 
-A campaign has up to three *arms*, matching Table IV's columns:
+A campaign has up to five *arms* — the paper's three columns plus the
+reduced-precision extension pair:
 
 * ``fp64``        — native CUDA vs native HIP, double precision;
 * ``fp64_hipify`` — the same FP64 programs, HIP side produced by HIPIFY;
-* ``fp32``        — native CUDA vs native HIP, single precision.
+* ``fp32``        — native CUDA vs native HIP, single precision;
+* ``fp16``        — native CUDA vs native HIP, IEEE binary16 half
+  precision (``repro-campaign --include-fp16``; off by default because
+  the paper's grid stops at FP32);
+* ``fp16_hipify`` — the same FP16 programs through HIPIFY, fused with
+  ``fp16`` exactly like the FP64 pair so its CUDA half replays from the
+  run store.  Gated on ``include_hipify`` like ``fp64_hipify``, so
+  ``--no-hipify`` skips both HIPIFY arms.
 
 Each arm runs ``programs × inputs`` tests at each of the five optimization
 settings on both platforms.
@@ -82,7 +90,16 @@ __all__ = [
     "ARM_NAMES",
 ]
 
-ARM_NAMES = ("fp64", "fp64_hipify", "fp32")
+ARM_NAMES = ("fp64", "fp64_hipify", "fp32", "fp16", "fp16_hipify")
+
+#: Campaign precision of each arm (hipify twins share their native arm's).
+_ARM_FPTYPES = {
+    "fp64": FPType.FP64,
+    "fp64_hipify": FPType.FP64,
+    "fp32": FPType.FP32,
+    "fp16": FPType.FP16,
+    "fp16_hipify": FPType.FP16,
+}
 
 
 @dataclass(frozen=True)
@@ -92,9 +109,13 @@ class CampaignConfig:
     seed: int = 2024
     n_programs_fp64: int = 300
     n_programs_fp32: int = 240
+    n_programs_fp16: int = 200
     inputs_per_program: int = 7
     include_hipify: bool = True
     include_fp32: bool = True
+    #: The reduced-precision extension pair (fp16 + fp16_hipify); not part
+    #: of the paper's grid, so off unless requested.
+    include_fp16: bool = False
     opts: Tuple[OptSetting, ...] = PAPER_OPT_SETTINGS
     workers: int = 0  # 0/1 = serial
     #: Replay the fp64 arm's nvcc runs for the fp64_hipify arm instead of
@@ -107,7 +128,13 @@ class CampaignConfig:
     @classmethod
     def tiny(cls, seed: int = 2024) -> "CampaignConfig":
         """Smoke-test scale (seconds)."""
-        return cls(seed=seed, n_programs_fp64=24, n_programs_fp32=20, inputs_per_program=3)
+        return cls(
+            seed=seed,
+            n_programs_fp64=24,
+            n_programs_fp32=20,
+            n_programs_fp16=16,
+            inputs_per_program=3,
+        )
 
     @classmethod
     def default(cls, seed: int = 2024, workers: int = 0) -> "CampaignConfig":
@@ -143,6 +170,10 @@ class CampaignConfig:
             arms.append("fp64_hipify")
         if self.include_fp32:
             arms.append("fp32")
+        if self.include_fp16:
+            arms.append("fp16")
+            if self.include_hipify:
+                arms.append("fp16_hipify")
         return arms
 
     def arm_programs(self, arm: str) -> int:
@@ -150,15 +181,21 @@ class CampaignConfig:
             return self.n_programs_fp64
         if arm == "fp32":
             return self.n_programs_fp32
+        if arm in ("fp16", "fp16_hipify"):
+            return self.n_programs_fp16
         raise HarnessError(f"unknown arm {arm!r}")
 
     def arm_fptype(self, arm: str) -> FPType:
-        return FPType.FP32 if arm == "fp32" else FPType.FP64
+        try:
+            return _ARM_FPTYPES[arm]
+        except KeyError:
+            raise HarnessError(f"unknown arm {arm!r}") from None
 
     def arm_seed(self, arm: str) -> int:
-        # fp64 and fp64_hipify share programs AND inputs (the paper converts
-        # the same FP64 tests with HIPIFY); fp32 is an independent corpus.
-        base_arm = "fp64" if arm == "fp64_hipify" else arm
+        # A native arm and its hipify twin share programs AND inputs (the
+        # paper converts the same tests with HIPIFY); each precision is an
+        # independent corpus.
+        base_arm = arm[: -len("_hipify")] if arm.endswith("_hipify") else arm
         return derive_seed(self.seed, "arm", base_arm)
 
     def fingerprint(self) -> Dict[str, object]:
@@ -167,8 +204,17 @@ class CampaignConfig:
         Two configs with equal fingerprints produce identical results, so
         a checkpoint written under one may be resumed under the other.
         ``workers`` is deliberately excluded: it only changes scheduling.
+
+        Compatibility: the FP16 keys (``include_fp16`` /
+        ``n_programs_fp16``) are emitted only when the fp16 arms are
+        included.  A config without them has exactly the pre-FP16
+        fingerprint — ``n_programs_fp16`` cannot influence results then —
+        so every checkpoint written before the FP16 lane still resumes.
+        A checkpoint *with* fp16 arms is refused by the old engine (and
+        vice versa), which is correct: one of the two cannot express the
+        recorded grid.
         """
-        return {
+        fp: Dict[str, object] = {
             "seed": self.seed,
             "n_programs_fp64": self.n_programs_fp64,
             "n_programs_fp32": self.n_programs_fp32,
@@ -178,6 +224,10 @@ class CampaignConfig:
             "opts": [o.label for o in self.opts],
             "reuse_nvcc_runs": self.reuse_nvcc_runs,
         }
+        if self.include_fp16:
+            fp["include_fp16"] = True
+            fp["n_programs_fp16"] = self.n_programs_fp16
+        return fp
 
 
 @dataclass
@@ -361,6 +411,14 @@ def build_plan(config: CampaignConfig) -> List[PlanStep]:
             groups.append(("fp64_hipify",))
     if config.include_fp32:
         groups.append(("fp32",))
+    if config.include_fp16:
+        # Hipify gating and fusing follow the fp64 pair's rules exactly.
+        if config.include_hipify and config.reuse_nvcc_runs:
+            groups.append(("fp16", "fp16_hipify"))
+        else:
+            groups.append(("fp16",))
+            if config.include_hipify:
+                groups.append(("fp16_hipify",))
     steps: List[PlanStep] = []
     for arms in groups:
         n = config.arm_programs(arms[0])
@@ -390,7 +448,7 @@ def _step_requests(config: CampaignConfig, step: PlanStep) -> List[SweepRequest]
                 gen=gen,
                 index=index,
                 root_seed=root_seed,
-                hipify=(arm == "fp64_hipify"),
+                hipify=arm.endswith("_hipify"),
             )
             requests.append(
                 SweepRequest(test=spec, opts=config.opts, tag=(arm,), cache=policy)

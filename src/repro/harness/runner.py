@@ -15,7 +15,7 @@ records are bit-identical and never need re-executing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.compilers.compiler import CompiledKernel, Compiler

@@ -11,7 +11,7 @@ including the file on disk — against the simulated devices.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 from repro.compilers.compiler import Compiler
 from repro.compilers.hipcc import HipccCompiler
@@ -21,7 +21,7 @@ from repro.devices.amd import amd_mi250x
 from repro.devices.device import Device
 from repro.devices.nvidia import nvidia_v100
 from repro.errors import MetadataError, TrapError
-from repro.fp.classify import OutcomeClass, classify_value
+from repro.fp.classify import classify_value
 from repro.harness.differential import Discrepancy, classify_pair
 from repro.harness.metadata import CampaignMetadata
 from repro.varity.corpus import Corpus

@@ -29,6 +29,11 @@ class HipifyRule:
 #: Ordered rename table.
 HIPIFY_RULES: Tuple[HipifyRule, ...] = (
     HipifyRule("cuda_runtime.h", "hip/hip_runtime.h"),
+    HipifyRule("cuda_fp16.h", "hip/hip_fp16.h"),
+    # HIP spells the half type _Float16 in our model (hipify-clang maps
+    # __half to the hip_fp16.h type; generated FP16 tests only use the
+    # scalar type, for which the C23 spelling compiles under hipcc).
+    HipifyRule("__half", "_Float16"),
     HipifyRule("cudaMemcpyHostToDevice", "hipMemcpyHostToDevice"),
     HipifyRule("cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost"),
     HipifyRule("cudaDeviceSynchronize", "hipDeviceSynchronize"),

@@ -18,7 +18,7 @@ Example — the paper's Figure 5 kernel::
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Sequence, Union
 
 from repro.fp.literals import format_varity_literal
 from repro.fp.types import FPType

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 from repro.ir.nodes import (
     ArrayRef,
-    AugAssign,
     BinOp,
     BoolOp,
     Call,

@@ -13,9 +13,8 @@ change the program".
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.fp.bits import float_to_bits
 

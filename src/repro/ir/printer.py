@@ -7,7 +7,7 @@ source output use :mod:`repro.codegen`.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from repro.fp.literals import format_varity_literal
 from repro.ir.nodes import (
@@ -25,7 +25,6 @@ from repro.ir.nodes import (
     For,
     If,
     IntConst,
-    Node,
     Stmt,
     UnOp,
     VarRef,

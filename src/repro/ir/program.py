@@ -8,7 +8,7 @@ generator seed, precision) — the unit the metadata store tracks (Fig. 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.fp.types import FPType
 from repro.ir.types import IRType

@@ -8,7 +8,7 @@ passes over thousands of programs rely on not copying unchanged subtrees).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Iterator, List, Sequence, TypeVar
 
 from repro.ir.nodes import (
     ArrayRef,

@@ -108,24 +108,47 @@ class GeneratorConfig:
     def fp32(cls, **overrides) -> "GeneratorConfig":
         return cls(fptype=FPType.FP32, **overrides)
 
+    @classmethod
+    def fp16(cls, **overrides) -> "GeneratorConfig":
+        return cls(fptype=FPType.FP16, **overrides)
+
     #: Exponent ranges (decimal) per input class and precision; the fp64
     #: numbers mirror the case-study vectors (e.g. +1.7612E-322, -1.3680E306).
-    def exponent_range(self, klass: str) -> Tuple[int, int]:
-        fp64 = {
+    #: The fp16 ranges are compressed into binary16's five exponent bits:
+    #: subnormals live below 6.10E-5, and ``huge`` stays under HALF_MAX
+    #: (65504) so inputs parse finite — a single multiplication away from
+    #: overflow, which is the half lane's whole point.
+    _EXPONENT_RANGES = {
+        FPType.FP64: {
             "subnormal": (-322, -309),
             "near_min_normal": (-308, -290),
             "huge": (300, 306),
             "moderate": (-3, 3),
             "small": (-30, -4),
-        }
-        fp32 = {
+        },
+        FPType.FP32: {
             "subnormal": (-44, -39),
             "near_min_normal": (-38, -31),
             "huge": (34, 37),  # 9.9999E37 < FLT_MAX: inputs stay finite
             "moderate": (-3, 3),
             "small": (-20, -4),
-        }
-        table = fp32 if self.fptype is FPType.FP32 else fp64
+        },
+        FPType.FP16: {
+            "subnormal": (-7, -6),  # 1.0E-7 > 5.96E-8, 9.9999E-6 < 6.10E-5
+            "near_min_normal": (-4, -3),
+            "huge": (2, 3),  # 9.9999E3 < HALF_MAX: inputs stay finite
+            "moderate": (-2, 2),
+            "small": (-5, -3),
+        },
+    }
+
+    def exponent_range(self, klass: str) -> Tuple[int, int]:
+        try:
+            table = self._EXPONENT_RANGES[self.fptype]
+        except KeyError:
+            raise GrammarError(
+                f"no input exponent ranges for {self.fptype!r}"
+            ) from None
         try:
             return table[klass]
         except KeyError:
@@ -135,4 +158,14 @@ class GeneratorConfig:
     #: range (Fig. 4 contains +1.7085E-315 and -1.9289E305 side by side).
     @property
     def literal_exponent_range(self) -> Tuple[int, int]:
-        return (-44, 37) if self.fptype is FPType.FP32 else (-320, 306)
+        table = {
+            FPType.FP64: (-320, 306),
+            FPType.FP32: (-44, 37),
+            FPType.FP16: (-7, 3),
+        }
+        try:
+            return table[self.fptype]
+        except KeyError:
+            raise GrammarError(
+                f"no literal exponent range for {self.fptype!r}"
+            ) from None

@@ -9,7 +9,7 @@ property the paper's Fig. 3 workflow depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.fp.types import FPType
 from repro.utils.rng import derive_seed

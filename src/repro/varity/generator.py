@@ -12,10 +12,9 @@ and fully determined by ``(config, seed)``.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import GenerationError
-from repro.fp.types import FPType
 from repro.ir.nodes import (
     ArrayRef,
     Assign,

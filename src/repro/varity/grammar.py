@@ -11,7 +11,7 @@ the accumulator idiom ``comp += …``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["GrammarWeights"]
 

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple, Union
 
 from repro.fp.literals import parse_varity_literal
-from repro.fp.types import FPType
 from repro.ir.program import Kernel
 from repro.ir.types import IRType
 from repro.varity.config import GeneratorConfig

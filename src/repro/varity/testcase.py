@@ -6,8 +6,8 @@ round-trips between "clusters".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
 
 from repro.fp.types import FPType
 from repro.ir.program import Program

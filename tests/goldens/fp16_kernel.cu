@@ -1,0 +1,38 @@
+/* Varity test golden-fp16-000000 (fp16) */
+#include <stdio.h>
+#include <stdlib.h>
+#include <cuda_runtime.h>
+#include <cuda_fp16.h>
+
+#define VARITY_ARRAY_N 64
+
+__global__
+void compute(__half comp, int var_1, __half* var_2, __half var_3) {
+  __half tmp_1 = +6.1035E-5F16 * var_3;
+  for (int i = 0; i < var_1; ++i) {
+    var_2[i] = hsqrt(tmp_1);
+  }
+  if (var_3 > +0.0F16) {
+    comp += hfmod(var_3, +1.5000E3F16);
+  }
+  comp *= hexp(var_2[0]);
+  printf("%.17g\n", (double)comp);
+}
+
+int main(int argc, char** argv) {
+  if (argc != 5) return 1;
+  __half comp = (__half)atof(argv[1]);
+  int var_1 = atoi(argv[2]);
+  __half var_2_fill = (__half)atof(argv[3]);
+  __half var_3 = (__half)atof(argv[4]);
+  __half* var_2_h = (__half*)malloc(VARITY_ARRAY_N * sizeof(__half));
+  for (int _i = 0; _i < VARITY_ARRAY_N; ++_i) var_2_h[_i] = var_2_fill;
+  __half* var_2;
+  cudaMalloc((void**)&var_2, VARITY_ARRAY_N * sizeof(__half));
+  cudaMemcpy(var_2, var_2_h, VARITY_ARRAY_N * sizeof(__half), cudaMemcpyHostToDevice);
+  compute<<<1, 1>>>(comp, var_1, var_2, var_3);
+  cudaDeviceSynchronize();
+  cudaFree(var_2);
+  free(var_2_h);
+  return 0;
+}

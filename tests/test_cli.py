@@ -79,9 +79,12 @@ class TestMainEndToEnd:
             "seed": 3,
             "n_programs_fp64": 4,
             "n_programs_fp32": 4,
+            "n_programs_fp16": 16,  # the tiny preset's default
+
             "inputs_per_program": 2,
             "include_hipify": True,
             "include_fp32": True,
+            "include_fp16": False,
             "workers": 0,
         }
 

@@ -1,0 +1,148 @@
+"""Golden-file codegen tests for the FP16 lane.
+
+The rendered ``.cu``/``.hip`` artifacts are the campaign's external
+contract: the content-keyed run store, the HIPIFY translator, and the
+metadata trail all consume this exact text, so the half-precision
+spellings (``__half`` vs ``_Float16``, ``F16`` literal suffixes,
+``h``-suffixed math calls, the widening printf) are pinned byte-for-byte
+against checked-in goldens.
+
+Regenerate after an intentional emitter change with::
+
+    PYTHONPATH=src python tests/test_codegen_fp16.py --regen
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen.base import EmitterConfig, render_expr
+from repro.codegen.cuda import render_cuda
+from repro.codegen.hip import render_hip
+from repro.fp.types import FPType
+from repro.hipify.translator import hipify_source
+from repro.ir.builder import IRBuilder
+from repro.ir.nodes import Call
+from repro.ir.validate import validate_kernel
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _fp16_program():
+    """A small, fixed FP16 kernel touching every half-specific spelling."""
+    b = IRBuilder(FPType.FP16)
+    kernel = b.kernel(
+        params=[
+            b.fparam("comp"),
+            b.iparam("var_1"),
+            b.aparam("var_2"),
+            b.fparam("var_3"),
+        ],
+        body=[
+            b.decl("tmp_1", b.mul(b.lit(6.1035e-5), b.var("var_3"))),
+            b.loop(
+                "i",
+                b.var("var_1"),
+                [b.assign(b.idx("var_2", "i"), b.call("sqrt", b.var("tmp_1")))],
+            ),
+            b.when(
+                b.cmp(">", b.var("var_3"), b.lit(0.0)),
+                [b.aug("comp", "+", b.call("fmod", b.var("var_3"), b.lit(1.5e3)))],
+            ),
+            b.aug("comp", "*", b.call("exp", b.idx("var_2", 0))),
+        ],
+    )
+    assert not validate_kernel(kernel)
+    return b.program(kernel, program_id="golden-fp16-000000", note="golden")
+
+
+class TestFP16Goldens:
+    def test_cuda_golden(self):
+        rendered = render_cuda(_fp16_program())
+        golden = (GOLDEN_DIR / "fp16_kernel.cu").read_text(encoding="utf-8")
+        assert rendered == golden
+
+    def test_hip_golden(self):
+        rendered = render_hip(_fp16_program())
+        golden = (GOLDEN_DIR / "fp16_kernel.hip").read_text(encoding="utf-8")
+        assert rendered == golden
+
+    def test_cuda_spellings(self):
+        src = render_cuda(_fp16_program())
+        assert "#include <cuda_fp16.h>" in src
+        assert "__half comp" in src and "__half* var_2" in src
+        assert "hsqrt(" in src and "hfmod(" in src and "hexp(" in src
+        assert "F16" in src  # literal suffix
+        assert 'printf("%.17g\\n", (double)comp);' in src
+        assert "_Float16" not in src
+
+    def test_hip_spellings(self):
+        src = render_hip(_fp16_program())
+        assert "#include <hip/hip_fp16.h>" in src
+        assert "_Float16 comp" in src and "_Float16* var_2" in src
+        assert "__half" not in src
+
+    def test_hipify_translates_cuda_golden_to_hip_spellings(self):
+        """hipify-perl-style translation of the .cu text lands on the same
+        half spellings the native HIP renderer emits."""
+        hip = hipify_source(render_cuda(_fp16_program()), banner=False)
+        assert "hip/hip_fp16.h" in hip and "_Float16" in hip
+        assert "__half" not in hip and "cuda_fp16" not in hip
+
+
+class TestDemoteCastRendering:
+    """The precision-cast wrapper renders as a cast, per dialect."""
+
+    @pytest.mark.parametrize(
+        "fptype,dialect,expected",
+        [
+            (FPType.FP64, "cuda", "(double)(__half)(var_2)"),
+            (FPType.FP64, "hip", "(double)(_Float16)(var_2)"),
+            (FPType.FP32, "cuda", "(float)(__half)(var_2)"),
+            (FPType.FP32, "c", "(float)(_Float16)(var_2)"),
+        ],
+    )
+    def test_rendering(self, fptype, dialect, expected):
+        cfg = EmitterConfig(fptype=fptype, dialect=dialect)
+        expr = Call("__demote_fp16", [IRBuilder(fptype).var("var_2")])
+        assert render_expr(expr, cfg) == expected
+
+    def test_demote_in_wider_kernel_pulls_fp16_header(self):
+        """A precision-cast mutant in an FP64 kernel references the half
+        type, so the rendered artifacts must include the fp16 headers to
+        stand alone."""
+        b = IRBuilder(FPType.FP64)
+        kernel = b.kernel(
+            params=[b.fparam("comp"), b.fparam("var_2")],
+            body=[b.aug("comp", "+", Call("__demote_fp16", [b.var("var_2")]))],
+        )
+        prog = b.program(kernel, program_id="demote-fp64")
+        cu = render_cuda(prog)
+        hip = render_hip(prog)
+        assert "#include <cuda_fp16.h>" in cu and "(double)(__half)(var_2)" in cu
+        assert "#include <hip/hip_fp16.h>" in hip and "(double)(_Float16)(var_2)" in hip
+        # A plain FP64 kernel stays header-free.
+        plain = b.program(
+            b.kernel(params=[b.fparam("comp")], body=[b.aug("comp", "+", b.lit(1.0))]),
+            program_id="plain-fp64",
+        )
+        assert "fp16" not in render_cuda(plain)
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    program = _fp16_program()
+    (GOLDEN_DIR / "fp16_kernel.cu").write_text(render_cuda(program), encoding="utf-8")
+    (GOLDEN_DIR / "fp16_kernel.hip").write_text(render_hip(program), encoding="utf-8")
+    print(f"regenerated goldens under {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

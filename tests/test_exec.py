@@ -294,6 +294,42 @@ class TestWorkerInvariance:
         assert json.dumps(serial, sort_keys=True) == json.dumps(pooled, sort_keys=True)
         assert "exec" in serial and serial["exec"]["nvcc_executions"] > 0
 
+    def test_fp16_arm_json_invariant_across_workers(self, tmp_path):
+        """The FP16 acceptance bar: --include-fp16 produces the
+        fp16/fp16_hipify pair with nonzero runs, byte-identical across
+        worker counts, and the hipify arm's CUDA half fully replayed
+        from the fused pair's run store."""
+        from repro.cli import main
+
+        def payload(workers):
+            out = tmp_path / f"fp16-w{workers}.json"
+            assert (
+                main(
+                    [
+                        "--seed", "7", "--fp64-programs", "2", "--no-fp32",
+                        "--include-fp16", "--fp16-programs", "6", "--inputs", "2",
+                        "--workers", str(workers), "--json", str(out),
+                        "--no-adjacency",
+                    ]
+                )
+                == 0
+            )
+            data = json.loads(out.read_text())
+            data.pop("elapsed_seconds")
+            data["config"].pop("workers")
+            return data
+
+        serial = payload(0)
+        pooled = payload(2)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(pooled, sort_keys=True)
+        assert set(serial["arms"]) == {"fp64", "fp64_hipify", "fp16", "fp16_hipify"}
+        fp16 = serial["arms"]["fp16"]
+        twin = serial["arms"]["fp16_hipify"]
+        assert fp16["total_runs"] > 0 and twin["total_runs"] > 0
+        # Cross-arm nvcc replay holds for the new precision pair.
+        assert twin["nvcc_executions"] == 0
+        assert twin["nvcc_cache_hits"] > 0
+
     def test_fuzz_ledger_invariant_across_workers(self, tmp_path):
         config = FuzzConfig(
             seed=11,

@@ -11,8 +11,10 @@ from hypothesis import strategies as st
 
 from repro.fp.bits import (
     bits_to_float,
+    bits_to_float16,
     bits_to_float32,
     compose_float,
+    float16_to_bits,
     float32_to_bits,
     float_to_bits,
     is_negative,
@@ -68,6 +70,53 @@ class TestFPType:
         assert FPType.FP32.smallest_normal == pytest.approx(1.1754944e-38)
 
 
+class TestFP16Type:
+    def test_dtype_and_fields(self):
+        assert FPType.FP16.dtype == np.dtype(np.float16)
+        assert FPType.FP16.bits == 16
+        assert FPType.FP16.mantissa_bits == 10
+        assert FPType.FP16.exponent_bits == 5
+
+    def test_c_names_per_dialect(self):
+        assert FPType.FP16.c_name == "__half"  # CUDA default
+        assert FPType.FP16.c_name_for("cuda") == "__half"
+        assert FPType.FP16.c_name_for("hip") == "_Float16"
+        assert FPType.FP16.c_name_for("c") == "_Float16"
+        assert FPType.FP64.c_name_for("hip") == "double"
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            FPType.FP16.c_name_for("fortran")
+
+    def test_suffixes(self):
+        assert FPType.FP16.literal_suffix == "F16"
+        assert FPType.FP16.math_suffix == "h"
+
+    def test_extremes(self):
+        assert FPType.FP16.max == 65504.0
+        assert FPType.FP16.smallest_normal == pytest.approx(6.103515625e-05)
+        assert FPType.FP16.smallest_subnormal == pytest.approx(5.9604644775390625e-08)
+
+    @pytest.mark.parametrize("alias", ["fp16", "half", "F16"])
+    def test_from_string(self, alias):
+        assert FPType.from_string(alias) is FPType.FP16
+
+    def test_every_member_dispatches(self):
+        """The exhaustive-dispatch guarantee: every enum member resolves
+        every table-backed property (a new member missing from a table
+        raises ValueError instead of silently acting like FP64)."""
+        for member in FPType:
+            member.dtype
+            member.c_name
+            member.literal_suffix
+            member.math_suffix
+            member.bits
+            member.mantissa_bits
+            member.exponent_bits
+            for dialect in ("cuda", "hip", "c"):
+                member.c_name_for(dialect)
+
+
 # -------------------------------------------------------------------- bits
 class TestBits:
     @given(finite_doubles)
@@ -99,7 +148,21 @@ class TestBits:
 
     def test_bad_width_rejected(self):
         with pytest.raises(ValueError):
-            sign_exponent_mantissa(1.0, bits=16)
+            sign_exponent_mantissa(1.0, bits=8)
+
+    def test_float16_roundtrip(self):
+        for x in (0.0, 1.5, -2.25, 65504.0, 6e-8):
+            assert float(bits_to_float16(float16_to_bits(x))) == float(np.float16(x))
+
+    def test_float16_known_patterns(self):
+        assert float16_to_bits(0.0) == 0
+        assert float16_to_bits(-0.0) == 1 << 15
+        assert float16_to_bits(1.0) == 0x3C00
+
+    def test_field_split_fp16(self):
+        s, e, m = sign_exponent_mantissa(-1.0, bits=16)
+        assert (s, e, m) == (1, 15, 0)
+        assert compose_float(s, e, m, bits=16) == -1.0
 
 
 # --------------------------------------------------------------------- ulp
@@ -126,6 +189,26 @@ class TestUlp:
         x = np.float32(1.0)
         y = np.nextafter(x, np.float32(2.0))
         assert ulp_distance(float(x), float(y), FPType.FP32) == 1
+
+    def test_fp16_distance(self):
+        x = np.float16(1.0)
+        y = np.nextafter(x, np.float16(2.0), dtype=np.float16)
+        assert ulp_distance(float(x), float(y), FPType.FP16) == 1
+
+    def test_distance_is_precision_aware(self):
+        """One binary16 ULP spans many binary32/binary64 ULPs: the same
+        value pair measures differently on each precision's ordered line
+        (the classification must never assume a 52/23-bit mantissa)."""
+        a, b = 1.0, 1.0009765625  # adjacent in binary16 (1 + 2^-10)
+        assert ulp_distance(a, b, FPType.FP16) == 1
+        assert ulp_distance(a, b, FPType.FP32) == 2**13
+        assert ulp_distance(a, b, FPType.FP64) == 2**42
+
+    def test_fp16_perturb_and_ulp_of(self):
+        assert float(perturb_ulps(1.0, 1, FPType.FP16)) == 1.0009765625
+        assert ulp_of(1.0, FPType.FP16) == pytest.approx(2.0**-10)
+        # Perturbing past HALF_MAX saturates at Inf like the larger lanes.
+        assert float(nextafter_n(65504.0, 2, FPType.FP16)) == math.inf
 
     @given(finite_doubles, st.integers(min_value=-4, max_value=4))
     @settings(max_examples=200)
@@ -303,6 +386,18 @@ class TestVarityLiterals:
 
     def test_fp32_suffix(self):
         assert format_varity_literal(1.5, FPType.FP32).endswith("F")
+
+    def test_fp16_suffix(self):
+        text = format_varity_literal(1.5, FPType.FP16)
+        assert text == "+1.5000F16"
+        assert VARITY_LITERAL_RE.fullmatch(text)
+
+    def test_parse_fp16(self):
+        v = parse_varity_literal("+1.5000E3F16", FPType.FP16)
+        assert v.dtype == np.float16 and float(v) == 1500.0
+        # Above HALF_MAX the parsed value overflows to Inf, like a real
+        # compiler folding the literal into a __half.
+        assert math.isinf(float(parse_varity_literal("+9.9999E4", FPType.FP16)))
 
     def test_nonfinite_rejected(self):
         with pytest.raises(ValueError):

@@ -42,7 +42,7 @@ def fuzz_corpus():
 
 
 class TestMutators:
-    def test_registry_has_all_six_classes(self):
+    def test_registry_has_all_seven_classes(self):
         assert set(MUTATION_NAMES) == {
             "op-swap",
             "const-perturb",
@@ -50,6 +50,7 @@ class TestMutators:
             "fma-shape",
             "splice",
             "guard-toggle",
+            "precision-cast",
         }
 
     @pytest.mark.parametrize("mutation", MUTATION_NAMES)
@@ -104,6 +105,60 @@ class TestMutators:
         kernel = fuzz_corpus.tests[0].program.kernel
         assert apply_mutation(kernel, "splice", seed=5, donor=None) is None
 
+    def test_precision_cast_wraps_demote(self, fuzz_corpus):
+        """The precision-cast mutant carries a __demote_fp16 wrapper."""
+        from repro.devices.mathlib.base import DEMOTE_FP16
+        from repro.ir.nodes import Call
+        from repro.ir.visitor import collect
+
+        wrapped = 0
+        for test in fuzz_corpus.tests[:10]:
+            mutant = apply_mutation(test.program.kernel, "precision-cast", seed=9)
+            if mutant is None:
+                continue
+            demotes = [
+                n
+                for stmt in mutant.body
+                for n in collect(stmt, lambda n: isinstance(n, Call) and n.func == DEMOTE_FP16)
+            ]
+            assert len(demotes) == 1
+            wrapped += 1
+        assert wrapped > 0
+
+    def test_precision_cast_noop_on_fp16_kernels(self):
+        from repro.varity.config import GeneratorConfig as GC
+
+        corpus16 = build_corpus(GC.fp16(inputs_per_program=2), 4, root_seed=5)
+        for test in corpus16.tests:
+            assert apply_mutation(test.program.kernel, "precision-cast", seed=1) is None
+
+    def test_precision_cast_changes_interpreted_value(self, fuzz_corpus):
+        """The round trip really coarsens: some mutant prints a different
+        value than its parent on the same inputs."""
+        from repro.compilers.options import OptSetting
+        from repro.harness.runner import DifferentialRunner
+
+        runner = DifferentialRunner()
+        opt = OptSetting.from_label("O0")
+        changed = False
+        for test in fuzz_corpus.tests:
+            mutant_kernel = apply_mutation(test.program.kernel, "precision-cast", seed=3)
+            if mutant_kernel is None:
+                continue
+            mutant = dataclasses.replace(
+                test,
+                program=dataclasses.replace(test.program, kernel=mutant_kernel),
+            )
+            for index in range(len(test.inputs)):
+                a, _, _, _ = runner.run_single(test, opt, index)
+                b, _, _, _ = runner.run_single(mutant, opt, index)
+                if a.printed != b.printed:
+                    changed = True
+                    break
+            if changed:
+                break
+        assert changed, "precision-cast never changed an interpreted value"
+
     def test_unknown_mutation_rejected(self, fuzz_corpus):
         with pytest.raises(ValueError):
             apply_mutation(fuzz_corpus.tests[0].program.kernel, "rot13", seed=1)
@@ -133,6 +188,7 @@ class TestSignature:
             opt_label="O0",
             nvcc_outcome="Num",
             hipcc_outcome="NaN",
+            fptype="fp32",
         )
         base.update(overrides)
         return DiscrepancySignature(**base)

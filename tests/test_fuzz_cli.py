@@ -39,6 +39,14 @@ class TestConfigFromArgs:
         config = _config(["--mutations", "op-swap, splice"])
         assert config.mutations == ("op-swap", "splice")
 
+    def test_fp16_lane(self):
+        config = _config(["--fptype", "fp16"])
+        assert config.fptype is FPType.FP16
+
+    def test_precision_cast_selectable(self):
+        config = _config(["--mutations", "precision-cast"])
+        assert config.mutations == ("precision-cast",)
+
     @pytest.mark.parametrize(
         "argv",
         [

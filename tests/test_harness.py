@@ -151,6 +151,30 @@ class TestCampaign:
         assert fp64.total_runs == fp64.runs_per_option * 5
         assert result.total_runs == sum(a.total_runs for a in result.arms.values())
 
+    def test_fp16_arms_follow_hipify_gating(self):
+        import dataclasses
+
+        base = CampaignConfig.tiny(seed=11)
+        pair = dataclasses.replace(base, include_fp16=True)
+        assert pair.arm_names() == ["fp64", "fp64_hipify", "fp32", "fp16", "fp16_hipify"]
+        # --no-hipify skips BOTH hipify arms, fp16's included.
+        nohip = dataclasses.replace(base, include_fp16=True, include_hipify=False)
+        assert nohip.arm_names() == ["fp64", "fp32", "fp16"]
+
+    def test_fingerprint_backward_compatible_without_fp16(self):
+        """Configs without the fp16 arms fingerprint exactly as before the
+        FP16 lane, so pre-FP16 checkpoints keep resuming."""
+        import dataclasses
+
+        base = CampaignConfig.tiny(seed=11)
+        fp = base.fingerprint()
+        assert "include_fp16" not in fp and "n_programs_fp16" not in fp
+        # n_programs_fp16 is inert while the arms are off...
+        assert dataclasses.replace(base, n_programs_fp16=999).fingerprint() == fp
+        # ...and fingerprinted once they are on.
+        on = dataclasses.replace(base, include_fp16=True).fingerprint()
+        assert on["include_fp16"] is True and on["n_programs_fp16"] == base.n_programs_fp16
+
     def test_campaign_deterministic(self):
         config = CampaignConfig(
             seed=5, n_programs_fp64=10, n_programs_fp32=6, inputs_per_program=2
