@@ -1,0 +1,99 @@
+"""Oracle throughput: metamorphic relation checking vs the differential arm.
+
+The oracle's pitch is that it widens the scenario space *per run*: one
+corpus program buys up to six relation checks (base re-requests deduped,
+the fast-math relation free-riding on the base sweep), where the
+differential arm buys one vendor-vs-vendor comparison.  This bench runs
+both at an equal evaluated-program budget and tracks:
+
+* ``runs/sec`` — end-to-end throughput of each arm;
+* ``checks per program`` — how many relation verdicts a program yields;
+* ``dedup rate`` — fraction of oracle sweep requests served without
+  executing (the zero-redundant-runs invariant, asserted);
+* ``signals`` — relation violations vs cross-vendor discrepancies at the
+  same budget (not comparable 1:1 — different bug classes — but the
+  trajectory should show neither collapsing to zero cost-effectiveness).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.oracle.engine import OracleConfig, run_oracle
+
+from conftest import emit
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def _oracle_config() -> OracleConfig:
+    scale = _scale()
+    if scale == "tiny":
+        return OracleConfig(seed=2024, n_programs=10, inputs_per_program=2)
+    if scale == "paper":
+        return OracleConfig(seed=2024, n_programs=240, inputs_per_program=5)
+    return OracleConfig(seed=2024, n_programs=60, inputs_per_program=3)
+
+
+def test_oracle_throughput(benchmark, results_dir):
+    config = _oracle_config()
+
+    t0 = time.perf_counter()
+    oracle = benchmark.pedantic(lambda: run_oracle(config), rounds=1, iterations=1)
+    oracle_seconds = time.perf_counter() - t0
+
+    # The differential control arm: the same number of FP32 programs and
+    # inputs through the plain campaign machinery.  Zero fp64 programs —
+    # the campaign supports empty arms — so the fp32 sweep is the only
+    # work charged to diff_seconds and the runs/sec comparison is fair.
+    diff_config = CampaignConfig(
+        seed=2024,
+        n_programs_fp64=0,
+        n_programs_fp32=config.n_programs,
+        inputs_per_program=config.inputs_per_program,
+        include_hipify=False,
+    )
+    t0 = time.perf_counter()
+    diff = run_campaign(diff_config)
+    diff_seconds = time.perf_counter() - t0
+    diff_arm = diff.arms["fp32"]
+
+    # Zero redundant runs: every deduped oracle request executed nothing.
+    requests = int(oracle.exec_metrics.get("requests", 0))
+    executed = int(oracle.exec_metrics.get("executed", 0))
+    deduped = int(oracle.exec_metrics.get("deduped", 0))
+    assert requests == executed + deduped
+    assert deduped > 0, "oracle chunks should dedup the relations' base requests"
+
+    checks = sum(oracle.checked_by_relation.values())
+    oracle_rps = oracle.pair_runs / oracle_seconds if oracle_seconds else 0.0
+    diff_rps = diff_arm.total_runs / 2 / diff_seconds if diff_seconds else 0.0
+    lines = [
+        "oracle arm vs differential arm at equal program budget "
+        f"(seed={config.seed}, fp32, {config.n_programs} programs x "
+        f"{config.inputs_per_program} inputs)",
+        "",
+        f"{'arm':<22} {'runs':>8} {'seconds':>8} {'runs/sec':>9} {'signals':>8}",
+        f"{'oracle (metamorphic)':<22} {oracle.pair_runs:>8} {oracle_seconds:>8.1f} "
+        f"{oracle_rps:>9.1f} {len(oracle.violations):>8}",
+        f"{'differential (fp32)':<22} {diff_arm.runs_per_compiler:>8} "
+        f"{diff_seconds:>8.1f} {diff_rps:>9.1f} {diff_arm.n_discrepancies:>8}",
+        "",
+        f"relation checks: {checks} across {oracle.programs_checked} programs "
+        f"({checks / max(1, oracle.programs_checked):.1f} per program)",
+        f"oracle dedup: {deduped}/{requests} sweep requests served without "
+        f"executing ({100.0 * deduped / max(1, requests):.0f}%)",
+        "violations by relation: "
+        + (
+            ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(oracle.violations_by_relation.items())
+            )
+            or "none"
+        ),
+    ]
+    emit(results_dir, "oracle_throughput", "\n".join(lines))

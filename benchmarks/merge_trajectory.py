@@ -1,10 +1,10 @@
 """Merge nightly benchmark outputs into one trajectory artifact.
 
-The nightly workflow runs three probes — a smoke-budget ``repro-fuzz``
-session, ``bench_fuzz_engine.py`` and ``bench_campaign_engine.py`` (both
-at ``REPRO_BENCH_SCALE=tiny``, each with ``--benchmark-json``) — and this
-script folds whatever they produced under ``benchmarks/results/`` into a
-single ``trajectory.json``:
+The nightly workflow runs four probes — a smoke-budget ``repro-fuzz``
+session, ``bench_fuzz_engine.py``, ``bench_campaign_engine.py`` and
+``bench_oracle.py`` (benches at ``REPRO_BENCH_SCALE=tiny``, each with
+``--benchmark-json``) — and this script folds whatever they produced
+under ``benchmarks/results/`` into a single ``trajectory.json``:
 
 * one ``meta`` block (commit SHA / ref / run id from the GitHub
   environment when present, so points can be ordered across nights);
@@ -12,9 +12,21 @@ single ``trajectory.json``:
 * a ``fuzz_smoke`` block summarizing the nightly fuzz ledger (iterations,
   batches, finding count) parsed directly from the JSONL.
 
+**Regression gate** (``--baseline``): given the previous night's
+``trajectory.json``, every bench present in both artifacts is compared
+by mean runtime; slowdowns beyond ``--fail-threshold`` (a ratio — 2.0
+means "took twice as long") are recorded in a ``regression`` block and,
+when the threshold is set, fail the job with exit code 3.  The merged
+artifact is always written *before* the gate exits, so the night's
+measurement survives even when the gate trips (upload it with
+``if: always()``).  A missing baseline is a note, not a failure — the
+first night has nothing to compare against.
+
 Stdlib only, runnable locally::
 
     python benchmarks/merge_trajectory.py --out benchmarks/results/trajectory.json
+    python benchmarks/merge_trajectory.py --baseline previous/trajectory.json \\
+        --fail-threshold 2.0
 
 Missing inputs are skipped with a note instead of failing: the artifact
 should record what the night measured, not hide it behind a crash.
@@ -36,6 +48,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCHMARK_JSONS = {
     "fuzz_engine": "bench_fuzz_engine.json",
     "campaign_engine": "bench_campaign_engine.json",
+    "oracle": "bench_oracle.json",
 }
 
 #: Extra summaries folded in when present (produced by other jobs or
@@ -104,6 +117,54 @@ def _summarize_fuzz_ledger(path: Path) -> Dict[str, object]:
     }
 
 
+def _bench_means(payload: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a trajectory's benchmarks to ``{probe::bench: mean_s}``.
+
+    Only pytest-benchmark entries (lists of per-bench stats) participate
+    in the gate; pass-through summaries (the exec-service bench's own
+    dict) carry no comparable timing shape.
+    """
+    out: Dict[str, float] = {}
+    benchmarks = payload.get("benchmarks", {})
+    if not isinstance(benchmarks, dict):
+        return out
+    for probe, entry in benchmarks.items():
+        if not isinstance(entry, list):
+            continue
+        for bench in entry:
+            name = bench.get("name", "?")
+            mean = bench.get("mean_s")
+            if isinstance(mean, (int, float)) and mean > 0:
+                out[f"{probe}::{name}"] = float(mean)
+    return out
+
+
+def compare_against_baseline(
+    payload: Dict[str, object], baseline: Dict[str, object], threshold: float
+) -> Dict[str, object]:
+    """Per-bench throughput comparison: current mean vs the baseline's.
+
+    Returns the ``regression`` block: every common bench's slowdown
+    ratio (current/previous; >1 is slower), the benches beyond
+    ``threshold``, and the benches only one side measured (never a
+    failure — a renamed bench must not wedge the nightly forever).
+    """
+    current = _bench_means(payload)
+    previous = _bench_means(baseline)
+    common = sorted(current.keys() & previous.keys())
+    ratios = {name: current[name] / previous[name] for name in common}
+    failures = sorted(name for name, r in ratios.items() if r > threshold)
+    meta = baseline.get("meta", {})
+    return {
+        "baseline_commit": meta.get("commit", "") if isinstance(meta, dict) else "",
+        "threshold": threshold,
+        "ratios": {name: round(r, 4) for name, r in ratios.items()},
+        "failures": failures,
+        "only_current": sorted(current.keys() - previous.keys()),
+        "only_baseline": sorted(previous.keys() - current.keys()),
+    }
+
+
 def merge(results_dir: Path) -> Dict[str, object]:
     payload: Dict[str, object] = {"meta": _meta(), "benchmarks": {}, "skipped": []}
     benchmarks: Dict[str, object] = payload["benchmarks"]  # type: ignore[assignment]
@@ -137,8 +198,57 @@ def main(argv=None) -> int:
         default=RESULTS_DIR / "trajectory.json",
         help="merged artifact path",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous night's trajectory.json to compare against "
+        "(missing file: comparison skipped with a note)",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        help="fail (exit 3) when any common bench's mean slows down by "
+        "more than this ratio vs the baseline (e.g. 2.0 = twice as slow); "
+        "without it the comparison is recorded but never fails",
+    )
     args = parser.parse_args(argv)
+    if args.fail_threshold is not None and args.fail_threshold <= 1.0:
+        parser.error(
+            f"--fail-threshold must be > 1.0 (got {args.fail_threshold})"
+        )
+    if args.fail_threshold is not None and args.baseline is None:
+        parser.error("--fail-threshold requires --baseline")
+
     payload = merge(args.results_dir)
+    regression: Dict[str, object] = {}
+    if args.baseline is not None:
+        if args.baseline.exists():
+            try:
+                baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                print(
+                    f"baseline {args.baseline} is not valid JSON; comparison skipped",
+                    file=sys.stderr,
+                )
+                baseline = None
+            if baseline is not None:
+                regression = compare_against_baseline(
+                    payload,
+                    baseline,
+                    args.fail_threshold if args.fail_threshold is not None else 2.0,
+                )
+                payload["regression"] = regression
+        else:
+            print(
+                f"baseline {args.baseline} not found (first night?); "
+                "comparison skipped",
+                file=sys.stderr,
+            )
+
+    # Write the artifact BEFORE the gate can fail: the measurement must
+    # survive a tripped gate so the next night has a baseline.
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -146,6 +256,18 @@ def main(argv=None) -> int:
     if payload["skipped"]:
         print(f"skipped missing inputs: {', '.join(payload['skipped'])}", file=sys.stderr)
     print(f"wrote {args.out}")
+
+    failures = regression.get("failures", [])
+    if regression and failures:
+        ratios = regression.get("ratios", {})
+        for name in failures:
+            print(
+                f"REGRESSION: {name} slowed down {ratios.get(name, 0.0):.2f}x "
+                f"vs baseline {regression.get('baseline_commit', '')[:12]}",
+                file=sys.stderr,
+            )
+        if args.fail_threshold is not None:
+            return 3
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.harness.campaign import CampaignResult
 from repro.analysis.summary import summary_table
 from repro.analysis.per_opt import per_opt_table
 from repro.analysis.adjacency import adjacency_tables
+from repro.oracle.engine import oracle_violation_table
 
 __all__ = ["render_campaign_report"]
 
@@ -51,9 +52,24 @@ def render_campaign_report(
     )
     blocks.append(summary_table(result).render())
     for arm_name, arm in result.arms.items():
+        if arm_name == "oracle":
+            continue  # no cross-vendor discrepancies: it gets its own table
         blocks.append(per_opt_table(arm, _PER_OPT_TITLES[arm_name]).render())
+    oracle_arm = result.arms.get("oracle")
+    if oracle_arm is not None:
+        # Per-relation violation accounting — the oracle arm's analogue of
+        # the per-optimization discrepancy tables.
+        blocks.append(
+            oracle_violation_table(
+                oracle_arm.oracle_checked,
+                oracle_arm.oracle_violations,
+                title="Extension — Metamorphic-relation violations, oracle arm (measured)",
+            ).render()
+        )
     if include_adjacency:
         for arm_name, arm in result.arms.items():
+            if arm_name == "oracle":
+                continue
             for table in adjacency_tables(arm, _ADJACENCY_TITLES[arm_name]):
                 blocks.append(table.render())
     return "\n\n".join(blocks)

@@ -21,6 +21,7 @@ ARM_TITLES = {
     "fp32": "FP32",
     "fp16": "FP16",
     "fp16_hipify": "FP16 with HIPIFY",
+    "oracle": "Oracle (FP32)",
 }
 
 
@@ -41,6 +42,9 @@ def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, object]]:
             "runs_by_opt": dict(arm.runs_by_opt),
             "skipped_tests": arm.n_skipped_tests,
         }
+        if arm.oracle_violations:
+            out[arm_name]["oracle_violations"] = arm.n_oracle_violations
+            out[arm_name]["violations_by_relation"] = arm.violations_by_relation
     return out
 
 

@@ -46,6 +46,13 @@ class Cause:
     FTZ = "ftz-asymmetry"
     FAST_MATH_LIBRARY = "fast-math approximation"
     UNKNOWN = "unknown"
+    #: Namespace of single-stack metamorphic-oracle causes: a fuzz
+    #: session running with oracle relations signs relation violations
+    #: as ``oracle:<relation-name>`` — not a triage probe result but a
+    #: relation checker's verdict (the platform rides in the signature's
+    #: functions slot).  These causes entered the ledger vocabulary with
+    #: fingerprint format 3.
+    ORACLE_PREFIX = "oracle:"
 
 
 @dataclass

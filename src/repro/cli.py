@@ -54,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="add the reduced-precision fp16 + fp16_hipify arm pair "
         "(half precision; not part of the paper's grid)",
     )
+    parser.add_argument(
+        "--oracle",
+        action="store_true",
+        help="add the metamorphic-oracle arm (single-stack relation "
+        "checking over an FP32 corpus; see repro-oracle for a "
+        "standalone session)",
+    )
+    parser.add_argument(
+        "--oracle-programs", type=int, default=None,
+        help="override the oracle arm's program count (default 60)",
+    )
     parser.add_argument("--no-adjacency", action="store_true", help="omit adjacency matrices")
     parser.add_argument("--json", metavar="PATH", default=None, help="also dump results as JSON")
     parser.add_argument(
@@ -79,6 +90,7 @@ def _config_from_args(
         ("--fp64-programs", args.fp64_programs, 1),
         ("--fp32-programs", args.fp32_programs, 1),
         ("--fp16-programs", args.fp16_programs, 1),
+        ("--oracle-programs", args.oracle_programs, 1),
         ("--inputs", args.inputs, 1),
         ("--workers", args.workers, 0),
     ):
@@ -86,6 +98,8 @@ def _config_from_args(
             parser.error(f"{name} must be >= {minimum} (got {value})")
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.oracle_programs is not None and not args.oracle:
+        parser.error("--oracle-programs requires --oracle")
 
     if args.scale == "paper":
         base = CampaignConfig.paper_scale(seed=args.seed, workers=args.workers)
@@ -104,6 +118,12 @@ def _config_from_args(
         include_hipify=not args.no_hipify,
         include_fp32=not args.no_fp32,
         include_fp16=args.include_fp16,
+        include_oracle=args.oracle,
+        n_programs_oracle=(
+            args.oracle_programs
+            if args.oracle_programs is not None
+            else base.n_programs_oracle
+        ),
         workers=args.workers if args.workers is not None else base.workers,
     )
 
@@ -143,6 +163,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "include_hipify": config.include_hipify,
                 "include_fp32": config.include_fp32,
                 "include_fp16": config.include_fp16,
+                "include_oracle": config.include_oracle,
                 "workers": config.workers,
             },
             "elapsed_seconds": result.elapsed_seconds,
@@ -167,6 +188,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "nvcc_executions": arm.nvcc_executions,
                     "nvcc_cache_hits": arm.nvcc_cache_hits,
                     "discrepancies": [d.to_json_dict() for d in arm.discrepancies],
+                    **(
+                        {
+                            "oracle_checked": dict(arm.oracle_checked),
+                            "violations_by_relation": arm.violations_by_relation,
+                            "oracle_violations": [
+                                v.to_json_dict() for v in arm.oracle_violations
+                            ],
+                        }
+                        if name == "oracle"
+                        else {}
+                    ),
                 }
                 for name, arm in result.arms.items()
             },

@@ -72,10 +72,13 @@ def nextafter_n(value: float, n: int, fptype: FPType = FPType.FP64):
     if n == 0:
         return x
     direction = dtype.type(np.inf if n > 0 else -np.inf)
-    for _ in range(abs(n)):
-        if np.isinf(x) and (x > 0) == (n > 0):
-            break
-        x = np.nextafter(x, direction, dtype=dtype)
+    # errstate: stepping off the top finite value overflows to inf, which
+    # is the documented saturation — not a warning-worthy event.
+    with np.errstate(over="ignore"):
+        for _ in range(abs(n)):
+            if np.isinf(x) and (x > 0) == (n > 0):
+                break
+            x = np.nextafter(x, direction, dtype=dtype)
     return x
 
 

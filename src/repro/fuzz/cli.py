@@ -22,6 +22,7 @@ from repro.fp.types import FPType
 from repro.fuzz.engine import FuzzConfig, run_fuzz
 from repro.fuzz.mutators import MUTATION_NAMES
 from repro.fuzz.signature import signature_histogram
+from repro.oracle.relations import RELATION_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -72,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated mutation subset (default: {','.join(MUTATION_NAMES)})",
     )
     parser.add_argument(
+        "--oracle", action="store_true",
+        help="also check every evaluated program against the metamorphic "
+        "relations; violations become oracle:<relation> findings "
+        "(bumps the ledger fingerprint to format 3)",
+    )
+    parser.add_argument(
+        "--oracle-relations", default=None,
+        help="comma-separated relation subset (implies --oracle; "
+        f"default with --oracle: {','.join(RELATION_NAMES)})",
+    )
+    parser.add_argument(
         "--ledger", metavar="PATH", default=None,
         help="append findings to this JSONL ledger",
     )
@@ -117,6 +129,21 @@ def _config_from_args(
             )
         if not mutations:
             parser.error("--mutations must name at least one mutation")
+    oracle_relations: tuple = ()
+    if args.oracle_relations is not None:
+        oracle_relations = tuple(
+            r.strip() for r in args.oracle_relations.split(",") if r.strip()
+        )
+        unknown_rel = [r for r in oracle_relations if r not in RELATION_NAMES]
+        if unknown_rel:
+            parser.error(
+                f"unknown relations: {', '.join(unknown_rel)} "
+                f"(known: {', '.join(RELATION_NAMES)})"
+            )
+        if not oracle_relations:
+            parser.error("--oracle-relations must name at least one relation")
+    elif args.oracle:
+        oracle_relations = RELATION_NAMES
     return FuzzConfig(
         seed=args.seed,
         fptype=FPType.from_string(args.fptype),
@@ -128,6 +155,7 @@ def _config_from_args(
         include_hipify=not args.no_hipify,
         minimize=not args.no_minimize,
         mutations=mutations,
+        oracle_relations=oracle_relations,
         workers=args.workers if args.workers is not None else base.workers,
     )
 
@@ -172,6 +200,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"cache hits {result.nvcc_cache_hits} "
         f"({100.0 * result.cache_hit_rate:.0f}% of the CUDA side served from cache)"
     )
+    if config.oracle_relations:
+        print(
+            f"oracle: {result.oracle_violations} relation violations on "
+            f"committed iterations"
+        )
     print(f"novel findings: {len(result.findings)} (stopped by {result.stopped_by})")
     for finding in result.findings:
         print(f"  {finding.describe()}")

@@ -72,7 +72,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.reduce import kernel_size, reduce_testcase
-from repro.analysis.triage import TriageVerdict, triage_discrepancy
+from repro.analysis.triage import Cause, TriageVerdict, triage_discrepancy
 from repro.codegen.cuda import render_cuda
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError, ReproError
@@ -84,14 +84,17 @@ from repro.exec import (
     content_id,
     content_text,
 )
+from repro.fp.classify import OutcomeClass
 from repro.fp.types import FPType
 from repro.fuzz.ledger import Finding, FindingsLedger, LedgerState, LineageStep, Promotion
 from repro.fuzz.mutators import MUTATION_NAMES, MUTATORS, apply_mutation
 from repro.fuzz.signature import DiscrepancySignature, signature_histogram
-from repro.harness.differential import Discrepancy
+from repro.harness.differential import Discrepancy, classify_pair
 from repro.harness.runner import DifferentialRunner
 from repro.ir.program import Kernel, Program
 from repro.ir.validate import validate_kernel
+from repro.oracle.engine import build_relation_requests, check_relation_outcomes
+from repro.oracle.relations import Relation, RelationViolation, resolve_relations
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 from repro.varity.config import GeneratorConfig
@@ -144,6 +147,16 @@ class FuzzConfig:
     #: delta-debug every novel finding down to a minimal reproducer.
     minimize: bool = True
     mutations: Tuple[str, ...] = MUTATION_NAMES
+    #: metamorphic-oracle relations checked on every evaluated program
+    #: (empty = off).  A relation violation is condensed to an
+    #: ``oracle:<relation>`` signature, so relation-breaking mutants feed
+    #: the same novelty loop — pool energy, bandit wins, ledger — as
+    #: cross-vendor discrepancies, steering the search toward them.  The
+    #: relations' base sweeps dedup against the mutant's own native
+    #: request, so base-reading relations cost zero extra runs.
+    oracle_relations: Tuple[str, ...] = ()
+    #: Num/Num drift budget (ULPs) for approximate oracle relations.
+    oracle_ulp_bound: int = 4
     #: process-pool size for mutant evaluation (0/1 = serial).  Pure
     #: scheduling: the committed trajectory — and the ledger — is
     #: byte-identical at every worker count, which is why ``workers`` is
@@ -163,6 +176,10 @@ class FuzzConfig:
         unknown = [m for m in self.mutations if m not in MUTATORS]
         if unknown:
             raise HarnessError(f"unknown mutations: {', '.join(unknown)}")
+        try:
+            resolve_relations(self.oracle_relations)
+        except ValueError as exc:
+            raise HarnessError(str(exc)) from None
 
     @property
     def corpus_seed(self) -> int:
@@ -193,8 +210,19 @@ class FuzzConfig:
         starts fresh.  A format-1 session can still be *continued* by an
         old checkout; it cannot be continued by this engine, whose
         scheduler would disagree with the recorded trajectory.
+
+        Format 3 is the metamorphic-oracle lane: a session with
+        ``oracle_relations`` signs relation violations as
+        ``oracle:<relation>`` causes — a signature vocabulary format 2
+        cannot express — and its findings feed the scheduler, so its
+        trajectory is not replayable by a format-2 engine.  The format-3
+        keys (``format: 3``, ``oracle_relations``, ``oracle_ulp_bound``)
+        are emitted only when the oracle is on; a config without
+        relations fingerprints exactly as format 2, which is why every
+        existing format-2 ledger still resumes under non-oracle configs
+        (tested explicitly).
         """
-        return {
+        fp: Dict[str, object] = {
             "format": 2,
             "seed": self.seed,
             "fptype": self.fptype.value,
@@ -209,6 +237,11 @@ class FuzzConfig:
             "minimize": self.minimize,
             "mutations": list(self.mutations),
         }
+        if self.oracle_relations:
+            fp["format"] = 3
+            fp["oracle_relations"] = list(self.oracle_relations)
+            fp["oracle_ulp_bound"] = self.oracle_ulp_bound
+        return fp
 
 
 class _Scheduler:
@@ -301,6 +334,9 @@ class FuzzResult:
     pair_runs: int = 0
     baseline_pair_runs: int = 0
     raw_discrepancies: int = 0
+    #: metamorphic-relation violations observed on committed iterations
+    #: (only nonzero when the session ran with oracle relations).
+    oracle_violations: int = 0
     nvcc_executions: int = 0
     nvcc_cache_hits: int = 0
     elapsed_seconds: float = 0.0
@@ -332,6 +368,10 @@ class RandomSessionResult:
     n_programs: int
     pair_runs: int = 0
     raw_discrepancies: int = 0
+    #: relation violations observed (only nonzero when the shared config
+    #: ran with oracle relations — keeps the control arm's oracle signal
+    #: comparable to the fuzz session's).
+    oracle_violations: int = 0
     novel_signatures: List[DiscrepancySignature] = field(default_factory=list)
 
     @property
@@ -369,7 +409,7 @@ def _triage_verdict_task(
 
 class _Evaluator:
     """Runs tests through the execution service and condenses
-    discrepancies to signatures."""
+    discrepancies (and oracle violations) to signatures."""
 
     def __init__(self, config: FuzzConfig, service: ExecutionService) -> None:
         self.config = config
@@ -377,6 +417,11 @@ class _Evaluator:
         #: main-process runner for triage and minimization probes only
         #: (their device runs are bookkept by their own tools, not here).
         self.runner = DifferentialRunner()
+        self.relations: List[Relation] = (
+            resolve_relations(config.oracle_relations)
+            if config.oracle_relations
+            else []
+        )
         self.pair_runs = 0
         self.cache_hits = 0
         self.executions = 0
@@ -384,11 +429,14 @@ class _Evaluator:
     def chunk_for(self, test: TestCase) -> List[SweepRequest]:
         """One evaluation as one chunk: the native sweep, then the HIPIFY
         twin with its CUDA half replayed from the chunk's run store (the
-        campaign's fused-arm reuse invariant, applied per mutant).  The
-        store lives one chunk: content dedup already prevents identical
-        mutants from re-running, so entries could only ever be hit by the
-        test's own twin, and chunk scope keeps the counters identical at
-        every worker count."""
+        campaign's fused-arm reuse invariant, applied per mutant), then —
+        with oracle relations on — each relation's base + variant
+        requests.  The relations' base requests are content-identical to
+        the native one, so the service dedups them to zero extra runs.
+        The store lives one chunk: content dedup already prevents
+        identical mutants from re-running, so entries could only ever be
+        hit by the test's own twin, and chunk scope keeps the counters
+        identical at every worker count."""
         requests = [
             SweepRequest(
                 test=test, opts=self.config.opts, tag=("native",), cache=CHUNK_CACHE
@@ -403,25 +451,95 @@ class _Evaluator:
                     cache=CHUNK_CACHE,
                 )
             )
+        requests.extend(self._oracle_requests(test))
+        return requests
+
+    def _oracle_requests(self, test: TestCase) -> List[SweepRequest]:
+        """Per-relation base + variant requests for one test.
+
+        Site choices derive from the test's content-stable id, so a
+        resumed (or speculated-and-discarded) evaluation rebuilds the
+        identical variants.  Construction and applicability policy are
+        the oracle engine's own (:func:`build_relation_requests`).
+        """
+        requests, _ = build_relation_requests(
+            test, "oracle", self.config.seed, test.test_id, self.relations,
+            self.config.opts,
+        )
         return requests
 
     def absorb(
         self, outcomes: Sequence[SweepOutcome]
-    ) -> List[Tuple[str, Discrepancy]]:
-        """Count one committed evaluation and collect its discrepancies."""
+    ) -> Tuple[List[Tuple[str, Discrepancy]], List[RelationViolation]]:
+        """Count one committed evaluation; collect its discrepancies and
+        its oracle-relation violations.
+
+        Deduped outcomes (a relation's base served from the native
+        request) carry rebound copies of already-counted runs, so only
+        non-deduped outcomes contribute to the accounting.
+        """
         found: List[Tuple[str, Discrepancy]] = []
+        oracle_outcomes: List[SweepOutcome] = []
         for outcome in outcomes:
-            self.pair_runs += outcome.pair_runs
-            self.executions += outcome.nvcc_executions
-            self.cache_hits += outcome.nvcc_cache_hits
+            if not outcome.deduped:
+                self.pair_runs += outcome.pair_runs
+                self.executions += outcome.nvcc_executions
+                self.cache_hits += outcome.nvcc_cache_hits
             arm = outcome.tag[0]
+            if arm == "oracle":
+                oracle_outcomes.append(outcome)
+                continue
             for pair in outcome.pairs.values():
                 found.extend((arm, d) for d in pair.discrepancies)
-        return found
+        # The chunk's first outcome is the native sweep, whose test_id is
+        # the evaluated program's own id — violations normalize to it.
+        canonical = outcomes[0].test_id if outcomes else None
+        violations = check_relation_outcomes(
+            oracle_outcomes, self.relations, self.config.fptype,
+            self.config.oracle_ulp_bound, canonical,
+        )
+        return found, violations
 
-    def evaluate(self, test: TestCase) -> List[Tuple[str, Discrepancy]]:
-        """Sweep ``test`` natively (and as its HIPIFY twin), synchronously."""
-        return self.absorb(self.service.run_chunk(self.chunk_for(test)))
+    def oracle_entries(
+        self, violations: Sequence[RelationViolation]
+    ) -> List[Tuple[str, Discrepancy, DiscrepancySignature]]:
+        """Condense relation violations to signature entries.
+
+        The signature reuses the discrepancy slots under documented
+        reinterpretation: cause is ``oracle:<relation>``, the implicated
+        platform rides in the functions slot, and the outcome pair is
+        (base, variant) instead of (nvcc, hipcc).  First-of-each-key
+        dedup matches :meth:`signatures_for`.
+        """
+        out: List[Tuple[str, Discrepancy, DiscrepancySignature]] = []
+        local_seen: Set[str] = set()
+        for v in violations:
+            dclass = classify_pair(float(v.base_printed), float(v.variant_printed))
+            if dclass is None:
+                continue  # sign-only difference: not a reportable violation
+            sig = DiscrepancySignature(
+                cause=Cause.ORACLE_PREFIX + v.relation,
+                functions=(v.platform,),
+                opt_label=v.opt_label,
+                nvcc_outcome=v.base_outcome,
+                hipcc_outcome=v.variant_outcome,
+                fptype=self.config.fptype.value,
+            )
+            if sig.key in local_seen:
+                continue
+            local_seen.add(sig.key)
+            d = Discrepancy(
+                test_id=v.test_id,
+                input_index=v.input_index,
+                opt_label=v.opt_label,
+                dclass=dclass,
+                nvcc_printed=v.base_printed,
+                hipcc_printed=v.variant_printed,
+                nvcc_outcome=OutcomeClass.from_string(v.base_outcome),
+                hipcc_outcome=OutcomeClass.from_string(v.variant_outcome),
+            )
+            out.append(("oracle", d, sig))
+        return out
 
     def signatures_for(
         self, test: TestCase, found: Sequence[Tuple[str, Discrepancy]]
@@ -610,10 +728,13 @@ def run_fuzz(
             seeds = corpus.seed_tests()
             baseline_chunks = (evaluator.chunk_for(t) for t in seeds)
             for index, outcomes in enumerate(service.run_sweeps(baseline_chunks)):
-                found = evaluator.absorb(outcomes)
-                if found:
+                found, violations = evaluator.absorb(outcomes)
+                if found or violations:
                     hot_indices.append(index)
-                for _, _, sig in evaluator.signatures_for(seeds[index], found):
+                entries = evaluator.signatures_for(
+                    seeds[index], found
+                ) + evaluator.oracle_entries(violations)
+                for _, _, sig in entries:
                     if sig.key not in {s.key for s in baseline_signatures}:
                         baseline_signatures.append(sig)
                 if progress is not None:
@@ -797,7 +918,9 @@ def run_fuzz(
             )
 
         def commit_iteration(
-            p: _Prep, found: List[Tuple[str, Discrepancy]]
+            p: _Prep,
+            found: List[Tuple[str, Discrepancy]],
+            violations: List[RelationViolation],
         ) -> bool:
             """Apply one iteration's results in order; True when it
             changed the pool/scheduler state (which invalidates anything
@@ -820,7 +943,8 @@ def run_fuzz(
                 result.mutants_run += 1
 
             result.raw_discrepancies += len(found)
-            if not found:
+            result.oracle_violations += len(violations)
+            if not found and not violations:
                 return False
 
             promoted = False
@@ -830,14 +954,20 @@ def run_fuzz(
                 lineage=p.lineage,
                 content=p.content,
             )
-            for platform_arm, d, sig in evaluator.signatures_for(p.test, found):
+            entries = evaluator.signatures_for(
+                p.test, found
+            ) + evaluator.oracle_entries(violations)
+            for platform_arm, d, sig in entries:
                 if sig.key in seen:
                     continue
                 seen.add(sig.key)
                 target = p.test.hipified() if platform_arm == "hipify" else p.test
                 reduced_size: Optional[int] = None
                 reduced_cuda: Optional[str] = None
-                if config.minimize:
+                # Oracle findings are single-stack relation verdicts, not
+                # cross-vendor discrepancies; the differential delta
+                # debugger cannot reproduce them, so they stay unminimized.
+                if config.minimize and platform_arm != "oracle":
                     try:
                         reduction = reduce_testcase(
                             target,
@@ -920,9 +1050,10 @@ def run_fuzz(
                     )
                 for p in preps:
                     found: List[Tuple[str, Discrepancy]] = []
+                    violations: List[RelationViolation] = []
                     if p.test is not None:
-                        found = evaluator.absorb(next(outcome_iter))
-                    changed = commit_iteration(p, found)
+                        found, violations = evaluator.absorb(next(outcome_iter))
+                    changed = commit_iteration(p, found, violations)
                     i = p.iteration + 1
                     result.iterations = i
                     # The flush check runs every iteration — including ones
@@ -991,9 +1122,13 @@ def run_random_session(
     try:
         chunks = (evaluator.chunk_for(t) for t in corpus)
         for index, outcomes in enumerate(service.run_sweeps(chunks)):
-            found = evaluator.absorb(outcomes)
+            found, violations = evaluator.absorb(outcomes)
             result.raw_discrepancies += len(found)
-            for _, _, sig in evaluator.signatures_for(corpus.tests[index], found):
+            result.oracle_violations += len(violations)
+            entries = evaluator.signatures_for(
+                corpus.tests[index], found
+            ) + evaluator.oracle_entries(violations)
+            for _, _, sig in entries:
                 if sig.key not in seen:
                     seen.add(sig.key)
                     result.novel_signatures.append(sig)

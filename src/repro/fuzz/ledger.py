@@ -24,7 +24,15 @@ Format compatibility: the header fingerprint carries a ``format`` version
 (see :meth:`repro.fuzz.engine.FuzzConfig.fingerprint`).  Format 2 — the
 FP16 lane — added the ``precision-cast`` mutation to the default set and
 an ``fptype`` field to every signature record; format-1 ledgers are
-rejected on resume rather than silently misread.
+rejected on resume rather than silently misread.  Format 3 — the
+metamorphic-oracle lane — adds ``oracle:<relation>`` signature causes
+(``arm: "oracle"`` findings whose outcome pair is base-vs-variant on one
+platform, the implicated platform riding in the functions slot).  The
+format-3 keys are emitted only when ``oracle_relations`` is non-empty, so
+a non-oracle config fingerprints exactly as format 2 and every existing
+format-2 ledger still resumes; an oracle session's ledger is refused by a
+format-2 engine (and vice versa), which is correct — neither can replay
+the other's trajectory.
 
 A :class:`Finding` records, besides the discrepancy and its signature,
 the full *lineage* of the mutant: the corpus index it started from and
@@ -77,7 +85,7 @@ class Finding:
     """One novel-signature discrepancy discovered by the fuzzer."""
 
     iteration: int
-    arm: str  # "native" | "hipify"
+    arm: str  # "native" | "hipify" | "oracle" (format 3)
     mutant_id: str
     corpus_index: int
     lineage: Tuple[LineageStep, ...]

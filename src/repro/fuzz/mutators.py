@@ -65,13 +65,13 @@ from repro.ir.nodes import (
     FMA,
     For,
     If,
-    IntConst,
     Node,
     Stmt,
     UnOp,
     VarRef,
 )
 from repro.ir.program import Kernel
+from repro.ir.rewrite import float_sites, replace_site
 from repro.ir.types import IRType
 from repro.ir.visitor import walk
 from repro.utils.rng import derive_seed
@@ -84,145 +84,9 @@ __all__ = ["MUTATION_NAMES", "MUTATORS", "Mutator", "apply_mutation"]
 _WRAP_FUNCTIONS = ("sin", "cos", "exp", "log", "sqrt", "tanh", "fabs", "ceil", "floor")
 
 
-# ---------------------------------------------------------------------------
-# Site enumeration / targeted rewriting
-#
-# A *site* is one float-valued expression position in the kernel body,
-# identified by its pre-order index among all float sites.  Sites exclude
-# int contexts (array subscripts, loop bounds) and boolean contexts
-# (conditions, BoolOp operands), so a replacement expression of float kind
-# is always well-typed where it lands.
-# ---------------------------------------------------------------------------
-
-
-def _expr_float_sites(expr: Expr, out: List[Expr]) -> None:
-    """Pre-order float-valued positions inside one float-context expr."""
-    out.append(expr)
-    if isinstance(expr, (Const, IntConst, VarRef)):
-        return
-    if isinstance(expr, ArrayRef):
-        return  # index is int context
-    if isinstance(expr, UnOp):
-        _expr_float_sites(expr.operand, out)
-    elif isinstance(expr, BinOp):
-        _expr_float_sites(expr.left, out)
-        _expr_float_sites(expr.right, out)
-    elif isinstance(expr, FMA):
-        for sub in (expr.a, expr.b, expr.c):
-            _expr_float_sites(sub, out)
-    elif isinstance(expr, Call):
-        for a in expr.args:
-            _expr_float_sites(a, out)
-
-
-def _cond_float_sites(cond: Expr, out: List[Expr]) -> None:
-    """Float positions inside a boolean expression (Compare operands)."""
-    if isinstance(cond, BoolOp):
-        _cond_float_sites(cond.left, out)
-        _cond_float_sites(cond.right, out)
-    elif isinstance(cond, Compare):
-        _expr_float_sites(cond.left, out)
-        _expr_float_sites(cond.right, out)
-
-
-def _float_sites(body: Sequence[Stmt]) -> List[Expr]:
-    """All float-valued expression positions in a body, pre-order."""
-    out: List[Expr] = []
-    for stmt in body:
-        if isinstance(stmt, Decl):
-            _expr_float_sites(stmt.init, out)
-        elif isinstance(stmt, (Assign, AugAssign)):
-            _expr_float_sites(stmt.expr, out)
-        elif isinstance(stmt, For):
-            out.extend(_float_sites(stmt.body))
-        elif isinstance(stmt, If):
-            _cond_float_sites(stmt.cond, out)
-            out.extend(_float_sites(stmt.body))
-    return out
-
-
-def _replace_expr(expr: Expr, counter: List[int], target: int, repl: Expr) -> Expr:
-    """Rebuild ``expr`` with the ``target``-th float site replaced."""
-    index = counter[0]
-    counter[0] += 1
-    if index == target:
-        return repl
-    if isinstance(expr, (Const, IntConst, VarRef, ArrayRef)):
-        return expr
-    if isinstance(expr, UnOp):
-        return UnOp(expr.op, _replace_expr(expr.operand, counter, target, repl))
-    if isinstance(expr, BinOp):
-        return BinOp(
-            expr.op,
-            _replace_expr(expr.left, counter, target, repl),
-            _replace_expr(expr.right, counter, target, repl),
-        )
-    if isinstance(expr, FMA):
-        return FMA(
-            _replace_expr(expr.a, counter, target, repl),
-            _replace_expr(expr.b, counter, target, repl),
-            _replace_expr(expr.c, counter, target, repl),
-            expr.negate_product,
-        )
-    if isinstance(expr, Call):
-        return Call(
-            expr.func,
-            [_replace_expr(a, counter, target, repl) for a in expr.args],
-            expr.variant,
-        )
-    return expr
-
-
-def _replace_cond(cond: Expr, counter: List[int], target: int, repl: Expr) -> Expr:
-    if isinstance(cond, BoolOp):
-        return BoolOp(
-            cond.op,
-            _replace_cond(cond.left, counter, target, repl),
-            _replace_cond(cond.right, counter, target, repl),
-        )
-    if isinstance(cond, Compare):
-        return Compare(
-            cond.op,
-            _replace_expr(cond.left, counter, target, repl),
-            _replace_expr(cond.right, counter, target, repl),
-        )
-    return cond
-
-
-def _replace_site(body: Sequence[Stmt], target: int, repl: Expr) -> List[Stmt]:
-    """Body with the ``target``-th float site replaced by ``repl``.
-
-    The counter threads through statements in the same pre-order as
-    :func:`_float_sites`, so site indices agree between enumeration and
-    rewriting.
-    """
-    counter = [0]
-
-    def rewrite(stmts: Sequence[Stmt]) -> List[Stmt]:
-        out: List[Stmt] = []
-        for stmt in stmts:
-            if isinstance(stmt, Decl):
-                out.append(Decl(stmt.name, _replace_expr(stmt.init, counter, target, repl)))
-            elif isinstance(stmt, Assign):
-                out.append(Assign(stmt.target, _replace_expr(stmt.expr, counter, target, repl)))
-            elif isinstance(stmt, AugAssign):
-                out.append(
-                    AugAssign(stmt.target, stmt.op, _replace_expr(stmt.expr, counter, target, repl))
-                )
-            elif isinstance(stmt, For):
-                out.append(For(stmt.var, stmt.bound, rewrite(stmt.body)))
-            elif isinstance(stmt, If):
-                cond = _replace_cond(stmt.cond, counter, target, repl)
-                out.append(If(cond, rewrite(stmt.body)))
-            else:
-                out.append(stmt)
-        return out
-
-    return rewrite(body)
-
-
-def _site_at(body: Sequence[Stmt], target: int) -> Expr:
-    return _float_sites(body)[target]
+# Site enumeration / targeted rewriting live in repro.ir.rewrite (the
+# metamorphic oracle's program transforms share them — both subsystems
+# must number sites identically).
 
 
 # ---------------------------------------------------------------------------
@@ -306,7 +170,7 @@ def _mutate_const_perturb(
     literal (17 significant digits for FP64) so the rendered source, the
     parsed value, and the interpreted value stay a single number.
     """
-    sites = _float_sites(kernel.body)
+    sites = float_sites(kernel.body)
     consts = [i for i, e in enumerate(sites) if isinstance(e, Const)]
     if not consts:
         return None
@@ -321,13 +185,13 @@ def _mutate_const_perturb(
         new_value = -old.value
     text = format_varity_literal(new_value, kernel.fptype, digits=16)
     parsed = float(strip_literal_suffix(text))
-    body = _replace_site(kernel.body, target, Const(parsed, text))
+    body = replace_site(kernel.body, target, Const(parsed, text))
     return kernel.with_body(body)
 
 
 def _mutate_call(kernel: Kernel, rng: random.Random, donor: Optional[Kernel]) -> Optional[Kernel]:
     """Substitute one math call's function, or wrap a subexpression."""
-    sites = _float_sites(kernel.body)
+    sites = float_sites(kernel.body)
     if not sites:
         return None
     calls = [i for i, e in enumerate(sites) if isinstance(e, Call)]
@@ -344,7 +208,7 @@ def _mutate_call(kernel: Kernel, rng: random.Random, donor: Optional[Kernel]) ->
         target = rng.randrange(len(sites))
         func = rng.choice(_WRAP_FUNCTIONS)
         repl = Call(func, [sites[target]])
-    return kernel.with_body(_replace_site(kernel.body, target, repl))
+    return kernel.with_body(replace_site(kernel.body, target, repl))
 
 
 def _mutate_fma_shape(
@@ -357,7 +221,7 @@ def _mutate_fma_shape(
     so introducing it is a targeted probe for optimization-induced
     divergence.
     """
-    sites = _float_sites(kernel.body)
+    sites = float_sites(kernel.body)
     adds = [
         i for i, e in enumerate(sites) if isinstance(e, BinOp) and e.op in ("+", "-")
     ]
@@ -370,7 +234,7 @@ def _mutate_fma_shape(
     # x ⊕ y  →  x*y + x   |   x*y + y   (operand reuse keeps names in scope)
     c = x if rng.random() < 0.5 else y
     repl = BinOp("+", BinOp("*", x, y), c)
-    return kernel.with_body(_replace_site(kernel.body, target, repl))
+    return kernel.with_body(replace_site(kernel.body, target, repl))
 
 
 def _donor_expr_candidates(donor: Kernel, target_scalars: frozenset) -> List[Expr]:
@@ -381,7 +245,7 @@ def _donor_expr_candidates(donor: Kernel, target_scalars: frozenset) -> List[Exp
     variables are rejected rather than renamed.
     """
     out: List[Expr] = []
-    for expr in _float_sites(donor.body):
+    for expr in float_sites(donor.body):
         if isinstance(expr, (Const, VarRef)):
             continue  # trivial splices add nothing over other mutators
         ok = True
@@ -405,12 +269,12 @@ def _mutate_splice(kernel: Kernel, rng: random.Random, donor: Optional[Kernel]) 
         p.name for p in kernel.params if p.type is IRType.FLOAT
     )
     candidates = _donor_expr_candidates(donor, target_scalars)
-    sites = _float_sites(kernel.body)
+    sites = float_sites(kernel.body)
     if not candidates or not sites:
         return None
     repl = rng.choice(candidates)
     target = rng.randrange(len(sites))
-    return kernel.with_body(_replace_site(kernel.body, target, repl))
+    return kernel.with_body(replace_site(kernel.body, target, repl))
 
 
 def _mutate_guard_toggle(
@@ -467,7 +331,7 @@ def _mutate_precision_cast(
     """
     if kernel.fptype is FPType.FP16:
         return None  # already binary16: the round trip cannot change anything
-    sites = _float_sites(kernel.body)
+    sites = float_sites(kernel.body)
     already_demoted = {
         id(e.args[0])
         for e in sites
@@ -483,7 +347,7 @@ def _mutate_precision_cast(
         return None
     target = rng.choice(candidates)
     repl = Call(DEMOTE_FP16, [sites[target]])
-    return kernel.with_body(_replace_site(kernel.body, target, repl))
+    return kernel.with_body(replace_site(kernel.body, target, repl))
 
 
 @dataclass(frozen=True)

@@ -61,7 +61,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING, Union
 
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError
@@ -80,6 +80,9 @@ from repro.utils.checkpoint import JsonlCheckpoint
 from repro.utils.rng import derive_seed
 from repro.varity.config import GeneratorConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (oracle uses harness)
+    from repro.oracle.relations import RelationViolation
+
 __all__ = [
     "CampaignConfig",
     "ArmResult",
@@ -90,15 +93,17 @@ __all__ = [
     "ARM_NAMES",
 ]
 
-ARM_NAMES = ("fp64", "fp64_hipify", "fp32", "fp16", "fp16_hipify")
+ARM_NAMES = ("fp64", "fp64_hipify", "fp32", "fp16", "fp16_hipify", "oracle")
 
-#: Campaign precision of each arm (hipify twins share their native arm's).
+#: Campaign precision of each arm (hipify twins share their native arm's;
+#: the oracle arm runs FP32, where the fast-math/FTZ relations have teeth).
 _ARM_FPTYPES = {
     "fp64": FPType.FP64,
     "fp64_hipify": FPType.FP64,
     "fp32": FPType.FP32,
     "fp16": FPType.FP16,
     "fp16_hipify": FPType.FP16,
+    "oracle": FPType.FP32,
 }
 
 
@@ -116,6 +121,12 @@ class CampaignConfig:
     #: The reduced-precision extension pair (fp16 + fp16_hipify); not part
     #: of the paper's grid, so off unless requested.
     include_fp16: bool = False
+    #: The metamorphic-oracle arm (`repro-campaign --oracle`): single-stack
+    #: relation checking over its own FP32 corpus; violations land on
+    #: :attr:`ArmResult.oracle_violations`, not on the discrepancy lists.
+    include_oracle: bool = False
+    n_programs_oracle: int = 60
+    oracle_ulp_bound: int = 4
     opts: Tuple[OptSetting, ...] = PAPER_OPT_SETTINGS
     workers: int = 0  # 0/1 = serial
     #: Replay the fp64 arm's nvcc runs for the fp64_hipify arm instead of
@@ -174,6 +185,8 @@ class CampaignConfig:
             arms.append("fp16")
             if self.include_hipify:
                 arms.append("fp16_hipify")
+        if self.include_oracle:
+            arms.append("oracle")
         return arms
 
     def arm_programs(self, arm: str) -> int:
@@ -183,6 +196,8 @@ class CampaignConfig:
             return self.n_programs_fp32
         if arm in ("fp16", "fp16_hipify"):
             return self.n_programs_fp16
+        if arm == "oracle":
+            return self.n_programs_oracle
         raise HarnessError(f"unknown arm {arm!r}")
 
     def arm_fptype(self, arm: str) -> FPType:
@@ -227,6 +242,20 @@ class CampaignConfig:
         if self.include_fp16:
             fp["include_fp16"] = True
             fp["n_programs_fp16"] = self.n_programs_fp16
+        if self.include_oracle:
+            # Same compatibility rule as the FP16 keys: emitted only when
+            # the arm is on, so every pre-oracle checkpoint still resumes.
+            # The relation catalogue is part of the identity (like the
+            # standalone OracleConfig fingerprint): a checkout whose
+            # registry grew or renamed a relation must refuse the
+            # checkpoint rather than merge incomparable per-relation
+            # tables.
+            from repro.oracle.relations import RELATION_NAMES
+
+            fp["include_oracle"] = True
+            fp["n_programs_oracle"] = self.n_programs_oracle
+            fp["oracle_ulp_bound"] = self.oracle_ulp_bound
+            fp["oracle_relations"] = list(RELATION_NAMES)
         return fp
 
 
@@ -250,6 +279,10 @@ class ArmResult:
     nvcc_executions: int = 0
     #: per-input nvcc outcomes served from a cross-arm RunCache.
     nvcc_cache_hits: int = 0
+    #: metamorphic-relation violations (oracle arm only; empty elsewhere).
+    oracle_violations: List["RelationViolation"] = field(default_factory=list)
+    #: per-relation count of programs where the relation applied.
+    oracle_checked: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for label in self.opt_labels:
@@ -290,6 +323,18 @@ class ArmResult:
     def discrepancy_percent(self) -> float:
         return 100.0 * self.n_discrepancies / self.total_runs if self.total_runs else 0.0
 
+    @property
+    def n_oracle_violations(self) -> int:
+        return len(self.oracle_violations)
+
+    @property
+    def violations_by_relation(self) -> Dict[str, int]:
+        """Per-relation violation counts (the oracle arm's report unit)."""
+        out: Dict[str, int] = {}
+        for v in self.oracle_violations:
+            out[v.relation] = out.get(v.relation, 0) + 1
+        return out
+
     def by_opt(self) -> Dict[str, List[Discrepancy]]:
         out: Dict[str, List[Discrepancy]] = {label: [] for label in self.opt_labels}
         for d in self.discrepancies:
@@ -306,10 +351,13 @@ class ArmResult:
         self.discrepancies.extend(other.discrepancies)
         self.nvcc_executions += other.nvcc_executions
         self.nvcc_cache_hits += other.nvcc_cache_hits
+        self.oracle_violations.extend(other.oracle_violations)
+        for name, count in other.oracle_checked.items():
+            self.oracle_checked[name] = self.oracle_checked.get(name, 0) + count
 
     # -- checkpoint (de)serialization ---------------------------------------
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "arm": self.arm,
             "n_programs": self.n_programs,
             "opt_labels": list(self.opt_labels),
@@ -319,6 +367,15 @@ class ArmResult:
             "nvcc_cache_hits": self.nvcc_cache_hits,
             "discrepancies": [d.to_json_dict() for d in self.discrepancies],
         }
+        if self.oracle_violations:
+            # Emitted only when present, so pre-oracle checkpoint lines
+            # and new non-oracle lines stay byte-compatible.
+            data["oracle_violations"] = [
+                v.to_json_dict() for v in self.oracle_violations
+            ]
+        if self.oracle_checked:
+            data["oracle_checked"] = dict(self.oracle_checked)
+        return data
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "ArmResult":
@@ -333,7 +390,23 @@ class ArmResult:
             ],
             nvcc_executions=int(data.get("nvcc_executions", 0)),  # type: ignore[union-attr,arg-type]
             nvcc_cache_hits=int(data.get("nvcc_cache_hits", 0)),  # type: ignore[union-attr,arg-type]
+            oracle_violations=_violations_from_json(
+                data.get("oracle_violations", [])  # type: ignore[arg-type]
+            ),
+            oracle_checked={
+                str(k): int(v)
+                for k, v in data.get("oracle_checked", {}).items()  # type: ignore[union-attr]
+            },
         )
+
+
+def _violations_from_json(items: List[Dict[str, object]]) -> List["RelationViolation"]:
+    if not items:
+        return []
+    # Deferred: repro.oracle imports the harness layer (cycle guard).
+    from repro.oracle.relations import RelationViolation
+
+    return [RelationViolation.from_json_dict(v) for v in items]
 
 
 @dataclass
@@ -419,6 +492,8 @@ def build_plan(config: CampaignConfig) -> List[PlanStep]:
             groups.append(("fp16",))
             if config.include_hipify:
                 groups.append(("fp16_hipify",))
+    if config.include_oracle:
+        groups.append(("oracle",))
     steps: List[PlanStep] = []
     for arms in groups:
         n = config.arm_programs(arms[0])
@@ -428,6 +503,34 @@ def build_plan(config: CampaignConfig) -> List[PlanStep]:
     return steps
 
 
+def _oracle_step_plans(config: CampaignConfig, step: PlanStep):
+    """The oracle arm's per-program plans for one step's index range.
+
+    Deterministic in (config, step) alone, so requests and results can
+    rebuild the same plans independently (the transforms are cheap; only
+    execution is expensive).  Variants ship as concrete tests — like fuzz
+    mutants, they cannot be regenerated from a generator seed.
+    """
+    from repro.oracle.engine import oracle_requests_for
+    from repro.oracle.relations import RELATION_NAMES, resolve_relations
+    from repro.varity.corpus import build_corpus_slice
+
+    gen = config.generator_config(config.arm_fptype("oracle"))
+    relations = resolve_relations(RELATION_NAMES)
+    # prefix "oracle", not "prog": the fp32 arm already mints
+    # prog-fp32-NNNNNN ids from a different seed, and a campaign JSON
+    # must never carry one test_id naming two different programs.
+    tests = build_corpus_slice(
+        gen, step.start, step.stop, config.arm_seed("oracle"), prefix="oracle"
+    ).tests
+    return [
+        oracle_requests_for(
+            test, step.start + offset, config.seed, relations, config.opts
+        )
+        for offset, test in enumerate(tests)
+    ], relations
+
+
 def _step_requests(config: CampaignConfig, step: PlanStep) -> List[SweepRequest]:
     """One plan step as one execution-service chunk.
 
@@ -435,8 +538,13 @@ def _step_requests(config: CampaignConfig, step: PlanStep) -> List[SweepRequest]
     HIPIFY twin — they share a content id, so the twin's CUDA half
     replays from the chunk's run store; standalone steps (and the fp32
     arm) have nothing to pair and skip the store entirely, like the seed
-    engine's from-scratch walk.
+    engine's from-scratch walk.  An oracle step's chunk holds each
+    program's per-relation base + variant requests; the service dedups
+    the repeated base down to one execution.
     """
+    if step.arms == ("oracle",):
+        plans, _ = _oracle_step_plans(config, step)
+        return [req for plan in plans for req in plan.requests]
     gen = config.generator_config(config.arm_fptype(step.arms[0]))
     root_seed = config.arm_seed(step.arms[0])
     fused = len(step.arms) > 1
@@ -460,6 +568,8 @@ def _step_results(
     config: CampaignConfig, step: PlanStep, outcomes: List[SweepOutcome]
 ) -> Dict[str, ArmResult]:
     """Fold one chunk's outcomes back into per-arm results."""
+    if step.arms == ("oracle",):
+        return {"oracle": _oracle_step_result(config, step, outcomes)}
     opt_labels = tuple(o.label for o in config.opts)
     results = {
         arm: ArmResult(arm=arm, n_programs=0, opt_labels=opt_labels)
@@ -472,6 +582,43 @@ def _step_results(
         out.nvcc_cache_hits += outcome.nvcc_cache_hits
         out.n_programs += 1
     return results
+
+
+def _oracle_step_result(
+    config: CampaignConfig, step: PlanStep, outcomes: List[SweepOutcome]
+) -> ArmResult:
+    """Fold an oracle step: run accounting plus relation checking.
+
+    Cross-vendor discrepancies in the sweeps are deliberately NOT
+    recorded — this arm reports single-stack relation violations, and
+    the differential arms already cover vendor-vs-vendor.  Deduped
+    outcomes contribute no runs (no new work executed).
+    """
+    from repro.oracle.engine import oracle_check_outcomes
+
+    plans, relations = _oracle_step_plans(config, step)
+    out = ArmResult(
+        arm="oracle",
+        n_programs=len(plans),
+        opt_labels=tuple(o.label for o in config.opts),
+    )
+    by_index: Dict[int, List[SweepOutcome]] = {}
+    for outcome in outcomes:
+        by_index.setdefault(int(outcome.tag[0]), []).append(outcome)
+        if not outcome.deduped:
+            for label, pair in outcome.pairs.items():
+                out.runs_by_opt[label] += len(pair.nvcc_runs)
+                out.skipped_by_opt[label] += len(pair.skipped_inputs)
+            out.nvcc_executions += outcome.nvcc_executions
+            out.nvcc_cache_hits += outcome.nvcc_cache_hits
+    for plan in plans:
+        violations, _ = oracle_check_outcomes(
+            plan, by_index.get(plan.index, []), relations, config.oracle_ulp_bound
+        )
+        out.oracle_violations.extend(violations)
+        for name in plan.checked:
+            out.oracle_checked[name] = out.oracle_checked.get(name, 0) + 1
+    return out
 
 
 def _accumulate(out: ArmResult, sweep: Dict[str, PairResult]) -> None:

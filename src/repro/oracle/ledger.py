@@ -1,0 +1,88 @@
+"""Append-only JSONL oracle ledger with fuzz-ledger conventions.
+
+Same file discipline as the campaign checkpoint and the fuzz findings
+ledger (:class:`repro.utils.checkpoint.JsonlCheckpoint`): a fingerprint
+header line, flushed appends, torn-tail recovery.  The record vocabulary
+is one ``program`` line per checked corpus program:
+
+* ``index`` — the corpus index (records are written in index order, so a
+  resumed session continues from the first unrecorded index);
+* ``test_id`` — identity of the checked program (the corpus regenerates
+  the program itself from the fingerprint's seed + the index);
+* ``checked`` — the relations that were applicable;
+* ``runs`` — compared record pairs this program's chunk executed
+  (worker-count-invariant: chunk composition never depends on workers);
+* ``violations`` — every relation violation, in deterministic order.
+
+Every line is written without timestamps and with fixed key order, so a
+seeded session run twice — at any worker counts — writes byte-identical
+ledgers, exactly like the fuzz ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.oracle.relations import RelationViolation
+from repro.utils.checkpoint import JsonlCheckpoint
+
+__all__ = ["OracleLedger", "OracleLedgerState"]
+
+
+@dataclass
+class OracleLedgerState:
+    """Everything a resumed oracle session reloads from its ledger."""
+
+    #: contiguously completed corpus prefix (max recorded index + 1).
+    programs_done: int = 0
+    violations: List[RelationViolation] = field(default_factory=list)
+    #: per-relation count of programs where the relation applied.
+    checked_by_relation: Dict[str, int] = field(default_factory=dict)
+    pair_runs: int = 0
+
+
+class OracleLedger(JsonlCheckpoint):
+    """The append-only JSONL file behind ``repro-oracle --ledger``."""
+
+    noun = "ledger"
+    writer = "an oracle session"
+
+    # ------------------------------------------------------------------ read
+    def load(self, fingerprint: Dict[str, object]) -> OracleLedgerState:
+        state = OracleLedgerState()
+        for data in self.iter_records(fingerprint):
+            if data.get("kind") != "program":
+                continue
+            index = int(data["index"])  # type: ignore[arg-type]
+            state.programs_done = max(state.programs_done, index + 1)
+            state.pair_runs += int(data.get("runs", 0))
+            for name in data.get("checked", []):
+                state.checked_by_relation[str(name)] = (
+                    state.checked_by_relation.get(str(name), 0) + 1
+                )
+            state.violations.extend(
+                RelationViolation.from_json_dict(v)
+                for v in data.get("violations", [])
+            )
+        return state
+
+    # ----------------------------------------------------------------- write
+    def append_program(
+        self,
+        index: int,
+        test_id: str,
+        checked: Sequence[str],
+        runs: int,
+        violations: Sequence[RelationViolation],
+    ) -> None:
+        self.append_record(
+            {
+                "kind": "program",
+                "index": index,
+                "test_id": test_id,
+                "checked": list(checked),
+                "runs": runs,
+                "violations": [v.to_json_dict() for v in violations],
+            }
+        )

@@ -1,0 +1,23 @@
+/* Varity test oracle-fp32-8a9e8acc367bbcb0 (fp32) */
+#include <stdio.h>
+#include <stdlib.h>
+#include <cuda_runtime.h>
+
+#define VARITY_ARRAY_N 64
+
+__global__
+void compute(float comp, float var_2, float var_3, float var_4) {
+  comp = fmaf(var_2, var_3, var_4);
+  printf("%.17g\n", comp);
+}
+
+int main(int argc, char** argv) {
+  if (argc != 5) return 1;
+  float comp = (float)atof(argv[1]);
+  float var_2 = (float)atof(argv[2]);
+  float var_3 = (float)atof(argv[3]);
+  float var_4 = (float)atof(argv[4]);
+  compute<<<1, 1>>>(comp, var_2, var_3, var_4);
+  cudaDeviceSynchronize();
+  return 0;
+}

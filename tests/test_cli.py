@@ -85,6 +85,7 @@ class TestMainEndToEnd:
             "include_hipify": True,
             "include_fp32": True,
             "include_fp16": False,
+            "include_oracle": False,
             "workers": 0,
         }
 

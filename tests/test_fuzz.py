@@ -344,3 +344,101 @@ class TestLedgerRobustness:
     def test_lineage_step_roundtrip(self):
         for step in (LineageStep("op-swap", 42), LineageStep("splice", 7, 3)):
             assert LineageStep.from_json(step.to_json()) == step
+
+
+class TestOracleMode:
+    """Fuzzing with metamorphic-oracle relations (ledger format 3)."""
+
+    ORACLE = dataclasses.replace(
+        TINY, max_mutants=20, oracle_relations=("fastmath-flag", "mul-one")
+    )
+
+    @pytest.fixture(scope="class")
+    def oracle_session(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz-oracle") / "ledger.jsonl"
+        result = run_fuzz(self.ORACLE, ledger=path)
+        return result, path
+
+    def test_fingerprint_format_gated_on_oracle(self):
+        """Non-oracle configs fingerprint exactly as format 2 — no oracle
+        keys — which is the whole compatibility story."""
+        plain = TINY.fingerprint()
+        assert plain["format"] == 2
+        assert "oracle_relations" not in plain
+        assert "oracle_ulp_bound" not in plain
+        with_oracle = self.ORACLE.fingerprint()
+        assert with_oracle["format"] == 3
+        assert with_oracle["oracle_relations"] == ["fastmath-flag", "mul-one"]
+        # Apart from max_mutants (a budget, never fingerprinted) the two
+        # configs differ only in the oracle fields, so every shared key
+        # must carry the same value.
+        for key, value in plain.items():
+            if key != "format":
+                assert with_oracle[key] == value
+
+    def test_format2_ledger_still_resumes(self, tmp_path):
+        """A ledger written by a non-oracle (format-2) config resumes
+        under the same non-oracle config after the oracle lane landed."""
+        path = tmp_path / "fmt2.jsonl"
+        first = run_fuzz(TINY, ledger=path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["fingerprint"]["format"] == 2
+        resumed = run_fuzz(TINY, ledger=path, resume=True)
+        assert resumed.resumed_iterations == TINY.max_mutants
+        assert {f.signature.key for f in resumed.findings} == {
+            f.signature.key for f in first.findings
+        }
+
+    def test_format2_ledger_refused_by_oracle_config(self, tmp_path):
+        """An oracle config cannot continue a format-2 trajectory (its
+        scheduler would disagree); strict resume reports the mismatch."""
+        path = tmp_path / "fmt2.jsonl"
+        run_fuzz(dataclasses.replace(TINY, max_mutants=5), ledger=path)
+        with pytest.raises(HarnessError):
+            run_fuzz(
+                dataclasses.replace(self.ORACLE, max_mutants=10),
+                ledger=path,
+                resume=True,
+            )
+
+    def test_oracle_violations_become_findings(self, oracle_session):
+        result, _ = oracle_session
+        assert result.oracle_violations > 0
+        oracle_findings = [f for f in result.findings if f.arm == "oracle"]
+        assert oracle_findings, "no oracle-cause finding surfaced"
+        for f in oracle_findings:
+            assert f.signature.cause.startswith("oracle:")
+            # single-stack verdicts: the implicated platform rides in the
+            # functions slot, and the differential reducer never ran.
+            assert f.signature.functions[0] in ("nvcc", "hipcc")
+            assert f.reduced_size is None
+
+    def test_oracle_ledger_rerun_byte_identical(self, oracle_session, tmp_path):
+        _, path = oracle_session
+        again = tmp_path / "again.jsonl"
+        run_fuzz(self.ORACLE, ledger=again)
+        assert again.read_bytes() == path.read_bytes()
+
+    def test_oracle_ledger_worker_invariant(self, oracle_session, tmp_path):
+        _, path = oracle_session
+        pooled = tmp_path / "pooled.jsonl"
+        run_fuzz(dataclasses.replace(self.ORACLE, workers=2), ledger=pooled)
+        assert pooled.read_bytes() == path.read_bytes()
+
+    def test_oracle_resume_matches_straight_run(self, oracle_session, tmp_path):
+        """Interrupt mid-session, resume: identical findings trajectory
+        (batch boundaries differ at the interruption point, as for any
+        interrupted fuzz session, so compare findings, not bytes)."""
+        straight, _ = oracle_session
+        split = tmp_path / "split.jsonl"
+        run_fuzz(dataclasses.replace(self.ORACLE, max_mutants=8), ledger=split)
+        resumed = run_fuzz(self.ORACLE, ledger=split, resume=True)
+        assert resumed.resumed_iterations == 8
+        key = lambda f: (f.iteration, f.arm, f.mutant_id, f.signature.key)
+        assert [key(f) for f in resumed.findings] == [
+            key(f) for f in straight.findings
+        ]
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(HarnessError):
+            FuzzConfig(oracle_relations=("no-such-relation",))

@@ -1,0 +1,74 @@
+"""Tests for the ``repro-oracle`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.cli import build_parser, main
+
+
+class TestArgumentValidation:
+    def test_resume_requires_ledger(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--resume"])
+        assert "--resume requires --ledger" in capsys.readouterr().err
+
+    def test_unknown_relation_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--relations", "mul-one,nope"])
+        assert "unknown relations: nope" in capsys.readouterr().err
+
+    def test_falsy_zero_programs_rejected(self, capsys):
+        # the falsy-zero bug class: an explicit 0 must error loudly, not
+        # silently fall back to the preset.
+        with pytest.raises(SystemExit):
+            main(["--programs", "0"])
+        assert "--programs must be >= 1" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--workers", "-1"])
+
+    def test_parser_knows_all_flags(self):
+        args = build_parser().parse_args(
+            ["--seed", "7", "--fptype", "fp64", "--programs", "3", "--inputs", "2",
+             "--relations", "mul-one", "--ulp-bound", "8", "--workers", "2",
+             "--ledger", "x.jsonl", "--report"]
+        )
+        assert args.seed == 7 and args.fptype == "fp64"
+        assert args.relations == "mul-one" and args.ulp_bound == 8
+
+
+class TestEndToEnd:
+    def test_session_with_ledger_report_and_resume(self, tmp_path, capsys):
+        ledger = tmp_path / "oracle.jsonl"
+        argv = [
+            "--seed", "2024", "--programs", "5", "--inputs", "2",
+            "--ledger", str(ledger), "--report",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "oracle session: 5 programs" in out
+        assert "Metamorphic-relation violations" in out
+        assert "deduped (cache hits)" in out
+        first_bytes = ledger.read_bytes()
+
+        # Resuming a finished session re-executes nothing and leaves the
+        # ledger untouched.
+        assert main(argv + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "resumed 5 programs" in err
+        assert ledger.read_bytes() == first_bytes
+
+    def test_relation_subset_runs_only_those(self, tmp_path, capsys):
+        assert (
+            main(
+                ["--programs", "3", "--inputs", "2",
+                 "--relations", "fastmath-flag"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fastmath-flag" in out
+        # the table lists only requested relations
+        assert "mul-one" not in out
