@@ -1,0 +1,99 @@
+"""Stack-matrix throughput: 2-stack vs 3-stack campaign cost.
+
+The stack registry's pitch is that widening a campaign from the paper's
+(nvcc, hipcc) pair to the full 3-choose-2 matrix (adding the CPU clang
+lane) buys three differential pairs per precision lane for well under
+3x the cost: all pairs of a lane share one corpus and one fused plan
+group, so every nvcc-lhs pair replays the lane's nvcc runs from the
+content-keyed store instead of re-executing them.  This bench runs the
+same grid at both widths and tracks:
+
+* ``runs/sec`` — end-to-end throughput at each width;
+* ``cost ratio`` — 3-stack seconds / 2-stack seconds against the 2.5x
+  run-count ratio (5 arms → 12... per lane arms vary; the emitted table
+  carries the exact counts);
+* ``replay rate`` — fraction of the matrix's nvcc-side runs served from
+  the store (the cross-arm replay-dedup invariant, asserted: every
+  ``@nvcc-*`` pair arm re-executes zero nvcc runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.harness.campaign import CampaignConfig, run_campaign
+
+from conftest import emit
+
+
+def _programs() -> tuple:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale == "tiny":
+        return 8, 6, 2
+    if scale == "paper":
+        return 220, 180, 4
+    return 60, 40, 3
+
+
+def _config(stacks) -> CampaignConfig:
+    fp64, fp32, inputs = _programs()
+    return CampaignConfig(
+        seed=2024,
+        n_programs_fp64=fp64,
+        n_programs_fp32=fp32,
+        inputs_per_program=inputs,
+        stacks=stacks,
+    )
+
+
+def test_stack_matrix_throughput(benchmark, results_dir):
+    t0 = time.perf_counter()
+    narrow = run_campaign(_config(("nvcc", "hipcc")))
+    narrow_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    wide = benchmark.pedantic(
+        lambda: run_campaign(_config(("nvcc", "hipcc", "cpu"))),
+        rounds=1,
+        iterations=1,
+    )
+    wide_seconds = time.perf_counter() - t0
+
+    # Cross-arm replay dedup, asserted: every nvcc-lhs pair arm beyond
+    # the lane's first replays the lane corpus's nvcc runs byte-for-byte
+    # from the run store — zero re-executions.
+    replayed_hits = 0
+    for name, arm in wide.arms.items():
+        if "@nvcc-" in name:
+            assert arm.nvcc_executions == 0, f"{name} re-executed nvcc runs"
+            assert arm.nvcc_cache_hits > 0, f"{name} never touched the store"
+            replayed_hits += arm.nvcc_cache_hits
+    by_stack = wide.exec_metrics.get("executions_by_stack", {})
+    assert set(by_stack) == {"nvcc", "hipcc", "cpu"}
+
+    narrow_rps = narrow.total_runs / narrow_seconds if narrow_seconds else 0.0
+    wide_rps = wide.total_runs / wide_seconds if wide_seconds else 0.0
+    cost = wide_seconds / narrow_seconds if narrow_seconds else 0.0
+    runs_ratio = wide.total_runs / max(1, narrow.total_runs)
+    fp64, fp32, inputs = _programs()
+    lines = [
+        "2-stack vs 3-stack campaign at equal corpus "
+        f"(seed=2024, {fp64} fp64 + {fp32} fp32 programs x {inputs} inputs)",
+        "",
+        f"{'width':<22} {'arms':>5} {'runs':>8} {'seconds':>8} "
+        f"{'runs/sec':>9} {'disc':>6}",
+        f"{'nvcc,hipcc':<22} {len(narrow.arms):>5} {narrow.total_runs:>8} "
+        f"{narrow_seconds:>8.1f} {narrow_rps:>9.1f} "
+        f"{narrow.total_discrepancies:>6}",
+        f"{'nvcc,hipcc,cpu':<22} {len(wide.arms):>5} {wide.total_runs:>8} "
+        f"{wide_seconds:>8.1f} {wide_rps:>9.1f} "
+        f"{wide.total_discrepancies:>6}",
+        "",
+        f"cost ratio: {cost:.2f}x wall clock for {runs_ratio:.2f}x runs",
+        f"cross-arm replay: {replayed_hits} nvcc runs served from the store "
+        "(every @nvcc-* pair arm executed zero nvcc runs — asserted)",
+        "executions by stack: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(by_stack.items())),
+    ]
+    emit(results_dir, "stack_matrix", "\n".join(lines))

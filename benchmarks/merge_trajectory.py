@@ -1,8 +1,9 @@
 """Merge nightly benchmark outputs into one trajectory artifact.
 
-The nightly workflow runs four probes — a smoke-budget ``repro-fuzz``
-session, ``bench_fuzz_engine.py``, ``bench_campaign_engine.py`` and
-``bench_oracle.py`` (benches at ``REPRO_BENCH_SCALE=tiny``, each with
+The nightly workflow runs five probes — a smoke-budget ``repro-fuzz``
+session, ``bench_fuzz_engine.py``, ``bench_campaign_engine.py``,
+``bench_oracle.py`` and ``bench_stack_matrix.py`` (benches at
+``REPRO_BENCH_SCALE=tiny``, each with
 ``--benchmark-json``) — and this script folds whatever they produced
 under ``benchmarks/results/`` into a single ``trajectory.json``:
 
@@ -49,6 +50,7 @@ BENCHMARK_JSONS = {
     "fuzz_engine": "bench_fuzz_engine.json",
     "campaign_engine": "bench_campaign_engine.json",
     "oracle": "bench_oracle.json",
+    "stack_matrix": "bench_stack_matrix.json",
 }
 
 #: Extra summaries folded in when present (produced by other jobs or

@@ -35,6 +35,28 @@ _ADJACENCY_TITLES = {
 }
 
 
+def _per_opt_title(arm_name: str) -> str:
+    """Table title for an arm; pair-suffixed arms (``fp64@nvcc-cpu``)
+    extend the paper's grid, so they get extension labels built from the
+    lane and pair instead of paper table numbers."""
+    title = _PER_OPT_TITLES.get(arm_name)
+    if title is not None:
+        return title
+    lane, _, pair = arm_name.partition("@")
+    return (
+        f"Extension — Discrepancies per optimization option, "
+        f"{lane.upper()} {pair} (measured)"
+    )
+
+
+def _adjacency_title(arm_name: str) -> str:
+    title = _ADJACENCY_TITLES.get(arm_name)
+    if title is not None:
+        return title
+    lane, _, pair = arm_name.partition("@")
+    return f"Extension — Adjacency matrices, {lane.upper()} {pair} (measured)"
+
+
 def render_campaign_report(
     result: CampaignResult,
     *,
@@ -54,7 +76,7 @@ def render_campaign_report(
     for arm_name, arm in result.arms.items():
         if arm_name == "oracle":
             continue  # no cross-vendor discrepancies: it gets its own table
-        blocks.append(per_opt_table(arm, _PER_OPT_TITLES[arm_name]).render())
+        blocks.append(per_opt_table(arm, _per_opt_title(arm_name)).render())
     oracle_arm = result.arms.get("oracle")
     if oracle_arm is not None:
         # Per-relation violation accounting — the oracle arm's analogue of
@@ -70,6 +92,6 @@ def render_campaign_report(
         for arm_name, arm in result.arms.items():
             if arm_name == "oracle":
                 continue
-            for table in adjacency_tables(arm, _ADJACENCY_TITLES[arm_name]):
+            for table in adjacency_tables(arm, _adjacency_title(arm_name)):
                 blocks.append(table.render())
     return "\n\n".join(blocks)

@@ -25,6 +25,16 @@ ARM_TITLES = {
 }
 
 
+def _arm_title(name: str) -> str:
+    """Column title for an arm; stack-pair arms (``fp64@nvcc-cpu``) have
+    no fixed title — the lane and pair name build one."""
+    title = ARM_TITLES.get(name)
+    if title is not None:
+        return title
+    lane, _, pair = name.partition("@")
+    return f"{lane.upper()} {pair}"
+
+
 def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, object]]:
     """Machine-readable Table IV (used by tests and EXPERIMENTS.md)."""
     out: Dict[str, Dict[str, object]] = {}
@@ -50,12 +60,15 @@ def summary_dict(result: CampaignResult) -> Dict[str, Dict[str, object]]:
 
 def summary_table(result: CampaignResult) -> Table:
     """Render Table IV for the arms present in ``result``."""
+    # Legacy arms keep their paper column order; stack-pair arms follow
+    # in campaign order.
     arms = [a for a in ARM_NAMES if a in result.arms]
+    arms += [a for a in result.arms if a not in ARM_NAMES]
     if not arms:
         raise AnalysisError("campaign result has no arms")
     table = Table(
         title="Table IV — Summary of experimental results (measured)",
-        headers=["Metric"] + [ARM_TITLES[a] for a in arms],
+        headers=["Metric"] + [_arm_title(a) for a in arms],
     )
     data = summary_dict(result)
 

@@ -11,6 +11,8 @@ paper's tables.  Examples::
     repro-campaign --include-fp16 --fp16-programs 400
     repro-campaign --scale paper --checkpoint grid.jsonl
     repro-campaign --scale paper --checkpoint grid.jsonl --resume
+    repro-campaign --stacks nvcc,hipcc,cpu       # 3-choose-2 stack-pair matrix
+    repro-campaign --stacks nvcc,cpu             # CPU lane, no AMD stack model
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from typing import List, Optional
 from repro.analysis.report import render_campaign_report
 from repro.errors import HarnessError
 from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
 from repro.utils.jsonio import dump_json
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--oracle-programs", type=int, default=None,
         help="override the oracle arm's program count (default 60)",
     )
+    parser.add_argument(
+        "--stacks",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated compiler stacks to sweep "
+        f"(registry: {', '.join(STACK_NAMES)}; default nvcc,hipcc); every "
+        "2-combination becomes one arm per precision lane",
+    )
     parser.add_argument("--no-adjacency", action="store_true", help="omit adjacency matrices")
     parser.add_argument("--json", metavar="PATH", default=None, help="also dump results as JSON")
     parser.add_argument(
@@ -100,6 +111,12 @@ def _config_from_args(
         parser.error("--resume requires --checkpoint")
     if args.oracle_programs is not None and not args.oracle:
         parser.error("--oracle-programs requires --oracle")
+    stacks = DEFAULT_STACK_PAIR
+    if args.stacks is not None:
+        try:
+            stacks = resolve_stacks(args.stacks)
+        except HarnessError as exc:
+            parser.error(str(exc))
 
     if args.scale == "paper":
         base = CampaignConfig.paper_scale(seed=args.seed, workers=args.workers)
@@ -124,6 +141,7 @@ def _config_from_args(
             if args.oracle_programs is not None
             else base.n_programs_oracle
         ),
+        stacks=stacks,
         workers=args.workers if args.workers is not None else base.workers,
     )
 
@@ -164,6 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "include_fp32": config.include_fp32,
                 "include_fp16": config.include_fp16,
                 "include_oracle": config.include_oracle,
+                "stacks": list(config.stacks),
                 "workers": config.workers,
             },
             "elapsed_seconds": result.elapsed_seconds,
@@ -174,14 +193,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             # block is identical at any --workers (the backend name is
             # deliberately omitted for that reason).
             "exec": {
+                "stacks": list(config.stacks),
                 "nvcc_executions": result.nvcc_executions,
                 "nvcc_cache_hits": result.nvcc_cache_hits,
+                "executions_by_stack": result.exec_metrics.get(
+                    "executions_by_stack", {}
+                ),
                 "sweep_requests": result.exec_metrics.get("requests", 0),
                 "deduped_requests": result.exec_metrics.get("deduped", 0),
                 "store": result.exec_metrics.get("store", {}),
             },
             "arms": {
                 name: {
+                    "stacks": list(arm.stacks),
                     "total_runs": arm.total_runs,
                     "runs_by_opt": dict(arm.runs_by_opt),
                     "skipped_by_opt": dict(arm.skipped_by_opt),

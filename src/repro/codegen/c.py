@@ -1,9 +1,14 @@
-"""Plain-C rendering — host/reference builds.
+"""Plain-C rendering — the executed dialect of the ``cpu`` stack.
 
 Varity's original host-vs-device mode compiles the same computation as
-plain C; we keep the renderer for that workflow and for eyeballing tests
-without a GPU toolchain.  The kernel becomes an ordinary function (array
-parameters stay pointers; the caller owns allocation).
+plain C.  Since the stack registry landed, this renderer is no longer a
+reference-only artifact: it is the source dialect of the ``cpu`` stack
+(:mod:`repro.stacks`), whose clang fast-math compiler model executes
+this exact text's IR through the interpreter, so the rendered ``.c``
+files participate in content keys and metadata trails the same way the
+``.cu``/``.hip`` dialects do (and are pinned by byte-exact goldens in
+``tests/test_codegen_c.py``).  The kernel becomes an ordinary function
+(array parameters stay pointers; the caller owns allocation).
 """
 
 from __future__ import annotations

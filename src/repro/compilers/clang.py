@@ -1,0 +1,71 @@
+"""The clang compiler model — the CPU host stack.
+
+Pipelines:
+
+* ``-O0``: no IR transformation, like the GPU models — divergence at O0
+  comes purely from the math library.
+* ``-O1`` .. ``-O3``: constant folding *with* host-libm folding of
+  constant math calls (clang folds libm calls against the host libm,
+  like nvcc and unlike hipcc) and aggressive FMA contraction:
+  ``-ffp-contract=on`` is clang's default and x86-64-v3 has FMA3, so the
+  autovectorizer contracts across statements the way nvcc does.
+* ``-O3 -ffast-math``: adds finite-math algebraic simplification,
+  reassociation (the autovectorizer's horizontal reductions reassociate
+  freely under ``-funsafe-math-optimizations``), and reciprocal
+  division.  No approximate-intrinsic substitution: a host build has no
+  ``__cosf``-class device intrinsics — math calls stay libm calls —
+  which is the CPU lane's sharpest contrast with the GPU stacks under
+  fast math.  FP32 arithmetic runs with MXCSR FTZ+DAZ (crtfastmath sets
+  both), flushing inputs and outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fp.env import FlushMode
+from repro.fp.types import FPType
+from repro.devices.vendor import Vendor
+from repro.compilers.compiler import Compiler
+from repro.compilers.options import OptLevel, OptSetting
+from repro.compilers.passes import (
+    AlgebraicSimplify,
+    ConstantFolding,
+    FMAContraction,
+    NVCC_PATTERNS,
+    Pass,
+    Reassociation,
+    ReciprocalDivision,
+)
+
+__all__ = ["ClangCompiler"]
+
+
+class ClangCompiler(Compiler):
+    """Model of clang -march=x86-64-v3 targeting the simulated host."""
+
+    name = "clang"
+    vendor = Vendor.CPU
+
+    def pipeline(self, opt: OptSetting, fptype: FPType) -> Sequence[Pass]:
+        if opt.level is OptLevel.O0 and not opt.fast_math:
+            return ()
+        passes: List[Pass] = [ConstantFolding(fold_math_calls=True)]
+        if opt.fast_math:
+            passes.append(AlgebraicSimplify())
+            passes.append(Reassociation())
+            passes.append(ReciprocalDivision())
+        # FMA3 + default -ffp-contract=on: aggressive four-pattern
+        # contraction, same shape as nvcc's.
+        passes.append(FMAContraction(NVCC_PATTERNS))
+        return passes
+
+    def flush_mode(self, opt: OptSetting, fptype: FPType) -> FlushMode:
+        # -ffast-math links crtfastmath.o, which sets MXCSR FTZ and DAZ:
+        # FP32 operands *and* results flush.  SSE has no FP64 FTZ effect
+        # in this model (matching the GPU lanes' FP64-keeps-subnormals
+        # behaviour), and _Float16 arithmetic promotes through binary32
+        # with subnormal support.
+        if opt.fast_math and fptype is FPType.FP32:
+            return FlushMode.FLUSH_INPUTS_OUTPUTS
+        return FlushMode.NONE

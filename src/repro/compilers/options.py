@@ -47,6 +47,8 @@ class OptSetting:
         if self.fast_math:
             if compiler_name == "nvcc":
                 flags += ("-use_fast_math",)
+            elif compiler_name == "clang":
+                flags += ("-ffast-math",)
             else:
                 flags += ("-DHIP_FAST_MATH",)
         return flags

@@ -1,0 +1,28 @@
+"""The simulated CPU host system (the third-stack lane, ROADMAP item (c)).
+
+Not one of the paper's two clusters: this device models an ordinary x86
+login/CI node building the plain-C rendering of the same kernels with
+clang.  It lets the differential harness exercise the paper's cross-stack
+methodology on machines with no GPU stack model at all.
+"""
+
+from __future__ import annotations
+
+from repro.devices.device import Device, DeviceSpec
+from repro.devices.mathlib.libm import HostLibm
+from repro.devices.vendor import Vendor
+
+__all__ = ["cpu_host", "HOST_SPEC"]
+
+HOST_SPEC = DeviceSpec(
+    name="host-sim",
+    vendor=Vendor.CPU,
+    gpu_model="x86-64 host (model)",
+    cluster="CI node — simulated",
+    toolchain="clang 17 / glibc libm (model)",
+)
+
+
+def cpu_host(salt: int = 0) -> Device:
+    """A fresh simulated CPU host."""
+    return Device(HOST_SPEC, HostLibm(salt=salt))

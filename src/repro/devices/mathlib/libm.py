@@ -1,0 +1,69 @@
+"""CPU host math library model ("libm").
+
+The third stack's library: a glibc-flavoured libm.  Host libms are the
+best-behaved of the three — most transcendentals are within 1 ULP and a
+large subset is correctly rounded — so the profile key ``cpu-libm``
+places a sparser, *independent* missed-input set than either GPU model
+(the placement hash includes the vendor key, so no table changes are
+needed for the errors to decorrelate).
+
+Differences from the GPU models:
+
+* no fast-math division intrinsic: clang's ``-ffast-math`` rewrites
+  division as multiply-by-reciprocal (a compiler pass), it does not call
+  a library routine, so there is no ``__fdividef`` analogue here;
+* ``fmod``/``ceil`` use the correctly-rounded reference directly — host
+  libms implement both exactly (C99 requires fmod exact), unlike the
+  magic-number vendor algorithms modeled for the GPUs;
+* ``approx`` variants resolve through the same placement model: clang's
+  fast-math math calls stay calls into libm/vector-libm with relaxed
+  accuracy, which the ``approx`` error tier already expresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.fp.types import FPType
+from repro.devices.mathlib.base import (
+    DEMOTE_FP16,
+    EXACT_FUNCTIONS,
+    MathLibrary,
+    demote_through_fp16,
+    reference_call,
+)
+from repro.devices.mathlib.accuracy import AccuracyModel
+
+__all__ = ["HostLibm"]
+
+
+class HostLibm(MathLibrary):
+    """CPU host math library model (glibc-style libm)."""
+
+    name = "libm"
+
+    def __init__(self, salt: int = 0) -> None:
+        self.accuracy = AccuracyModel("cpu-libm", salt=salt)
+
+    def call(
+        self,
+        func: str,
+        args: Sequence[float],
+        fptype: FPType,
+        variant: str = "default",
+    ) -> float:
+        if func == DEMOTE_FP16:
+            # Correctly-rounded _Float16 conversion: identical on all stacks.
+            return demote_through_fp16(args[0], fptype)
+        if func == "__fdividef":
+            raise ValueError("__fdividef is an NVIDIA-only intrinsic")
+        reference = reference_call(func, args, fptype)
+        if func in EXACT_FUNCTIONS or func in ("fmod", "ceil"):
+            # Host libm: the IEEE-required operations plus exact fmod/ceil.
+            return reference
+        if math.isnan(reference) or math.isinf(reference):
+            # Exceptional results agree across libraries: NaN outside the
+            # domain, Inf on overflow.
+            return reference
+        return self.accuracy.apply(func, args, reference, fptype, variant)

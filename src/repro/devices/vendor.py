@@ -1,4 +1,4 @@
-"""GPU vendor identity."""
+"""Vendor identity of a compiler/device stack."""
 
 from __future__ import annotations
 
@@ -8,23 +8,42 @@ __all__ = ["Vendor"]
 
 
 class Vendor(enum.Enum):
-    """The two GPU classes the paper studies."""
+    """The two GPU classes the paper studies, plus the CPU host lane.
+
+    The CPU vendor backs the third compiler stack (ROADMAP item (c)): a
+    clang-style host build of the same kernels through the plain-C
+    dialect, so the differential harness has a lane that runs on any CI
+    box with no GPU stack model involved.
+    """
 
     NVIDIA = "nvidia"
     AMD = "amd"
+    CPU = "cpu"
 
     @property
     def compiler_name(self) -> str:
-        return "nvcc" if self is Vendor.NVIDIA else "hipcc"
+        if self is Vendor.NVIDIA:
+            return "nvcc"
+        if self is Vendor.AMD:
+            return "hipcc"
+        return "clang"
 
     @property
     def mathlib_name(self) -> str:
-        """Name of the vendor device math library modeled here."""
-        return "libdevice" if self is Vendor.NVIDIA else "ocml"
+        """Name of the vendor math library modeled here."""
+        if self is Vendor.NVIDIA:
+            return "libdevice"
+        if self is Vendor.AMD:
+            return "ocml"
+        return "libm"
 
     @property
     def source_extension(self) -> str:
-        return ".cu" if self is Vendor.NVIDIA else ".hip"
+        if self is Vendor.NVIDIA:
+            return ".cu"
+        if self is Vendor.AMD:
+            return ".hip"
+        return ".c"
 
     def __str__(self) -> str:
         return self.value

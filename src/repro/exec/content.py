@@ -11,6 +11,14 @@ The canonical text is the rendered kernel signature + body followed by
 the exact input lines, hashed with the repo's stable 64-bit hash — the
 one identity shared by :class:`~repro.exec.store.RunStore` keys, the
 execution service's dedup, and the fuzzer's mutant program ids.
+
+Content identity is *stack-independent*: the text renders through the
+default (CUDA-dialect) emitter config regardless of which stack pair a
+request sweeps, because the IR + inputs are what determine every
+stack's runs.  That keeps the keys byte-stable across the stack-registry
+refactor — a pre-registry warm store resumes against any pair whose
+left side is nvcc — while the execution service qualifies the *store*
+key with the left stack's name for the other pairs.
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ Guarantees:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exec.backends import Backend, SerialBackend, make_backend
@@ -57,6 +57,10 @@ class ExecMetrics:
     store_evictions: int = 0
     store_disk_hits: int = 0
     elapsed_seconds: float = 0.0
+    #: device executions per stack name (all pairs folded together); the
+    #: ``nvcc_executions``/``hipcc_executions`` scalars above remain the
+    #: legacy lhs/rhs slot totals.
+    executions_by_stack: Dict[str, int] = dataclass_field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -69,6 +73,10 @@ class ExecMetrics:
             "nvcc_executions": self.nvcc_executions,
             "nvcc_cache_hits": self.nvcc_cache_hits,
             "hipcc_executions": self.hipcc_executions,
+            "executions_by_stack": {
+                name: self.executions_by_stack[name]
+                for name in sorted(self.executions_by_stack)
+            },
             "store": {
                 "hits": self.store_hits,
                 "misses": self.store_misses,
@@ -93,6 +101,7 @@ def _rebound_outcome(
                     replace(d, test_id=test_id) for d in pair.discrepancies
                 ],
                 skipped_inputs=list(pair.skipped_inputs),
+                stacks=pair.stacks,
             )
             for label, pair in prev.pairs.items()
         }
@@ -102,6 +111,7 @@ def _rebound_outcome(
         content_key=prev.content_key,
         pairs=pairs,
         deduped=True,
+        stacks=prev.stacks,
     )
 
 
@@ -144,8 +154,15 @@ def _execute_requests(
                 if chunk_store is None:
                     chunk_store = RunStore()
                 store = chunk_store
-            view = BoundRunCache(store, key)
-        nv0, hp0 = runner.nvcc_executions, runner.hipcc_executions
+            # The store caches the pair's *left* side.  Legacy nvcc-lhs
+            # pairs keep the bare content key (pre-registry warm stores
+            # stay hot, and every nvcc-lhs pair replays the same runs);
+            # other left stacks qualify the key so a (hipcc, cpu) pair
+            # can never replay nvcc outcomes as its own.
+            lhs = runner.stacks[0]
+            view_key = key if lhs == "nvcc" else f"{lhs}@{key}"
+            view = BoundRunCache(store, view_key, compiler=lhs)
+        nv0, hp0 = runner.lhs_executions, runner.rhs_executions
         pairs = runner.run_sweep(
             test, req.opts, nvcc_cache=view, populate_cache=view
         )
@@ -154,9 +171,10 @@ def _execute_requests(
             test_id=test.test_id,
             content_key=key,
             pairs=pairs,
-            nvcc_executions=runner.nvcc_executions - nv0,
+            nvcc_executions=runner.lhs_executions - nv0,
             nvcc_cache_hits=view.hits if view is not None else 0,
-            hipcc_executions=runner.hipcc_executions - hp0,
+            hipcc_executions=runner.rhs_executions - hp0,
+            stacks=runner.stacks,
         )
         seen[dedup_key] = outcome
         outcomes.append(outcome)
@@ -270,6 +288,15 @@ class ExecutionService:
             m.nvcc_executions += out.nvcc_executions
             m.nvcc_cache_hits += out.nvcc_cache_hits
             m.hipcc_executions += out.hipcc_executions
+            lhs, rhs = out.stacks
+            if out.nvcc_executions:
+                m.executions_by_stack[lhs] = (
+                    m.executions_by_stack.get(lhs, 0) + out.nvcc_executions
+                )
+            if out.hipcc_executions:
+                m.executions_by_stack[rhs] = (
+                    m.executions_by_stack.get(rhs, 0) + out.hipcc_executions
+                )
         m.store_hits += stats.get("hits", 0)
         m.store_misses += stats.get("misses", 0)
         m.store_evictions += stats.get("evictions", 0)

@@ -59,7 +59,9 @@ def _neutralize(record: Optional[RunRecord]) -> _Neutral:
     return (record.input_index, record.printed, _float_bits(record.value), flags)
 
 
-def _rebind(entry: _Neutral, test_id: str, opt_label: str) -> Optional[RunRecord]:
+def _rebind(
+    entry: _Neutral, test_id: str, opt_label: str, compiler: str = "nvcc"
+) -> Optional[RunRecord]:
     if entry is None:
         return None
     input_index, printed, bits, flags = entry
@@ -67,7 +69,7 @@ def _rebind(entry: _Neutral, test_id: str, opt_label: str) -> Optional[RunRecord
         test_id=test_id,
         input_index=input_index,
         opt_label=opt_label,
-        compiler="nvcc",
+        compiler=compiler,
         printed=printed,
         value=_bits_float(bits),
         flags=dict(flags) if flags is not None else None,
@@ -114,9 +116,14 @@ class RunStore:
             self._append_disk(mkey, entry)
 
     def get(
-        self, key: str, opt_label: str, *, test_id: str
+        self, key: str, opt_label: str, *, test_id: str, compiler: str = "nvcc"
     ) -> Optional[Tuple[Optional[RunRecord], ...]]:
-        """Look an entry up and rebind it to ``test_id`` on the way out."""
+        """Look an entry up and rebind it to ``test_id`` on the way out.
+
+        ``compiler`` names the stack a replayed record is attributed to
+        (the default predates the stack registry: entries historically
+        held the pair's nvcc side).
+        """
         mkey = (key, opt_label)
         entry = self._mem.get(mkey)
         if entry is not None:
@@ -130,7 +137,7 @@ class RunStore:
             self.misses += 1
             return None
         self.hits += 1
-        return tuple(_rebind(e, test_id, opt_label) for e in entry)
+        return tuple(_rebind(e, test_id, opt_label, compiler) for e in entry)
 
     def view_for(
         self, test: TestCase, *, consult: bool = True, populate: bool = True
@@ -278,12 +285,18 @@ class BoundRunCache:
     """
 
     def __init__(
-        self, store: RunStore, key: str, consult: bool = True, populate: bool = True
+        self,
+        store: RunStore,
+        key: str,
+        consult: bool = True,
+        populate: bool = True,
+        compiler: str = "nvcc",
     ) -> None:
         self.store = store
         self.key = key
         self.consult = consult
         self.populate = populate
+        self.compiler = compiler
         self.hits = 0
 
     def get(
@@ -291,7 +304,9 @@ class BoundRunCache:
     ) -> Optional[Tuple[Optional[RunRecord], ...]]:
         if not self.consult:
             return None
-        return self.store.get(self.key, opt_label, test_id=test_id)
+        return self.store.get(
+            self.key, opt_label, test_id=test_id, compiler=self.compiler
+        )
 
     def put(
         self, test_id: str, opt_label: str, outcomes: Sequence[Optional[RunRecord]]

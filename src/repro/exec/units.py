@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple, TYPE_CHECKING, Union
 
 from repro.compilers.options import OptSetting
 from repro.harness.runner import PairResult
+from repro.stacks import DEFAULT_STACK_PAIR
 from repro.varity.config import GeneratorConfig
 from repro.varity.testcase import TestCase
 
@@ -77,12 +78,17 @@ class RunnerSpec:
 
     A *spec* rather than a runner instance so requests stay picklable and
     every backend — in-process or spawn worker — constructs an identical,
-    deterministic runner.  ``ablation`` selects an equalized runner from
-    :data:`repro.analysis.ablation.ABLATIONS`-style specs.
+    deterministic runner.  ``stacks`` selects the (lhs, rhs) stack pair
+    from the :mod:`repro.stacks` registry; being a field of a frozen spec
+    it participates in the service's dedup key, so requests for different
+    pairs never collapse into each other.  ``ablation`` selects an
+    equalized runner from :data:`repro.analysis.ablation.ABLATIONS`-style
+    specs (ablations are defined on the legacy nvcc/hipcc pair).
     """
 
     ablation: Optional["AblationSpec"] = None
     record_flags: bool = False
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
 
     def build(self) -> "DifferentialRunner":
         if self.ablation is not None:
@@ -91,7 +97,7 @@ class RunnerSpec:
             return build_ablated_runner(self.ablation)
         from repro.harness.runner import DifferentialRunner
 
-        return DifferentialRunner(record_flags=self.record_flags)
+        return DifferentialRunner(record_flags=self.record_flags, stacks=self.stacks)
 
 
 DEFAULT_RUNNER = RunnerSpec()
@@ -148,7 +154,13 @@ class SweepRequest:
 
 @dataclass
 class SweepOutcome:
-    """Everything one executed (or deduped) request produced."""
+    """Everything one executed (or deduped) request produced.
+
+    The ``nvcc_*``/``hipcc_*`` counter names are the pre-registry
+    spellings for the pair's left/right slots (the campaign and fuzz
+    accounting read them by these names); ``stacks`` says which stacks
+    the slots actually were.
+    """
 
     tag: Tuple[object, ...]
     test_id: str
@@ -160,6 +172,7 @@ class SweepOutcome:
     #: served from an identical request earlier in the same chunk; the
     #: counters above are zero because no new work ran.
     deduped: bool = False
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
 
     @property
     def pair_runs(self) -> int:

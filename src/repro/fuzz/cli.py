@@ -9,6 +9,7 @@ stacks and prints the novel findings.  Examples::
     repro-fuzz --mutants 800 --ledger findings.jsonl --resume
     repro-fuzz --max-seconds 120 --mutants 100000 --ledger findings.jsonl
     repro-fuzz --mutants 400 --workers 4      # same ledger, less wall clock
+    repro-fuzz --stacks nvcc,hipcc,cpu        # per-pair findings, format-4 ledger
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.fuzz.engine import FuzzConfig, run_fuzz
 from repro.fuzz.mutators import MUTATION_NAMES
 from repro.fuzz.signature import signature_histogram
 from repro.oracle.relations import RELATION_NAMES
+from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
 
 __all__ = ["main", "build_parser"]
 
@@ -82,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--oracle-relations", default=None,
         help="comma-separated relation subset (implies --oracle; "
         f"default with --oracle: {','.join(RELATION_NAMES)})",
+    )
+    parser.add_argument(
+        "--stacks",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated compiler stacks every evaluation sweeps "
+        f"(registry: {', '.join(STACK_NAMES)}; default nvcc,hipcc); "
+        "non-default selections bump the ledger fingerprint to format 4",
     )
     parser.add_argument(
         "--ledger", metavar="PATH", default=None,
@@ -144,6 +154,12 @@ def _config_from_args(
             parser.error("--oracle-relations must name at least one relation")
     elif args.oracle:
         oracle_relations = RELATION_NAMES
+    stacks = DEFAULT_STACK_PAIR
+    if args.stacks is not None:
+        try:
+            stacks = resolve_stacks(args.stacks)
+        except HarnessError as exc:
+            parser.error(str(exc))
     return FuzzConfig(
         seed=args.seed,
         fptype=FPType.from_string(args.fptype),
@@ -156,6 +172,7 @@ def _config_from_args(
         minimize=not args.no_minimize,
         mutations=mutations,
         oracle_relations=oracle_relations,
+        stacks=stacks,
         workers=args.workers if args.workers is not None else base.workers,
     )
 

@@ -84,6 +84,7 @@ from repro.exec import (
     content_id,
     content_text,
 )
+from repro.exec.units import RunnerSpec
 from repro.fp.classify import OutcomeClass
 from repro.fp.types import FPType
 from repro.fuzz.ledger import Finding, FindingsLedger, LedgerState, LineageStep, Promotion
@@ -95,6 +96,7 @@ from repro.ir.program import Kernel, Program
 from repro.ir.validate import validate_kernel
 from repro.oracle.engine import build_relation_requests, check_relation_outcomes
 from repro.oracle.relations import Relation, RelationViolation, resolve_relations
+from repro.stacks import DEFAULT_STACK_PAIR, pair_name, resolve_stacks, stack_pairs
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 from repro.varity.config import GeneratorConfig
@@ -157,6 +159,11 @@ class FuzzConfig:
     oracle_relations: Tuple[str, ...] = ()
     #: Num/Num drift budget (ULPs) for approximate oracle relations.
     oracle_ulp_bound: int = 4
+    #: compiler stacks every evaluation sweeps: each 2-combination is one
+    #: differential probe per mutant (the legacy pair keeps its "native"/
+    #: "hipify" arms; extra pairs are tagged by their pair name and their
+    #: nvcc-lhs halves replay from the mutant's chunk store).
+    stacks: Tuple[str, ...] = DEFAULT_STACK_PAIR
     #: process-pool size for mutant evaluation (0/1 = serial).  Pure
     #: scheduling: the committed trajectory — and the ledger — is
     #: byte-identical at every worker count, which is why ``workers`` is
@@ -180,6 +187,7 @@ class FuzzConfig:
             resolve_relations(self.oracle_relations)
         except ValueError as exc:
             raise HarnessError(str(exc)) from None
+        resolve_stacks(self.stacks)  # raises HarnessError on bad names
 
     @property
     def corpus_seed(self) -> int:
@@ -221,6 +229,15 @@ class FuzzConfig:
         relations fingerprints exactly as format 2, which is why every
         existing format-2 ledger still resumes under non-oracle configs
         (tested explicitly).
+
+        Format 4 is the stack registry: a session with a non-default
+        ``stacks`` selection signs per-pair findings (a ``stacks``
+        segment in the signature key) and sweeps per-pair requests whose
+        discrepancies feed the scheduler, so its trajectory is not
+        replayable by a two-stack engine.  The format-4 keys (``format:
+        4``, ``stacks``) are emitted only for non-default selections; a
+        default-pair config fingerprints exactly as before, so every
+        format-2 and format-3 ledger still resumes (tested explicitly).
         """
         fp: Dict[str, object] = {
             "format": 2,
@@ -241,6 +258,9 @@ class FuzzConfig:
             fp["format"] = 3
             fp["oracle_relations"] = list(self.oracle_relations)
             fp["oracle_ulp_bound"] = self.oracle_ulp_bound
+        if tuple(self.stacks) != DEFAULT_STACK_PAIR:
+            fp["format"] = 4
+            fp["stacks"] = list(self.stacks)
         return fp
 
 
@@ -390,18 +410,22 @@ def _mutant_content_id(fptype: FPType, content: str) -> str:
 
 
 def _triage_verdict_task(
-    payload: Tuple[TestCase, str, int],
+    payload: Tuple[TestCase, str, int, Tuple[str, str]],
 ) -> TriageVerdict:
     """Triage one discrepancy in a pool worker.
 
     Runner construction and triage probes are pure functions of the
-    payload, so a worker's verdict is identical to the serial path's.
-    The isolation report (execution traces) is stripped before pickling
-    back — nothing downstream of signature construction reads it.
+    payload (including the discrepancy's stack pair), so a worker's
+    verdict is identical to the serial path's.  The isolation report
+    (execution traces) is stripped before pickling back — nothing
+    downstream of signature construction reads it.
     """
-    test, opt_label, input_index = payload
+    test, opt_label, input_index, stacks = payload
     verdict = triage_discrepancy(
-        DifferentialRunner(), test, OptSetting.from_label(opt_label), input_index
+        DifferentialRunner(stacks=stacks),
+        test,
+        OptSetting.from_label(opt_label),
+        input_index,
     )
     verdict.isolation = None
     return verdict
@@ -422,9 +446,32 @@ class _Evaluator:
             if config.oracle_relations
             else []
         )
+        #: the stack pairs each evaluation sweeps, in registry order.
+        self.pairs: List[Tuple[str, str]] = list(
+            stack_pairs(resolve_stacks(config.stacks))
+        )
+        self._pair_by_arm: Dict[str, Tuple[str, str]] = {
+            pair_name(p): p for p in self.pairs if p != DEFAULT_STACK_PAIR
+        }
+        self._runners: Dict[Tuple[str, str], DifferentialRunner] = {
+            DEFAULT_STACK_PAIR: self.runner
+        }
         self.pair_runs = 0
         self.cache_hits = 0
         self.executions = 0
+
+    def pair_for_arm(self, arm: str) -> Tuple[str, str]:
+        """The stack pair behind an evaluation arm tag ("native"/"hipify"
+        are the legacy pair; everything else is its own pair name)."""
+        return self._pair_by_arm.get(arm, DEFAULT_STACK_PAIR)
+
+    def runner_for(self, arm: str) -> DifferentialRunner:
+        """A triage/minimization runner on the arm's own stack pair."""
+        pair = self.pair_for_arm(arm)
+        runner = self._runners.get(pair)
+        if runner is None:
+            runner = self._runners[pair] = DifferentialRunner(stacks=pair)
+        return runner
 
     def chunk_for(self, test: TestCase) -> List[SweepRequest]:
         """One evaluation as one chunk: the native sweep, then the HIPIFY
@@ -433,24 +480,43 @@ class _Evaluator:
         with oracle relations on — each relation's base + variant
         requests.  The relations' base requests are content-identical to
         the native one, so the service dedups them to zero extra runs.
-        The store lives one chunk: content dedup already prevents
-        identical mutants from re-running, so entries could only ever be
-        hit by the test's own twin, and chunk scope keeps the counters
+        Extra stack pairs (``config.stacks`` beyond the legacy two) add
+        one request each, tagged by pair name; nvcc-lhs pairs replay the
+        native sweep's CUDA half from the same chunk store.  The store
+        lives one chunk: content dedup already prevents identical mutants
+        from re-running, so entries could only ever be hit by the test's
+        own twin/pair probes, and chunk scope keeps the counters
         identical at every worker count."""
-        requests = [
-            SweepRequest(
-                test=test, opts=self.config.opts, tag=("native",), cache=CHUNK_CACHE
-            )
-        ]
-        if self.config.include_hipify:
-            requests.append(
-                SweepRequest(
-                    test=test.hipified(),
-                    opts=self.config.opts,
-                    tag=("hipify",),
-                    cache=CHUNK_CACHE,
+        requests = []
+        for pair in self.pairs:
+            if pair == DEFAULT_STACK_PAIR:
+                requests.append(
+                    SweepRequest(
+                        test=test,
+                        opts=self.config.opts,
+                        tag=("native",),
+                        cache=CHUNK_CACHE,
+                    )
                 )
-            )
+                if self.config.include_hipify:
+                    requests.append(
+                        SweepRequest(
+                            test=test.hipified(),
+                            opts=self.config.opts,
+                            tag=("hipify",),
+                            cache=CHUNK_CACHE,
+                        )
+                    )
+            else:
+                requests.append(
+                    SweepRequest(
+                        test=test,
+                        opts=self.config.opts,
+                        tag=(pair_name(pair),),
+                        cache=CHUNK_CACHE,
+                        runner=RunnerSpec(stacks=pair),
+                    )
+                )
         requests.extend(self._oracle_requests(test))
         return requests
 
@@ -566,18 +632,25 @@ class _Evaluator:
         self, test: TestCase, found: Sequence[Tuple[str, Discrepancy]]
     ) -> List[TriageVerdict]:
         targets = [
-            (test.hipified() if arm == "hipify" else test, d) for arm, d in found
+            (test.hipified() if arm == "hipify" else test, arm, d)
+            for arm, d in found
         ]
         if self.service.backend.remote and len(found) > 1:
             return self.service.map(
                 _triage_verdict_task,
-                [(t, d.opt_label, d.input_index) for t, d in targets],
+                [
+                    (t, d.opt_label, d.input_index, self.pair_for_arm(arm))
+                    for t, arm, d in targets
+                ],
             )
         return [
             triage_discrepancy(
-                self.runner, t, OptSetting.from_label(d.opt_label), d.input_index
+                self.runner_for(arm),
+                t,
+                OptSetting.from_label(d.opt_label),
+                d.input_index,
             )
-            for t, d in targets
+            for t, arm, d in targets
         ]
 
 
@@ -680,7 +753,6 @@ def run_fuzz(
     service = ExecutionService.for_workers(config.workers)
     corpus = _LazyCorpus(config)
     evaluator = _Evaluator(config, service)
-    triage_runner = evaluator.runner
 
     book: Optional[FindingsLedger] = None
     state = LedgerState()
@@ -973,7 +1045,7 @@ def run_fuzz(
                             target,
                             OptSetting.from_label(d.opt_label),
                             d.input_index,
-                            runner=triage_runner,
+                            runner=evaluator.runner_for(platform_arm),
                         )
                         reduced_size = reduction.reduced_size
                         reduced_cuda = render_cuda(reduction.reduced.program)

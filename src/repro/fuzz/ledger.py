@@ -32,7 +32,11 @@ format-3 keys are emitted only when ``oracle_relations`` is non-empty, so
 a non-oracle config fingerprints exactly as format 2 and every existing
 format-2 ledger still resumes; an oracle session's ledger is refused by a
 format-2 engine (and vice versa), which is correct — neither can replay
-the other's trajectory.
+the other's trajectory.  Format 4 — the stack registry — adds per-pair
+findings (``arm`` carries a pair name like ``nvcc-cpu`` and the signature
+records a ``stacks`` pair); its keys are emitted only for non-default
+``stacks`` selections, so default-pair configs fingerprint exactly as
+before and every format-2 and format-3 ledger still resumes.
 
 A :class:`Finding` records, besides the discrepancy and its signature,
 the full *lineage* of the mutant: the corpus index it started from and

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.analysis.triage import TriageVerdict
 from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
+from repro.stacks import DEFAULT_STACK_PAIR
 from repro.utils.tables import Table
 
 __all__ = ["DiscrepancySignature", "signature_histogram"]
@@ -35,10 +36,14 @@ class DiscrepancySignature:
 
     ``functions`` is the sorted tuple of math functions triage implicated
     (empty for optimization-induced or unknown causes); the outcome pair
-    is directional (NVCC side first) because the adjacency tables treat
+    is directional (lhs stack first) because the adjacency tables treat
     ``Num→NaN`` and ``NaN→Num`` as different cells.  ``fptype`` is the
     campaign precision the discrepancy was observed in (``"fp64"`` /
-    ``"fp32"`` / ``"fp16"``).
+    ``"fp32"`` / ``"fp16"``).  ``stacks`` is the compared stack pair:
+    the same mechanism observed between different pairs is two distinct
+    findings.  The legacy nvcc/hipcc pair contributes nothing to
+    :attr:`key` or the JSON form, so pre-registry ledgers parse and
+    dedup unchanged.
     """
 
     cause: str
@@ -47,6 +52,7 @@ class DiscrepancySignature:
     nvcc_outcome: str
     hipcc_outcome: str
     fptype: str
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
 
     @classmethod
     def from_verdict(
@@ -59,29 +65,42 @@ class DiscrepancySignature:
             cause=verdict.cause,
             functions=tuple(sorted(verdict.functions)),
             opt_label=discrepancy.opt_label,
-            nvcc_outcome=discrepancy.nvcc_outcome.value,
-            hipcc_outcome=discrepancy.hipcc_outcome.value,
+            nvcc_outcome=discrepancy.lhs_outcome.value,
+            hipcc_outcome=discrepancy.rhs_outcome.value,
             fptype=fptype.value,
+            stacks=tuple(discrepancy.stacks),
         )
 
     @property
     def key(self) -> str:
-        """Canonical string form (stable across runs; used by the ledger)."""
+        """Canonical string form (stable across runs; used by the ledger).
+
+        The stack-pair segment appears only for non-legacy pairs, so
+        every pre-registry key — on disk and in seen-sets — is unchanged.
+        """
         funcs = "+".join(self.functions) or "-"
-        return (
+        key = (
             f"{self.cause}|{funcs}|{self.opt_label}|"
             f"{self.nvcc_outcome}/{self.hipcc_outcome}|{self.fptype}"
         )
+        if self.stacks != DEFAULT_STACK_PAIR:
+            key += f"|{self.stacks[0]}-{self.stacks[1]}"
+        return key
 
     def describe(self) -> str:
         funcs = f" via {', '.join(self.functions)}" if self.functions else ""
+        pair = (
+            f" [{self.stacks[0]} vs {self.stacks[1]}]"
+            if self.stacks != DEFAULT_STACK_PAIR
+            else ""
+        )
         return (
             f"{self.cause}{funcs} @ {self.opt_label}/{self.fptype} "
-            f"({self.nvcc_outcome} vs {self.hipcc_outcome})"
+            f"({self.nvcc_outcome} vs {self.hipcc_outcome}){pair}"
         )
 
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "cause": self.cause,
             "functions": list(self.functions),
             "opt": self.opt_label,
@@ -89,6 +108,9 @@ class DiscrepancySignature:
             "hipcc_outcome": self.hipcc_outcome,
             "fptype": self.fptype,
         }
+        if self.stacks != DEFAULT_STACK_PAIR:
+            data["stacks"] = list(self.stacks)
+        return data
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "DiscrepancySignature":
@@ -99,6 +121,7 @@ class DiscrepancySignature:
             nvcc_outcome=str(data["nvcc_outcome"]),
             hipcc_outcome=str(data["hipcc_outcome"]),
             fptype=str(data["fptype"]),
+            stacks=tuple(data.get("stacks", DEFAULT_STACK_PAIR)),  # type: ignore[arg-type]
         )
 
 

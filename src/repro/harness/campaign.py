@@ -17,6 +17,17 @@ reduced-precision extension pair:
 Each arm runs ``programs × inputs`` tests at each of the five optimization
 settings on both platforms.
 
+**Stack-pair arms.**  With more than the legacy two stacks selected
+(``repro-campaign --stacks nvcc,hipcc,cpu``), every precision lane
+expands into one arm per 2-combination of the selected stacks: the
+legacy pair keeps its un-suffixed arm names (and its HIPIFY twins, which
+only make sense for the nvcc→hipcc conversion), while every other pair
+gets a ``lane@lhs-rhs`` arm (``fp64@nvcc-cpu``, ``fp32@hipcc-cpu``, …).
+All pairs of one lane share the *same* corpus — :meth:`CampaignConfig
+.arm_seed` keys on the lane, not the pair — and execute fused in one
+plan group, so every nvcc-lhs pair replays the lane's nvcc runs from the
+chunk's content-keyed store exactly like the HIPIFY twin does.
+
 **Run accounting.**  Runs are counted *per optimization setting per
 compiler* (:attr:`ArmResult.runs_by_opt`), after skips: a test whose
 execution traps at one setting but not another contributes different run
@@ -73,9 +84,11 @@ from repro.exec import (
     SweepOutcome,
     SweepRequest,
 )
+from repro.exec.units import RunnerSpec
 from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
 from repro.harness.runner import PairResult
+from repro.stacks import DEFAULT_STACK_PAIR, pair_name, stack_pairs
 from repro.utils.checkpoint import JsonlCheckpoint
 from repro.utils.rng import derive_seed
 from repro.varity.config import GeneratorConfig
@@ -95,8 +108,10 @@ __all__ = [
 
 ARM_NAMES = ("fp64", "fp64_hipify", "fp32", "fp16", "fp16_hipify", "oracle")
 
-#: Campaign precision of each arm (hipify twins share their native arm's;
-#: the oracle arm runs FP32, where the fast-math/FTZ relations have teeth).
+#: Campaign precision of each arm lane (hipify twins share their native
+#: arm's; the oracle arm runs FP32, where the fast-math/FTZ relations have
+#: teeth).  Stack-pair arms (``fp64@nvcc-cpu``) resolve through their lane
+#: prefix.
 _ARM_FPTYPES = {
     "fp64": FPType.FP64,
     "fp64_hipify": FPType.FP64,
@@ -105,6 +120,25 @@ _ARM_FPTYPES = {
     "fp16_hipify": FPType.FP16,
     "oracle": FPType.FP32,
 }
+
+#: The precision lanes with HIPIFY twins (the twin models nvcc→hipcc
+#: source conversion, so it exists only on the legacy stack pair).
+_HIPIFY_LANES = ("fp64", "fp16")
+
+
+def _arm_lane(arm: str) -> str:
+    """Lane of an arm name: ``fp64@nvcc-cpu`` → ``fp64``; legacy names map
+    to themselves (``fp64_hipify`` keeps its suffix — same fptype row)."""
+    return arm.partition("@")[0]
+
+
+def _arm_pair(arm: str) -> Tuple[str, str]:
+    """Stack pair of an arm name; un-suffixed arms are the legacy pair."""
+    _, sep, spec = arm.partition("@")
+    if not sep:
+        return DEFAULT_STACK_PAIR
+    lhs, _, rhs = spec.partition("-")
+    return (lhs, rhs)
 
 
 @dataclass(frozen=True)
@@ -127,6 +161,10 @@ class CampaignConfig:
     include_oracle: bool = False
     n_programs_oracle: int = 60
     oracle_ulp_bound: int = 4
+    #: The compiler stacks the campaign sweeps; every 2-combination (in
+    #: registry order) becomes one arm per precision lane.  The default
+    #: is the paper's nvcc/hipcc pair, whose arms keep their legacy names.
+    stacks: Tuple[str, ...] = DEFAULT_STACK_PAIR
     opts: Tuple[OptSetting, ...] = PAPER_OPT_SETTINGS
     workers: int = 0  # 0/1 = serial
     #: Replay the fp64 arm's nvcc runs for the fp64_hipify arm instead of
@@ -175,42 +213,60 @@ class CampaignConfig:
         cfg.validate()
         return cfg
 
+    def stack_pair_list(self) -> List[Tuple[str, str]]:
+        """The stack pairs this campaign sweeps, in registry order."""
+        return list(stack_pairs(self.stacks))
+
+    def lane_arms(self, lane: str) -> List[str]:
+        """All arms of one precision lane, legacy pair (and its HIPIFY
+        twin) first, then one ``lane@lhs-rhs`` arm per remaining pair."""
+        pairs = self.stack_pair_list()
+        arms: List[str] = []
+        if DEFAULT_STACK_PAIR in pairs:
+            arms.append(lane)
+            if self.include_hipify and lane in _HIPIFY_LANES:
+                arms.append(f"{lane}_hipify")
+        for pair in pairs:
+            if pair != DEFAULT_STACK_PAIR:
+                arms.append(f"{lane}@{pair_name(pair)}")
+        return arms
+
     def arm_names(self) -> List[str]:
-        arms = ["fp64"]
-        if self.include_hipify:
-            arms.append("fp64_hipify")
+        arms = self.lane_arms("fp64")
         if self.include_fp32:
-            arms.append("fp32")
+            arms.extend(self.lane_arms("fp32"))
         if self.include_fp16:
-            arms.append("fp16")
-            if self.include_hipify:
-                arms.append("fp16_hipify")
+            arms.extend(self.lane_arms("fp16"))
         if self.include_oracle:
             arms.append("oracle")
         return arms
 
     def arm_programs(self, arm: str) -> int:
-        if arm in ("fp64", "fp64_hipify"):
+        lane = _arm_lane(arm)
+        if lane in ("fp64", "fp64_hipify"):
             return self.n_programs_fp64
-        if arm == "fp32":
+        if lane == "fp32":
             return self.n_programs_fp32
-        if arm in ("fp16", "fp16_hipify"):
+        if lane in ("fp16", "fp16_hipify"):
             return self.n_programs_fp16
-        if arm == "oracle":
+        if lane == "oracle":
             return self.n_programs_oracle
         raise HarnessError(f"unknown arm {arm!r}")
 
     def arm_fptype(self, arm: str) -> FPType:
         try:
-            return _ARM_FPTYPES[arm]
+            return _ARM_FPTYPES[_arm_lane(arm)]
         except KeyError:
             raise HarnessError(f"unknown arm {arm!r}") from None
 
     def arm_seed(self, arm: str) -> int:
-        # A native arm and its hipify twin share programs AND inputs (the
-        # paper converts the same tests with HIPIFY); each precision is an
-        # independent corpus.
-        base_arm = arm[: -len("_hipify")] if arm.endswith("_hipify") else arm
+        # A native arm, its hipify twin, and every stack-pair arm of the
+        # lane share programs AND inputs (the paper converts the same
+        # tests with HIPIFY; cross-stack comparison needs one corpus);
+        # each precision is an independent corpus.
+        base_arm = _arm_lane(arm)
+        if base_arm.endswith("_hipify"):
+            base_arm = base_arm[: -len("_hipify")]
         return derive_seed(self.seed, "arm", base_arm)
 
     def fingerprint(self) -> Dict[str, object]:
@@ -239,6 +295,11 @@ class CampaignConfig:
             "opts": [o.label for o in self.opts],
             "reuse_nvcc_runs": self.reuse_nvcc_runs,
         }
+        if tuple(self.stacks) != DEFAULT_STACK_PAIR:
+            # Same compatibility rule as the FP16/oracle keys: the legacy
+            # pair omits the key, so every pre-registry checkpoint still
+            # resumes under the default stack selection.
+            fp["stacks"] = list(self.stacks)
         if self.include_fp16:
             fp["include_fp16"] = True
             fp["n_programs_fp16"] = self.n_programs_fp16
@@ -283,6 +344,9 @@ class ArmResult:
     oracle_violations: List["RelationViolation"] = field(default_factory=list)
     #: per-relation count of programs where the relation applied.
     oracle_checked: Dict[str, int] = field(default_factory=dict)
+    #: the (lhs, rhs) stack pair this arm compared; the ``nvcc_*`` counter
+    #: names above are the legacy spellings for the lhs slot.
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
 
     def __post_init__(self) -> None:
         for label in self.opt_labels:
@@ -367,6 +431,10 @@ class ArmResult:
             "nvcc_cache_hits": self.nvcc_cache_hits,
             "discrepancies": [d.to_json_dict() for d in self.discrepancies],
         }
+        if self.stacks != DEFAULT_STACK_PAIR:
+            # Emitted only for non-legacy pairs, so pre-registry
+            # checkpoint lines and legacy-pair lines stay byte-identical.
+            data["stacks"] = list(self.stacks)
         if self.oracle_violations:
             # Emitted only when present, so pre-oracle checkpoint lines
             # and new non-oracle lines stay byte-compatible.
@@ -397,6 +465,7 @@ class ArmResult:
                 str(k): int(v)
                 for k, v in data.get("oracle_checked", {}).items()  # type: ignore[union-attr]
             },
+            stacks=tuple(data.get("stacks", DEFAULT_STACK_PAIR)),  # type: ignore[arg-type]
         )
 
 
@@ -474,24 +543,28 @@ def _chunk_size(n_programs: int) -> int:
 
 
 def build_plan(config: CampaignConfig) -> List[PlanStep]:
-    """Expand a config into its deterministic list of plan steps."""
+    """Expand a config into its deterministic list of plan steps.
+
+    A lane's arms fuse into one group when ``reuse_nvcc_runs`` is on and
+    the lane has more than one arm (hipify twin and/or stack-pair arms):
+    fused arms share each step's chunk store, so everything with the
+    lane's lhs stack replays instead of re-executing.  With reuse off
+    every arm runs standalone, like the seed engine.
+    """
     groups: List[Tuple[str, ...]] = []
-    if config.include_hipify and config.reuse_nvcc_runs:
-        groups.append(("fp64", "fp64_hipify"))
-    else:
-        groups.append(("fp64",))
-        if config.include_hipify:
-            groups.append(("fp64_hipify",))
-    if config.include_fp32:
-        groups.append(("fp32",))
-    if config.include_fp16:
-        # Hipify gating and fusing follow the fp64 pair's rules exactly.
-        if config.include_hipify and config.reuse_nvcc_runs:
-            groups.append(("fp16", "fp16_hipify"))
+
+    def _lane_groups(lane: str) -> None:
+        arms = config.lane_arms(lane)
+        if config.reuse_nvcc_runs and len(arms) > 1:
+            groups.append(tuple(arms))
         else:
-            groups.append(("fp16",))
-            if config.include_hipify:
-                groups.append(("fp16_hipify",))
+            groups.extend((arm,) for arm in arms)
+
+    _lane_groups("fp64")
+    if config.include_fp32:
+        _lane_groups("fp32")
+    if config.include_fp16:
+        _lane_groups("fp16")
     if config.include_oracle:
         groups.append(("oracle",))
     steps: List[PlanStep] = []
@@ -534,13 +607,13 @@ def _oracle_step_plans(config: CampaignConfig, step: PlanStep):
 def _step_requests(config: CampaignConfig, step: PlanStep) -> List[SweepRequest]:
     """One plan step as one execution-service chunk.
 
-    A fused step interleaves each program's native request with its
-    HIPIFY twin — they share a content id, so the twin's CUDA half
-    replays from the chunk's run store; standalone steps (and the fp32
-    arm) have nothing to pair and skip the store entirely, like the seed
-    engine's from-scratch walk.  An oracle step's chunk holds each
-    program's per-relation base + variant requests; the service dedups
-    the repeated base down to one execution.
+    A fused step interleaves each program's arms back to back — the
+    HIPIFY twin and every nvcc-lhs stack-pair arm share the legacy arm's
+    content id, so their CUDA halves replay from the chunk's run store;
+    standalone steps have nothing to pair and skip the store entirely,
+    like the seed engine's from-scratch walk.  An oracle step's chunk
+    holds each program's per-relation base + variant requests; the
+    service dedups the repeated base down to one execution.
     """
     if step.arms == ("oracle",):
         plans, _ = _oracle_step_plans(config, step)
@@ -559,7 +632,13 @@ def _step_requests(config: CampaignConfig, step: PlanStep) -> List[SweepRequest]
                 hipify=arm.endswith("_hipify"),
             )
             requests.append(
-                SweepRequest(test=spec, opts=config.opts, tag=(arm,), cache=policy)
+                SweepRequest(
+                    test=spec,
+                    opts=config.opts,
+                    tag=(arm,),
+                    cache=policy,
+                    runner=RunnerSpec(stacks=_arm_pair(arm)),
+                )
             )
     return requests
 
@@ -572,7 +651,9 @@ def _step_results(
         return {"oracle": _oracle_step_result(config, step, outcomes)}
     opt_labels = tuple(o.label for o in config.opts)
     results = {
-        arm: ArmResult(arm=arm, n_programs=0, opt_labels=opt_labels)
+        arm: ArmResult(
+            arm=arm, n_programs=0, opt_labels=opt_labels, stacks=_arm_pair(arm)
+        )
         for arm in step.arms
     }
     for outcome in outcomes:
@@ -722,7 +803,9 @@ def run_campaign(
     # still reports an empty ArmResult instead of going missing.
     opt_labels = tuple(o.label for o in config.opts)
     merged: Dict[str, ArmResult] = {
-        name: ArmResult(arm=name, n_programs=0, opt_labels=opt_labels)
+        name: ArmResult(
+            arm=name, n_programs=0, opt_labels=opt_labels, stacks=_arm_pair(name)
+        )
         for name in config.arm_names()
     }
 

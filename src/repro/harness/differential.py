@@ -3,16 +3,26 @@
 Seven discrepancy classes over the four outcome classes; sign-only
 differences (``-NaN`` vs ``+NaN``, ``±Inf``, ``±0``) are excluded, and a
 Num/Num pair is a discrepancy only when the printed values differ.
+
+A pair is *stack-neutral*: the two sides are the left/right stacks of
+whatever pair the harness is sweeping (nvcc×hipcc, nvcc×cpu, hipcc×cpu,
+…).  The legacy two-stack spellings — ``classify_pair(nvcc_value=...,
+hipcc_value=...)`` keyword aliases, ``Discrepancy.nvcc_printed``-style
+accessors, and the ``nvcc``/``hipcc`` JSON keys — are kept as
+back-compat aliases, and checkpoint payloads for the default
+(nvcc, hipcc) pair serialize byte-identically to the pre-registry
+layout.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.fp.classify import OutcomeClass, classify_value, outcomes_equivalent
 from repro.harness.outcomes import RunRecord
+from repro.stacks import DEFAULT_STACK_PAIR
 
 __all__ = [
     "DiscrepancyClass",
@@ -59,108 +69,225 @@ _PAIR_TO_CLASS: Dict[FrozenSet[OutcomeClass], DiscrepancyClass] = {
     frozenset({OutcomeClass.NUMBER}): DiscrepancyClass.NUM_NUM,
 }
 
+_MISSING = object()
 
-def classify_pair(nvcc_value: float, hipcc_value: float) -> Optional[DiscrepancyClass]:
-    """Discrepancy class of a result pair, or None when equivalent."""
-    if outcomes_equivalent(nvcc_value, hipcc_value):
+
+def classify_pair(
+    lhs_value: float = _MISSING,  # type: ignore[assignment]
+    rhs_value: float = _MISSING,  # type: ignore[assignment]
+    *,
+    nvcc_value: float = _MISSING,  # type: ignore[assignment]
+    hipcc_value: float = _MISSING,  # type: ignore[assignment]
+) -> Optional[DiscrepancyClass]:
+    """Discrepancy class of a result pair, or None when equivalent.
+
+    The sides are positionally the pair's left and right stacks; the
+    ``nvcc_value``/``hipcc_value`` keywords are pre-registry aliases for
+    the first and second position.
+    """
+    if nvcc_value is not _MISSING:
+        lhs_value = nvcc_value
+    if hipcc_value is not _MISSING:
+        rhs_value = hipcc_value
+    if lhs_value is _MISSING or rhs_value is _MISSING:
+        raise TypeError("classify_pair needs a value for both sides")
+    if outcomes_equivalent(lhs_value, rhs_value):
         return None
-    a = classify_value(nvcc_value)
-    b = classify_value(hipcc_value)
+    a = classify_value(lhs_value)
+    b = classify_value(rhs_value)
     return _PAIR_TO_CLASS[frozenset({a, b})]
 
 
 @dataclass(frozen=True)
 class Discrepancy:
-    """One confirmed numerical inconsistency between the platforms.
+    """One confirmed numerical inconsistency between two stacks.
 
     Keeps both directional outcomes (needed by the adjacency matrices,
-    whose cells count NVCC-row/HIPCC-column orderings separately).
+    whose cells count row/column orderings separately).  ``stacks``
+    names the (lhs, rhs) pair; it defaults to the paper's (nvcc, hipcc)
+    so pre-registry construction sites and payloads are unchanged.
     """
 
     test_id: str
     input_index: int
     opt_label: str
     dclass: DiscrepancyClass
-    nvcc_printed: str
-    hipcc_printed: str
-    nvcc_outcome: OutcomeClass
-    hipcc_outcome: OutcomeClass
+    lhs_printed: str
+    rhs_printed: str
+    lhs_outcome: OutcomeClass
+    rhs_outcome: OutcomeClass
+    stacks: Tuple[str, str] = field(default=DEFAULT_STACK_PAIR)
+
+    def __init__(
+        self,
+        test_id: str,
+        input_index: int,
+        opt_label: str,
+        dclass: DiscrepancyClass,
+        lhs_printed: str = _MISSING,  # type: ignore[assignment]
+        rhs_printed: str = _MISSING,  # type: ignore[assignment]
+        lhs_outcome: OutcomeClass = _MISSING,  # type: ignore[assignment]
+        rhs_outcome: OutcomeClass = _MISSING,  # type: ignore[assignment]
+        stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
+        *,
+        nvcc_printed: str = _MISSING,  # type: ignore[assignment]
+        hipcc_printed: str = _MISSING,  # type: ignore[assignment]
+        nvcc_outcome: OutcomeClass = _MISSING,  # type: ignore[assignment]
+        hipcc_outcome: OutcomeClass = _MISSING,  # type: ignore[assignment]
+    ) -> None:
+        # Pre-registry keyword aliases map onto the (lhs, rhs) slots.
+        if nvcc_printed is not _MISSING:
+            lhs_printed = nvcc_printed
+        if hipcc_printed is not _MISSING:
+            rhs_printed = hipcc_printed
+        if nvcc_outcome is not _MISSING:
+            lhs_outcome = nvcc_outcome
+        if hipcc_outcome is not _MISSING:
+            rhs_outcome = hipcc_outcome
+        for name, value in (
+            ("lhs_printed", lhs_printed),
+            ("rhs_printed", rhs_printed),
+            ("lhs_outcome", lhs_outcome),
+            ("rhs_outcome", rhs_outcome),
+        ):
+            if value is _MISSING:
+                raise TypeError(f"Discrepancy missing required field {name!r}")
+        object.__setattr__(self, "test_id", test_id)
+        object.__setattr__(self, "input_index", input_index)
+        object.__setattr__(self, "opt_label", opt_label)
+        object.__setattr__(self, "dclass", dclass)
+        object.__setattr__(self, "lhs_printed", lhs_printed)
+        object.__setattr__(self, "rhs_printed", rhs_printed)
+        object.__setattr__(self, "lhs_outcome", lhs_outcome)
+        object.__setattr__(self, "rhs_outcome", rhs_outcome)
+        object.__setattr__(self, "stacks", tuple(stacks))
+
+    # -- pre-registry accessor aliases ---------------------------------------
+    @property
+    def nvcc_printed(self) -> str:
+        return self.lhs_printed
+
+    @property
+    def hipcc_printed(self) -> str:
+        return self.rhs_printed
+
+    @property
+    def nvcc_outcome(self) -> OutcomeClass:
+        return self.lhs_outcome
+
+    @property
+    def hipcc_outcome(self) -> OutcomeClass:
+        return self.rhs_outcome
 
     @classmethod
-    def from_records(cls, nvcc: RunRecord, hipcc: RunRecord) -> Optional["Discrepancy"]:
-        if (nvcc.test_id, nvcc.input_index, nvcc.opt_label) != (
-            hipcc.test_id,
-            hipcc.input_index,
-            hipcc.opt_label,
+    def from_records(
+        cls,
+        lhs: RunRecord,
+        rhs: RunRecord,
+        stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
+    ) -> Optional["Discrepancy"]:
+        if (lhs.test_id, lhs.input_index, lhs.opt_label) != (
+            rhs.test_id,
+            rhs.input_index,
+            rhs.opt_label,
         ):
             raise ValueError("mismatched run records")
-        dclass = classify_pair(nvcc.value, hipcc.value)
+        dclass = classify_pair(lhs.value, rhs.value)
         if dclass is None:
             return None
         return cls(
-            test_id=nvcc.test_id,
-            input_index=nvcc.input_index,
-            opt_label=nvcc.opt_label,
+            test_id=lhs.test_id,
+            input_index=lhs.input_index,
+            opt_label=lhs.opt_label,
             dclass=dclass,
-            nvcc_printed=nvcc.printed,
-            hipcc_printed=hipcc.printed,
-            nvcc_outcome=nvcc.outcome,
-            hipcc_outcome=hipcc.outcome,
+            lhs_printed=lhs.printed,
+            rhs_printed=rhs.printed,
+            lhs_outcome=lhs.outcome,
+            rhs_outcome=rhs.outcome,
+            stacks=stacks,
         )
 
     def to_json_dict(self) -> Dict[str, object]:
+        """Serialize; the default (nvcc, hipcc) pair keeps the exact
+        pre-registry keys so old checkpoints stay byte-comparable."""
+        if self.stacks == DEFAULT_STACK_PAIR:
+            return {
+                "test_id": self.test_id,
+                "input_index": self.input_index,
+                "opt": self.opt_label,
+                "class": self.dclass.value,
+                "nvcc": self.lhs_printed,
+                "hipcc": self.rhs_printed,
+                "nvcc_outcome": self.lhs_outcome.value,
+                "hipcc_outcome": self.rhs_outcome.value,
+            }
         return {
             "test_id": self.test_id,
             "input_index": self.input_index,
             "opt": self.opt_label,
             "class": self.dclass.value,
-            "nvcc": self.nvcc_printed,
-            "hipcc": self.hipcc_printed,
-            "nvcc_outcome": self.nvcc_outcome.value,
-            "hipcc_outcome": self.hipcc_outcome.value,
+            "stacks": list(self.stacks),
+            "lhs": self.lhs_printed,
+            "rhs": self.rhs_printed,
+            "lhs_outcome": self.lhs_outcome.value,
+            "rhs_outcome": self.rhs_outcome.value,
         }
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "Discrepancy":
         """Inverse of :meth:`to_json_dict` (campaign checkpoint files).
 
-        Older payloads without explicit outcome keys are reclassified
-        from the printed values, which round-trip exactly.
+        Accepts the stack-neutral layout (``stacks``/``lhs``/``rhs``),
+        the pre-registry two-stack keys, and — older still — payloads
+        without explicit outcome keys, which are reclassified from the
+        printed values (those round-trip exactly).
         """
-        nvcc_printed = str(data["nvcc"])
-        hipcc_printed = str(data["hipcc"])
-        if "nvcc_outcome" in data:
-            nv_out = OutcomeClass.from_string(str(data["nvcc_outcome"]))
-            hip_out = OutcomeClass.from_string(str(data["hipcc_outcome"]))
+        if "stacks" in data:
+            stacks_raw = data["stacks"]
+            stacks = (str(stacks_raw[0]), str(stacks_raw[1]))  # type: ignore[index]
+            lhs_printed = str(data["lhs"])
+            rhs_printed = str(data["rhs"])
+            lhs_out = OutcomeClass.from_string(str(data["lhs_outcome"]))
+            rhs_out = OutcomeClass.from_string(str(data["rhs_outcome"]))
         else:
-            nv_out = classify_value(float(nvcc_printed))
-            hip_out = classify_value(float(hipcc_printed))
+            stacks = DEFAULT_STACK_PAIR
+            lhs_printed = str(data["nvcc"])
+            rhs_printed = str(data["hipcc"])
+            if "nvcc_outcome" in data:
+                lhs_out = OutcomeClass.from_string(str(data["nvcc_outcome"]))
+                rhs_out = OutcomeClass.from_string(str(data["hipcc_outcome"]))
+            else:
+                lhs_out = classify_value(float(lhs_printed))
+                rhs_out = classify_value(float(rhs_printed))
         return cls(
             test_id=str(data["test_id"]),
             input_index=int(data["input_index"]),  # type: ignore[arg-type]
             opt_label=str(data["opt"]),
             dclass=DiscrepancyClass(str(data["class"])),
-            nvcc_printed=nvcc_printed,
-            hipcc_printed=hipcc_printed,
-            nvcc_outcome=nv_out,
-            hipcc_outcome=hip_out,
+            lhs_printed=lhs_printed,
+            rhs_printed=rhs_printed,
+            lhs_outcome=lhs_out,
+            rhs_outcome=rhs_out,
+            stacks=stacks,
         )
 
 
 def compare_runs(
-    nvcc_runs: Iterable[RunRecord], hipcc_runs: Iterable[RunRecord]
+    lhs_runs: Iterable[RunRecord],
+    rhs_runs: Iterable[RunRecord],
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
 ) -> List[Discrepancy]:
     """Join two run streams on (test, input, opt) and keep discrepancies."""
     index: Dict[Tuple[str, int, str], RunRecord] = {
-        (r.test_id, r.input_index, r.opt_label): r for r in hipcc_runs
+        (r.test_id, r.input_index, r.opt_label): r for r in rhs_runs
     }
     out: List[Discrepancy] = []
-    for nv in nvcc_runs:
-        key = (nv.test_id, nv.input_index, nv.opt_label)
-        hip = index.get(key)
-        if hip is None:
-            raise ValueError(f"no hipcc run for {key}")
-        d = Discrepancy.from_records(nv, hip)
+    for lhs in lhs_runs:
+        key = (lhs.test_id, lhs.input_index, lhs.opt_label)
+        rhs = index.get(key)
+        if rhs is None:
+            raise ValueError(f"no {stacks[1]} run for {key}")
+        d = Discrepancy.from_records(lhs, rhs, stacks=stacks)
         if d is not None:
             out.append(d)
     return out

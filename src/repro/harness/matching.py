@@ -4,7 +4,9 @@
 extensions — a random test file ends with ``.cu`` is automatically
 compiled with nvcc, while HIP files are compiled with hipcc."  The same
 dispatch, for workflows that start from on-disk artifacts (e.g. a tree
-produced by :mod:`repro.varity.writer`).
+produced by :mod:`repro.varity.writer`).  Every registered stack
+participates: ``.c`` files build with the clang model and run on the
+simulated CPU host.
 """
 
 from __future__ import annotations
@@ -13,20 +15,18 @@ from pathlib import Path
 from typing import Union
 
 from repro.compilers.compiler import Compiler
-from repro.compilers.hipcc import HipccCompiler
-from repro.compilers.nvcc import NvccCompiler
-from repro.devices.amd import amd_mi250x
 from repro.devices.device import Device
-from repro.devices.nvidia import nvidia_v100
 from repro.errors import HarnessError
+from repro.stacks import STACKS
 
 __all__ = ["match_compiler", "match_device", "EXTENSION_TABLE"]
 
-#: extension → compiler factory
+#: extension → compiler factory (derived from the stack registry)
 EXTENSION_TABLE = {
-    ".cu": NvccCompiler,
-    ".hip": HipccCompiler,
+    stack.source_extension: stack.compiler_factory for stack in STACKS.values()
 }
+
+_EXTENSION_TO_STACK = {stack.source_extension: stack for stack in STACKS.values()}
 
 
 def match_compiler(path: Union[str, Path]) -> Compiler:
@@ -44,8 +44,7 @@ def match_compiler(path: Union[str, Path]) -> Compiler:
 def match_device(path: Union[str, Path]) -> Device:
     """The device a matched binary would run on."""
     suffix = Path(path).suffix.lower()
-    if suffix == ".cu":
-        return nvidia_v100()
-    if suffix == ".hip":
-        return amd_mi250x()
-    raise HarnessError(f"no device matches extension {suffix!r}")
+    stack = _EXTENSION_TO_STACK.get(suffix)
+    if stack is None:
+        raise HarnessError(f"no device matches extension {suffix!r}")
+    return stack.device()

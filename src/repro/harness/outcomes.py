@@ -22,7 +22,7 @@ class RunRecord:
     test_id: str
     input_index: int
     opt_label: str
-    compiler: str  # "nvcc" / "hipcc"
+    compiler: str  # stack name: "nvcc" / "hipcc" / "cpu"
     printed: str
     value: float
     flags: Optional[Dict[str, int]] = None

@@ -7,27 +7,31 @@ optimization settings) and executed at every setting.  The ``nvcc_cache``
 ``get(test_id, opt_label)``, ``put(test_id, opt_label, outcomes)`` and a
 ``hits`` counter, in practice a content-keyed
 :class:`~repro.exec.store.BoundRunCache` — letting a later request replay
-an earlier one's nvcc run outcomes verbatim: the ``fp64_hipify`` arm and
-every fuzz mutant's HIPIFY twin run the *same* kernels through nvcc
-(HIPIFY conversion only changes the HIP compilation), so their CUDA-side
-records are bit-identical and never need re-executing.
+an earlier one's left-stack run outcomes verbatim: the ``fp64_hipify``
+arm, every fuzz mutant's HIPIFY twin, and every extra stack pair sharing
+the same left stack run the *same* kernels through that compiler, so
+their records are bit-identical and never need re-executing.
+
+The runner is stack-pair generic: ``stacks=("nvcc", "cpu")`` builds the
+left/right compiler and device models from the :mod:`repro.stacks`
+registry.  The default pair is the paper's (nvcc, hipcc), and the
+pre-registry attribute spellings (``runner.nvcc``, ``runner.amd``,
+``runner.nvcc_executions``, …) remain as aliases for the left/right
+slots so existing ablation and analysis code keeps working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.compilers.compiler import CompiledKernel, Compiler
-from repro.compilers.hipcc import HipccCompiler
-from repro.compilers.nvcc import NvccCompiler
 from repro.compilers.options import OptSetting
-from repro.devices.amd import amd_mi250x
 from repro.devices.device import Device
-from repro.devices.nvidia import nvidia_v100
 from repro.errors import HarnessError, TrapError
 from repro.harness.differential import Discrepancy
 from repro.harness.outcomes import RunRecord
+from repro.stacks import DEFAULT_STACK_PAIR, get_stack
 from repro.varity.testcase import TestCase
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
@@ -38,63 +42,89 @@ __all__ = ["DifferentialRunner", "PairResult", "pair_discrepancies"]
 
 @dataclass
 class PairResult:
-    """Both platforms' runs for one (test, opt) across all inputs."""
+    """Both stacks' runs for one (test, opt) across all inputs.
+
+    ``stacks`` names the (lhs, rhs) pair the runs came from; the
+    ``nvcc_runs``/``hipcc_runs`` field spellings are the pre-registry
+    names for the left and right slots and are kept because every
+    consumer (exec accounting, campaign folding, oracle relations)
+    reads them — ``lhs_runs``/``rhs_runs`` are the neutral aliases.
+    """
 
     nvcc_runs: List[RunRecord]
     hipcc_runs: List[RunRecord]
     discrepancies: List[Discrepancy]
     skipped_inputs: List[int]
+    stacks: Tuple[str, str] = field(default=DEFAULT_STACK_PAIR)
+
+    @property
+    def lhs_runs(self) -> List[RunRecord]:
+        return self.nvcc_runs
+
+    @property
+    def rhs_runs(self) -> List[RunRecord]:
+        return self.hipcc_runs
 
 
 def pair_discrepancies(
-    nvcc_runs: Sequence[RunRecord], hipcc_runs: Sequence[RunRecord]
+    lhs_runs: Sequence[RunRecord],
+    rhs_runs: Sequence[RunRecord],
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
 ) -> List[Discrepancy]:
-    """Pair nv/amd records by ``input_index`` and keep the discrepancies.
+    """Pair the two stacks' records by ``input_index``; keep discrepancies.
 
     Records are matched explicitly (not positionally), so a harness bug
     that dropped one side's record for an input surfaces as a
     :class:`HarnessError` instead of silently misattributing every
     discrepancy after the gap.
     """
+    lhs_name, rhs_name = stacks
     by_index: Dict[int, RunRecord] = {}
-    for r in hipcc_runs:
+    for r in rhs_runs:
         if r.input_index in by_index:
             raise HarnessError(
-                f"duplicate hipcc record for input {r.input_index} of {r.test_id!r}"
+                f"duplicate {rhs_name} record for input {r.input_index} of {r.test_id!r}"
             )
         by_index[r.input_index] = r
-    if len(nvcc_runs) != len(by_index):
+    if len(lhs_runs) != len(by_index):
         raise HarnessError(
-            f"unpaired run records: {len(nvcc_runs)} nvcc vs {len(by_index)} hipcc"
+            f"unpaired run records: {len(lhs_runs)} {lhs_name} vs "
+            f"{len(by_index)} {rhs_name}"
         )
     out: List[Discrepancy] = []
-    seen_nv: set = set()
-    for nv in nvcc_runs:
-        if nv.input_index in seen_nv:
+    seen_lhs: set = set()
+    for lhs in lhs_runs:
+        if lhs.input_index in seen_lhs:
             raise HarnessError(
-                f"duplicate nvcc record for input {nv.input_index} of {nv.test_id!r}"
+                f"duplicate {lhs_name} record for input {lhs.input_index} of "
+                f"{lhs.test_id!r}"
             )
-        seen_nv.add(nv.input_index)
-        hip = by_index.get(nv.input_index)
-        if hip is None:
+        seen_lhs.add(lhs.input_index)
+        rhs = by_index.get(lhs.input_index)
+        if rhs is None:
             raise HarnessError(
-                f"no hipcc record for input {nv.input_index} of {nv.test_id!r}"
+                f"no {rhs_name} record for input {lhs.input_index} of {lhs.test_id!r}"
             )
-        d = Discrepancy.from_records(nv, hip)
+        d = Discrepancy.from_records(lhs, rhs, stacks=stacks)
         if d is not None:
             out.append(d)
     return out
 
 
 class DifferentialRunner:
-    """Owns one device + compiler per vendor and runs tests through both.
+    """Owns one device + compiler per stack and runs tests through both.
+
+    ``stacks`` selects the (lhs, rhs) pair from the registry; the
+    ``nvidia``/``amd`` parameters override the left/right *device*
+    (their names predate the registry — for the default pair they are
+    exactly the simulated V100/MI250X).
 
     ``record_flags=True`` attaches the IEEE exception snapshot to each run
     record (slower; used by the analysis examples, not by campaigns).
 
-    ``nvcc_executions`` / ``hipcc_executions`` count device executions
+    ``lhs_executions`` / ``rhs_executions`` count device executions
     attempted (including ones that trapped); the campaign engine uses
-    them to prove the cross-arm cache really avoided the CUDA side.
+    them to prove the cross-arm cache really avoided the left side.
     """
 
     def __init__(
@@ -102,25 +132,82 @@ class DifferentialRunner:
         nvidia: Optional[Device] = None,
         amd: Optional[Device] = None,
         record_flags: bool = False,
+        *,
+        stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
     ) -> None:
-        self.nvidia = nvidia or nvidia_v100()
-        self.amd = amd or amd_mi250x()
-        self.nvcc: Compiler = NvccCompiler()
-        self.hipcc: Compiler = HipccCompiler()
+        lhs_stack = get_stack(stacks[0])
+        rhs_stack = get_stack(stacks[1])
+        self.stacks: Tuple[str, str] = (lhs_stack.name, rhs_stack.name)
+        self.lhs_device = nvidia or lhs_stack.device()
+        self.rhs_device = amd or rhs_stack.device()
+        self.lhs_compiler: Compiler = lhs_stack.compiler()
+        self.rhs_compiler: Compiler = rhs_stack.compiler()
         self.record_flags = record_flags
-        self.nvcc_executions = 0
-        self.hipcc_executions = 0
+        self.lhs_executions = 0
+        self.rhs_executions = 0
+
+    # -- pre-registry attribute aliases (lhs/rhs slots) ---------------------
+    @property
+    def nvidia(self) -> Device:
+        return self.lhs_device
+
+    @nvidia.setter
+    def nvidia(self, device: Device) -> None:
+        self.lhs_device = device
+
+    @property
+    def amd(self) -> Device:
+        return self.rhs_device
+
+    @amd.setter
+    def amd(self, device: Device) -> None:
+        self.rhs_device = device
+
+    @property
+    def nvcc(self) -> Compiler:
+        return self.lhs_compiler
+
+    @nvcc.setter
+    def nvcc(self, compiler: Compiler) -> None:
+        self.lhs_compiler = compiler
+
+    @property
+    def hipcc(self) -> Compiler:
+        return self.rhs_compiler
+
+    @hipcc.setter
+    def hipcc(self, compiler: Compiler) -> None:
+        self.rhs_compiler = compiler
+
+    @property
+    def nvcc_executions(self) -> int:
+        return self.lhs_executions
+
+    @nvcc_executions.setter
+    def nvcc_executions(self, n: int) -> None:
+        self.lhs_executions = n
+
+    @property
+    def hipcc_executions(self) -> int:
+        return self.rhs_executions
+
+    @hipcc_executions.setter
+    def hipcc_executions(self, n: int) -> None:
+        self.rhs_executions = n
 
     # ------------------------------------------------------------------ api
     def compile_pair(
         self, test: TestCase, opt: OptSetting
     ) -> Tuple[CompiledKernel, CompiledKernel]:
-        return self.nvcc.compile(test.program, opt), self.hipcc.compile(test.program, opt)
+        return (
+            self.lhs_compiler.compile(test.program, opt),
+            self.rhs_compiler.compile(test.program, opt),
+        )
 
     def run_pair(self, test: TestCase, opt: OptSetting) -> PairResult:
         """Compile once per compiler, run every input on both devices."""
-        ck_nv, ck_amd = self.compile_pair(test, opt)
-        return self._run_inputs(test, opt, ck_nv, ck_amd)
+        ck_lhs, ck_rhs = self.compile_pair(test, opt)
+        return self._run_inputs(test, opt, ck_lhs, ck_rhs)
 
     def run_sweep(
         self,
@@ -134,20 +221,21 @@ class DifferentialRunner:
 
         Each compiler's front end runs once for the whole sweep (see
         :meth:`Compiler.compile_sweep`).  When ``nvcc_cache`` (a
-        content-keyed store view) holds this test's entry at an opt
-        setting, the CUDA side is replayed from the cached outcomes
-        instead of executing; ``populate_cache`` stores this sweep's nvcc
-        outcomes for a later request to reuse.
+        content-keyed store view; the parameter name predates the
+        registry — it caches the *left* stack) holds this test's entry
+        at an opt setting, the left side is replayed from the cached
+        outcomes instead of executing; ``populate_cache`` stores this
+        sweep's left-stack outcomes for a later request to reuse.
         """
-        nv_kernels = self.nvcc.compile_sweep(test.program, opts)
-        amd_kernels = self.hipcc.compile_sweep(test.program, opts)
+        lhs_kernels = self.lhs_compiler.compile_sweep(test.program, opts)
+        rhs_kernels = self.rhs_compiler.compile_sweep(test.program, opts)
         out: Dict[str, PairResult] = {}
         for opt in opts:
             out[opt.label] = self._run_inputs(
                 test,
                 opt,
-                nv_kernels[opt.label],
-                amd_kernels[opt.label],
+                lhs_kernels[opt.label],
+                rhs_kernels[opt.label],
                 nvcc_cache=nvcc_cache,
                 populate_cache=populate_cache,
             )
@@ -156,23 +244,23 @@ class DifferentialRunner:
     def run_single(
         self, test: TestCase, opt: OptSetting, input_index: int, *, trace: bool = False
     ):
-        """One input on both platforms; returns the raw ExecutionResults.
+        """One input on both stacks; returns the raw ExecutionResults.
 
         Used by the case-study tooling, which needs traces.
         """
-        ck_nv, ck_amd = self.compile_pair(test, opt)
+        ck_lhs, ck_rhs = self.compile_pair(test, opt)
         vec = test.inputs[input_index]
-        rn = self.nvidia.execute(ck_nv, vec.values, trace=trace)
-        ra = self.amd.execute(ck_amd, vec.values, trace=trace)
-        return rn, ra, ck_nv, ck_amd
+        rl = self.lhs_device.execute(ck_lhs, vec.values, trace=trace)
+        rr = self.rhs_device.execute(ck_rhs, vec.values, trace=trace)
+        return rl, rr, ck_lhs, ck_rhs
 
     # ------------------------------------------------------------- internals
     def _run_inputs(
         self,
         test: TestCase,
         opt: OptSetting,
-        ck_nv: CompiledKernel,
-        ck_amd: CompiledKernel,
+        ck_lhs: CompiledKernel,
+        ck_rhs: CompiledKernel,
         *,
         nvcc_cache: Optional["BoundRunCache"] = None,
         populate_cache: Optional["BoundRunCache"] = None,
@@ -182,43 +270,49 @@ class DifferentialRunner:
         )
         if cached is not None and len(cached) != len(test.inputs):
             raise HarnessError(
-                f"cached nvcc outcomes for {test.test_id!r} at {opt.label} cover "
-                f"{len(cached)} inputs, test has {len(test.inputs)}"
+                f"cached {self.stacks[0]} outcomes for {test.test_id!r} at "
+                f"{opt.label} cover {len(cached)} inputs, test has {len(test.inputs)}"
             )
-        nv_outcomes: List[Optional[RunRecord]] = []
-        nv_runs: List[RunRecord] = []
-        amd_runs: List[RunRecord] = []
+        lhs_outcomes: List[Optional[RunRecord]] = []
+        lhs_runs: List[RunRecord] = []
+        rhs_runs: List[RunRecord] = []
         skipped: List[int] = []
         for idx, vec in enumerate(test.inputs):
             if cached is not None:
                 nvcc_cache.hits += 1
                 rec = cached[idx]
             else:
-                self.nvcc_executions += 1
+                self.lhs_executions += 1
                 try:
-                    rn = self.nvidia.execute(ck_nv, vec.values)
+                    rl = self.lhs_device.execute(ck_lhs, vec.values)
                 except TrapError:
                     rec = None
                 else:
-                    rec = self._record(test, idx, opt, "nvcc", rn)
-            nv_outcomes.append(rec)
+                    rec = self._record(test, idx, opt, self.stacks[0], rl)
+            lhs_outcomes.append(rec)
             if rec is None:
-                # The CUDA side trapped (step budget): the test is dropped
-                # on both platforms, like a timed-out job in the real
-                # campaign, and the HIP side is never executed.
+                # The left side trapped (step budget): the test is dropped
+                # on both stacks, like a timed-out job in the real
+                # campaign, and the right side is never executed.
                 skipped.append(idx)
                 continue
-            self.hipcc_executions += 1
+            self.rhs_executions += 1
             try:
-                ra = self.amd.execute(ck_amd, vec.values)
+                rr = self.rhs_device.execute(ck_rhs, vec.values)
             except TrapError:
                 skipped.append(idx)
                 continue
-            nv_runs.append(rec)
-            amd_runs.append(self._record(test, idx, opt, "hipcc", ra))
+            lhs_runs.append(rec)
+            rhs_runs.append(self._record(test, idx, opt, self.stacks[1], rr))
         if populate_cache is not None:
-            populate_cache.put(test.test_id, opt.label, nv_outcomes)
-        return PairResult(nv_runs, amd_runs, pair_discrepancies(nv_runs, amd_runs), skipped)
+            populate_cache.put(test.test_id, opt.label, lhs_outcomes)
+        return PairResult(
+            lhs_runs,
+            rhs_runs,
+            pair_discrepancies(lhs_runs, rhs_runs, stacks=self.stacks),
+            skipped,
+            stacks=self.stacks,
+        )
 
     def _record(
         self, test: TestCase, idx: int, opt: OptSetting, compiler: str, result

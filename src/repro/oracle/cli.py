@@ -10,6 +10,7 @@ model — and prints the per-relation violation table.  Examples::
     repro-oracle --programs 200 --ledger oracle.jsonl
     repro-oracle --programs 400 --ledger oracle.jsonl --resume
     repro-oracle --programs 200 --workers 4   # same ledger, less wall clock
+    repro-oracle --stacks nvcc,cpu            # check the CPU clang lane too
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.errors import HarnessError
 from repro.fp.types import FPType
 from repro.oracle.engine import OracleConfig, run_oracle
 from repro.oracle.relations import RELATION_NAMES
+from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ulp-bound", type=int, default=None,
         help="Num/Num drift budget in ULPs for approximate relations (default 4)",
+    )
+    parser.add_argument(
+        "--stacks",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated stack pair to sweep, e.g. nvcc,cpu "
+        f"(registry: {', '.join(STACK_NAMES)}; default nvcc,hipcc); "
+        "relations check each stack of the pair independently",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -102,6 +112,17 @@ def _config_from_args(
             )
         if not relations:
             parser.error("--relations must name at least one relation")
+    stacks = DEFAULT_STACK_PAIR
+    if args.stacks is not None:
+        try:
+            resolved = resolve_stacks(args.stacks)
+        except HarnessError as exc:
+            parser.error(str(exc))
+        if len(resolved) != 2:
+            parser.error(
+                f"--stacks must name exactly two stacks (got {len(resolved)})"
+            )
+        stacks = resolved
     return OracleConfig(
         seed=args.seed,
         fptype=FPType.from_string(args.fptype),
@@ -109,6 +130,7 @@ def _config_from_args(
         inputs_per_program=args.inputs if args.inputs is not None else base.inputs_per_program,
         relations=relations,
         ulp_bound=args.ulp_bound if args.ulp_bound is not None else base.ulp_bound,
+        stacks=stacks,
         workers=args.workers if args.workers is not None else base.workers,
     )
 

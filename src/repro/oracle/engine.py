@@ -29,8 +29,10 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError
 from repro.exec import CHUNK_CACHE, ExecutionService, SweepOutcome, SweepRequest
+from repro.exec.units import RunnerSpec
 from repro.fp.types import FPType
 from repro.harness.runner import PairResult
+from repro.stacks import DEFAULT_STACK_PAIR, get_stack
 from repro.oracle.ledger import OracleLedger, OracleLedgerState
 from repro.oracle.relations import (
     FastMathFlag,
@@ -69,6 +71,10 @@ class OracleConfig:
     #: Num/Num drift budget (ULPs) for approximate relations; exact
     #: relations ignore it, class flips always violate.
     ulp_bound: int = 4
+    #: the (lhs, rhs) stack pair every base/variant sweep runs on —
+    #: relations are single-stack oracles, so each selected stack is
+    #: checked independently against its own base.
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
     workers: int = 0
 
     def __post_init__(self) -> None:
@@ -82,6 +88,10 @@ class OracleConfig:
             resolve_relations(self.relations)
         except ValueError as exc:
             raise HarnessError(str(exc)) from None
+        if len(self.stacks) != 2 or self.stacks[0] == self.stacks[1]:
+            raise HarnessError("stacks must name two distinct stacks")
+        for name in self.stacks:
+            get_stack(name)  # raises HarnessError on unknown names
 
     @property
     def corpus_seed(self) -> int:
@@ -104,8 +114,12 @@ class OracleConfig:
         ledger written with ``--programs 20`` resumes under
         ``--programs 40`` to check the remaining 20, the oracle analogue
         of the fuzz ledger's budget rule.
+
+        The ``stacks`` key is emitted only for non-default pairs (the
+        conditional-key compat rule shared with the campaign checkpoint
+        and fuzz ledger), so pre-registry oracle ledgers still resume.
         """
-        return {
+        fp: Dict[str, object] = {
             "format": 1,
             "seed": self.seed,
             "fptype": self.fptype.value,
@@ -114,6 +128,9 @@ class OracleConfig:
             "relations": list(self.relations),
             "ulp_bound": self.ulp_bound,
         }
+        if tuple(self.stacks) != DEFAULT_STACK_PAIR:
+            fp["stacks"] = list(self.stacks)
+        return fp
 
 
 @dataclass
@@ -219,6 +236,7 @@ def build_relation_requests(
     rng_token: object,
     relations: List[Relation],
     opts: Tuple[OptSetting, ...],
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
 ) -> Tuple[List[SweepRequest], List[str]]:
     """Per-relation base + variant requests for one program.
 
@@ -227,11 +245,13 @@ def build_relation_requests(
     ``"oracle"``.  ``rng_token`` addresses the site-choice RNG
     (``derive_seed(seed, "oracle-site", relation, token)``): a corpus
     index or a content-stable test id, so either caller rebuilds
-    identical variants on resume.  Every base-reading relation issues
-    its own base request; the service dedups the copies (same content,
-    opts, runner) down to one execution, which is what makes the
-    per-relation accounting free.
+    identical variants on resume.  ``stacks`` selects the pair the
+    sweeps run on; relations check each of its stacks independently.
+    Every base-reading relation issues its own base request; the service
+    dedups the copies (same content, opts, runner) down to one
+    execution, which is what makes the per-relation accounting free.
     """
+    runner = RunnerSpec(stacks=tuple(stacks))
     requests: List[SweepRequest] = []
     checked: List[str] = []
     for rel in relations:
@@ -247,6 +267,7 @@ def build_relation_requests(
                     opts=opts,
                     tag=(tag_head, rel.name, "base"),
                     cache=CHUNK_CACHE,
+                    runner=runner,
                 )
             )
         for label, variant in variants:
@@ -256,6 +277,7 @@ def build_relation_requests(
                     opts=opts,
                     tag=(tag_head, rel.name, label),
                     cache=CHUNK_CACHE,
+                    runner=runner,
                 )
             )
     return requests, checked
@@ -267,10 +289,11 @@ def oracle_requests_for(
     seed: int,
     relations: List[Relation],
     opts: Tuple[OptSetting, ...],
+    stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
 ) -> _ProgramPlan:
     """Build one program's chunk (see :func:`build_relation_requests`)."""
     requests, checked = build_relation_requests(
-        test, index, seed, index, relations, opts
+        test, index, seed, index, relations, opts, stacks
     )
     return _ProgramPlan(index=index, test=test, requests=requests, checked=checked)
 
@@ -394,7 +417,12 @@ def run_oracle(
     try:
         plans = [
             oracle_requests_for(
-                corpus.tests[index], index, config.seed, relations, config.opts
+                corpus.tests[index],
+                index,
+                config.seed,
+                relations,
+                config.opts,
+                config.stacks,
             )
             for index in range(start, config.n_programs)
         ]

@@ -94,7 +94,11 @@ __all__ = [
 #: Calls whose argument order is semantically irrelevant (IEEE symmetric).
 _SYMMETRIC_CALLS = ("fmin", "fmax")
 
-#: Platform keys as they appear on PairResult record streams.
+#: Historical platform keys; kept for callers that predate the stack
+#: registry.  Relation checking itself iterates each ``PairResult``'s own
+#: :attr:`~repro.harness.runner.PairResult.stacks`, so oracle sessions
+#: over any stack pair (``repro-oracle --stacks nvcc,cpu``) attribute
+#: violations to the stacks that actually ran.
 _PLATFORMS = ("nvcc", "hipcc")
 
 
@@ -237,7 +241,13 @@ class Relation(abc.ABC):
 
 
 def _records_by_input(pair: PairResult, platform: str) -> Dict[int, RunRecord]:
-    runs = pair.nvcc_runs if platform == "nvcc" else pair.hipcc_runs
+    """One side's records, addressed by the pair's own stack names."""
+    if platform == pair.stacks[0]:
+        runs = pair.lhs_runs
+    elif platform == pair.stacks[1]:
+        runs = pair.rhs_runs
+    else:
+        runs = []
     return {r.input_index: r for r in runs}
 
 
@@ -307,7 +317,7 @@ def _compare_sweeps(
         var_pair = var.get(opt_label)
         if var_pair is None:
             continue
-        for platform in _PLATFORMS:
+        for platform in base_pair.stacks:
             base_recs = _records_by_input(base_pair, platform)
             var_recs = _records_by_input(var_pair, platform)
             for idx in sorted(base_recs.keys() & var_recs.keys()):
@@ -589,7 +599,7 @@ class FastMathFlag(Relation):
         if plain is None or fm is None:
             return []
         out: List[RelationViolation] = []
-        for platform in _PLATFORMS:
+        for platform in plain.stacks:
             plain_recs = _records_by_input(plain, platform)
             fm_recs = _records_by_input(fm, platform)
             for idx in sorted(plain_recs.keys() & fm_recs.keys()):

@@ -1,0 +1,31 @@
+/* Varity test golden-c-fp16-000000 (fp16) — host build */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define VARITY_ARRAY_N 64
+
+void compute(_Float16 comp, int var_1, _Float16* var_2, _Float16 var_3) {
+  _Float16 tmp_1 = +6.1035E-5F16 * var_3;
+  for (int i = 0; i < var_1; ++i) {
+    var_2[i] = hsqrt(tmp_1);
+  }
+  if (var_3 > +0.0F16) {
+    comp += hfmod(var_3, +1.5000E3F16);
+  }
+  comp *= hexp(var_2[0]);
+  printf("%.17g\n", (double)comp);
+}
+
+int main(int argc, char** argv) {
+  if (argc != 5) return 1;
+  _Float16 comp = (_Float16)atof(argv[1]);
+  int var_1 = atoi(argv[2]);
+  _Float16 var_2_fill = (_Float16)atof(argv[3]);
+  _Float16 var_3 = (_Float16)atof(argv[4]);
+  _Float16* var_2 = (_Float16*)malloc(VARITY_ARRAY_N * sizeof(_Float16));
+  for (int _i = 0; _i < VARITY_ARRAY_N; ++_i) var_2[_i] = var_2_fill;
+  compute(comp, var_1, var_2, var_3);
+  free(var_2);
+  return 0;
+}

@@ -1,0 +1,31 @@
+/* Varity test golden-c-fp32-000000 (fp32) — host build */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define VARITY_ARRAY_N 64
+
+void compute(float comp, int var_1, float* var_2, float var_3) {
+  float tmp_1 = +6.1035E-5F * var_3;
+  for (int i = 0; i < var_1; ++i) {
+    var_2[i] = sqrtf(tmp_1);
+  }
+  if (var_3 > +0.0F) {
+    comp += fmodf(var_3, +1.5000E3F);
+  }
+  comp *= expf(var_2[0]);
+  printf("%.17g\n", comp);
+}
+
+int main(int argc, char** argv) {
+  if (argc != 5) return 1;
+  float comp = (float)atof(argv[1]);
+  int var_1 = atoi(argv[2]);
+  float var_2_fill = (float)atof(argv[3]);
+  float var_3 = (float)atof(argv[4]);
+  float* var_2 = (float*)malloc(VARITY_ARRAY_N * sizeof(float));
+  for (int _i = 0; _i < VARITY_ARRAY_N; ++_i) var_2[_i] = var_2_fill;
+  compute(comp, var_1, var_2, var_3);
+  free(var_2);
+  return 0;
+}

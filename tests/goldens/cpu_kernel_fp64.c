@@ -1,0 +1,31 @@
+/* Varity test golden-c-fp64-000000 (fp64) — host build */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define VARITY_ARRAY_N 64
+
+void compute(double comp, int var_1, double* var_2, double var_3) {
+  double tmp_1 = +6.1035E-5 * var_3;
+  for (int i = 0; i < var_1; ++i) {
+    var_2[i] = sqrt(tmp_1);
+  }
+  if (var_3 > +0.0) {
+    comp += fmod(var_3, +1.5000E3);
+  }
+  comp *= exp(var_2[0]);
+  printf("%.17g\n", comp);
+}
+
+int main(int argc, char** argv) {
+  if (argc != 5) return 1;
+  double comp = (double)atof(argv[1]);
+  int var_1 = atoi(argv[2]);
+  double var_2_fill = (double)atof(argv[3]);
+  double var_3 = (double)atof(argv[4]);
+  double* var_2 = (double*)malloc(VARITY_ARRAY_N * sizeof(double));
+  for (int _i = 0; _i < VARITY_ARRAY_N; ++_i) var_2[_i] = var_2_fill;
+  compute(comp, var_1, var_2, var_3);
+  free(var_2);
+  return 0;
+}

@@ -86,6 +86,7 @@ class TestMainEndToEnd:
             "include_fp32": True,
             "include_fp16": False,
             "include_oracle": False,
+            "stacks": ["nvcc", "hipcc"],
             "workers": 0,
         }
 

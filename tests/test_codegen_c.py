@@ -1,0 +1,119 @@
+"""Golden-file codegen tests for the plain-C dialect (the ``cpu`` stack).
+
+Since the stack registry landed, the ``.c`` renderer is an *executed*
+dialect: the ``cpu`` stack's clang fast-math compiler model runs this
+exact text's IR through the interpreter, and the rendered source feeds
+content keys and metadata trails just like the ``.cu``/``.hip``
+dialects.  So its spellings (``double``/``float``/``_Float16`` types,
+plain libm call names, the host-build ``main`` scaffold) are pinned
+byte-for-byte against checked-in goldens, one per precision lane.
+
+Regenerate after an intentional emitter change with::
+
+    PYTHONPATH=src python tests/test_codegen_c.py --regen
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen.c import render_c
+from repro.fp.types import FPType
+from repro.ir.builder import IRBuilder
+from repro.ir.validate import validate_kernel
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+GOLDENS = {
+    FPType.FP64: "cpu_kernel_fp64.c",
+    FPType.FP32: "cpu_kernel_fp32.c",
+    FPType.FP16: "cpu_kernel_fp16.c",
+}
+
+
+def _program(fptype: FPType):
+    """A small, fixed kernel touching every C-dialect spelling: scalar,
+    int, and array parameters, a loop, a guarded augmentation, and math
+    calls that exercise the precision markers (bare ``sqrt`` at fp64,
+    ``sqrtf`` at fp32, ``hsqrt`` at fp16 — shared with the GPU dialects
+    via :class:`repro.codegen.base.EmitterConfig`)."""
+    b = IRBuilder(fptype)
+    kernel = b.kernel(
+        params=[
+            b.fparam("comp"),
+            b.iparam("var_1"),
+            b.aparam("var_2"),
+            b.fparam("var_3"),
+        ],
+        body=[
+            b.decl("tmp_1", b.mul(b.lit(6.1035e-5), b.var("var_3"))),
+            b.loop(
+                "i",
+                b.var("var_1"),
+                [b.assign(b.idx("var_2", "i"), b.call("sqrt", b.var("tmp_1")))],
+            ),
+            b.when(
+                b.cmp(">", b.var("var_3"), b.lit(0.0)),
+                [b.aug("comp", "+", b.call("fmod", b.var("var_3"), b.lit(1.5e3)))],
+            ),
+            b.aug("comp", "*", b.call("exp", b.idx("var_2", 0))),
+        ],
+    )
+    assert not validate_kernel(kernel)
+    return b.program(
+        kernel, program_id=f"golden-c-{fptype.value}-000000", note="golden"
+    )
+
+
+class TestCGoldens:
+    @pytest.mark.parametrize("fptype", list(GOLDENS))
+    def test_golden(self, fptype):
+        rendered = render_c(_program(fptype))
+        golden = (GOLDEN_DIR / GOLDENS[fptype]).read_text(encoding="utf-8")
+        assert rendered == golden
+
+    def test_fp64_spellings(self):
+        src = render_c(_program(FPType.FP64))
+        assert "double comp" in src and "double* var_2" in src
+        assert "sqrt(" in src and "fmod(" in src and "exp(" in src
+        # Host build, not a device dialect.
+        assert "__global__" not in src and "cuda" not in src and "hip" not in src
+
+    def test_fp32_spellings(self):
+        src = render_c(_program(FPType.FP32))
+        assert "float comp" in src and "float* var_2" in src
+        assert "sqrtf(" in src and "fmodf(" in src and "expf(" in src
+        assert "double" not in src
+
+    def test_fp16_spellings(self):
+        src = render_c(_program(FPType.FP16))
+        # Plain C spells half precision _Float16 (C23), like HIP.
+        assert "_Float16 comp" in src and "_Float16* var_2" in src
+        assert "__half" not in src
+
+    def test_scaffold_is_self_contained(self):
+        """The host-build main must parse argv, allocate arrays, call the
+        kernel, and free — a compilable standalone test file."""
+        src = render_c(_program(FPType.FP64))
+        assert "#include <math.h>" in src
+        assert "int main(int argc, char** argv)" in src
+        assert "atoi(argv[1])" not in src  # comp is a float param
+        assert "malloc(" in src and "free(var_2);" in src
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for fptype, name in GOLDENS.items():
+        (GOLDEN_DIR / name).write_text(render_c(_program(fptype)), encoding="utf-8")
+    print(f"regenerated goldens under {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
