@@ -62,6 +62,30 @@ OPPORTUNISTIC_JSONS = {
 
 FUZZ_LEDGER = "nightly_fuzz.jsonl"
 
+#: Flat metrics snapshot written by ``--metrics-out`` during the fuzz
+#: smoke; its ``*_seconds`` counters become the ``phases`` block so the
+#: regression gate can name the phase that got slower, not just the
+#: bench.  Optional like the opportunistic JSONs.
+METRICS_SNAPSHOT = "metrics_snapshot.json"
+
+
+def _summarize_metrics_snapshot(path: Path) -> Dict[str, float]:
+    """``*_seconds`` counters from a telemetry snapshot → phase seconds."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    counters = data.get("counters", {})
+    if not isinstance(counters, dict):
+        return {}
+    return {
+        name: float(value)
+        for name, value in sorted(counters.items())
+        if name.endswith("_seconds") and isinstance(value, (int, float))
+    }
+
 
 def _meta() -> Dict[str, object]:
     return {
@@ -157,11 +181,27 @@ def compare_against_baseline(
     ratios = {name: current[name] / previous[name] for name in common}
     failures = sorted(name for name, r in ratios.items() if r > threshold)
     meta = baseline.get("meta", {})
+    # Phase-level ratios (telemetry snapshot seconds): informational,
+    # never a failure by themselves — they exist so a failing bench can
+    # be blamed on the phase that actually slowed down.
+    cur_phases = payload.get("phases", {})
+    prev_phases = baseline.get("phases", {})
+    phase_ratios: Dict[str, float] = {}
+    if isinstance(cur_phases, dict) and isinstance(prev_phases, dict):
+        for name in sorted(cur_phases.keys() & prev_phases.keys()):
+            cur_v, prev_v = cur_phases[name], prev_phases[name]
+            if (
+                isinstance(cur_v, (int, float))
+                and isinstance(prev_v, (int, float))
+                and prev_v > 0
+            ):
+                phase_ratios[name] = round(float(cur_v) / float(prev_v), 4)
     return {
         "baseline_commit": meta.get("commit", "") if isinstance(meta, dict) else "",
         "threshold": threshold,
         "ratios": {name: round(r, 4) for name, r in ratios.items()},
         "failures": failures,
+        "phase_ratios": phase_ratios,
         "only_current": sorted(current.keys() - previous.keys()),
         "only_baseline": sorted(previous.keys() - current.keys()),
     }
@@ -186,6 +226,11 @@ def merge(results_dir: Path) -> Dict[str, object]:
         payload["fuzz_smoke"] = _summarize_fuzz_ledger(ledger)
     else:
         skipped.append(FUZZ_LEDGER)
+    snapshot = results_dir / METRICS_SNAPSHOT
+    if snapshot.exists():
+        phases = _summarize_metrics_snapshot(snapshot)
+        if phases:
+            payload["phases"] = phases
     return payload
 
 
@@ -229,9 +274,20 @@ def main(argv=None) -> int:
         if args.baseline.exists():
             try:
                 baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-            except json.JSONDecodeError:
+            except (OSError, json.JSONDecodeError):
+                # Missing-at-read or partially-written (torn) artifact:
+                # the first night after a retention gap must pass with a
+                # note, never require manual handling.
                 print(
-                    f"baseline {args.baseline} is not valid JSON; comparison skipped",
+                    f"baseline {args.baseline} is missing or not valid JSON; "
+                    "comparison skipped",
+                    file=sys.stderr,
+                )
+                baseline = None
+            if baseline is not None and not isinstance(baseline, dict):
+                print(
+                    f"baseline {args.baseline} is valid JSON but not a "
+                    "trajectory object; comparison skipped",
                     file=sys.stderr,
                 )
                 baseline = None
@@ -262,10 +318,20 @@ def main(argv=None) -> int:
     failures = regression.get("failures", [])
     if regression and failures:
         ratios = regression.get("ratios", {})
+        phase_ratios = regression.get("phase_ratios", {})
+        # Name the phase that slowed down the most, when the telemetry
+        # snapshot gives us one — "this phase got slower", not just
+        # "runs/s went down".
+        blame = ""
+        slowed = {n: r for n, r in phase_ratios.items() if r > 1.0}
+        if slowed:
+            worst = max(slowed, key=lambda n: slowed[n])
+            blame = f" (slowest-growing phase: {worst} at {slowed[worst]:.2f}x)"
         for name in failures:
             print(
                 f"REGRESSION: {name} slowed down {ratios.get(name, 0.0):.2f}x "
-                f"vs baseline {regression.get('baseline_commit', '')[:12]}",
+                f"vs baseline {regression.get('baseline_commit', '')[:12]}"
+                f"{blame}",
                 file=sys.stderr,
             )
         if args.fail_threshold is not None:

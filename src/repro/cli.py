@@ -25,7 +25,9 @@ from repro.analysis.report import render_campaign_report
 from repro.errors import HarnessError
 from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
+from repro.telemetry.session import TelemetrySession, add_telemetry_args
 from repro.utils.jsonio import dump_json
+from repro.utils.tables import Table
 
 __all__ = ["main", "build_parser"]
 
@@ -89,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reload completed steps from --checkpoint and run only the rest",
     )
+    add_telemetry_args(parser)
     return parser
 
 
@@ -156,19 +159,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         if done == total:
             print(file=sys.stderr)
 
-    try:
-        result = run_campaign(
-            config, progress=progress, checkpoint=args.checkpoint, resume=args.resume
-        )
-    except HarnessError as exc:
-        print(f"repro-campaign: error: {exc}", file=sys.stderr)
-        return 2
+    telemetry = TelemetrySession.from_args(args)
+    with telemetry:
+        try:
+            result = run_campaign(
+                config, progress=progress, checkpoint=args.checkpoint, resume=args.resume
+            )
+        except HarnessError as exc:
+            print(f"repro-campaign: error: {exc}", file=sys.stderr)
+            return 2
     if result.resumed_steps:
         print(
             f"resumed {result.resumed_steps} completed steps from {args.checkpoint}",
             file=sys.stderr,
         )
     print(render_campaign_report(result, include_adjacency=not args.no_adjacency))
+    if result.group_wall_seconds:
+        wall = Table(title="Per-arm wall time (traced)", headers=["arm group", "seconds"])
+        for label, seconds in result.group_wall_seconds.items():
+            wall.add_row([label, seconds])
+        print()
+        print(wall.render())
+    telemetry.write(exec_metrics=result.exec_metrics)
 
     if args.json:
         payload = {
@@ -188,10 +200,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "elapsed_seconds": result.elapsed_seconds,
             "resumed_steps": result.resumed_steps,
             "nvcc_cache_hits": result.nvcc_cache_hits,
-            # Execution-service counters.  Every value here is a function
+            # Execution-service counters.  Every count here is a function
             # of the executed plan alone, never of scheduling, so this
             # block is identical at any --workers (the backend name is
-            # deliberately omitted for that reason).
+            # deliberately omitted for that reason).  The one exception:
+            # "phase_seconds" is wall time (lookup/execute/commit) and is
+            # legitimately scheduling-dependent, like elapsed_seconds.
             "exec": {
                 "stacks": list(config.stacks),
                 "nvcc_executions": result.nvcc_executions,
@@ -202,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "sweep_requests": result.exec_metrics.get("requests", 0),
                 "deduped_requests": result.exec_metrics.get("deduped", 0),
                 "store": result.exec_metrics.get("store", {}),
+                "phase_seconds": result.exec_metrics.get("phase_seconds", {}),
             },
             "arms": {
                 name: {

@@ -17,6 +17,10 @@ Pipelines:
   which is the CPU lane's sharpest contrast with the GPU stacks under
   fast math.  FP32 arithmetic runs with MXCSR FTZ+DAZ (crtfastmath sets
   both), flushing inputs and outputs.
+
+Telemetry: the :class:`~repro.compilers.compiler.Compiler` base driver
+records ``compile``/``compile.front_end``/``compile.pass`` spans for
+this pipeline when tracing is on; nothing here needs its own hooks.
 """
 
 from __future__ import annotations

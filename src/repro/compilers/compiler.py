@@ -1,8 +1,17 @@
-"""Compiler base: pass pipelines → compiled kernels."""
+"""Compiler base: pass pipelines → compiled kernels.
+
+Telemetry: when the active tracer is enabled the base driver records a
+``compile.front_end`` span per preprocess+validate, a ``compile`` span
+per (program, opt) specialization, and a ``compile.pass`` span per
+pipeline pass — covering every subclass (nvcc/hipcc/clang) without
+per-subclass instrumentation.  Disabled, the cost is one attribute
+lookup per compile.
+"""
 
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -15,6 +24,7 @@ from repro.devices.interpreter import ExecOptions
 from repro.devices.vendor import Vendor
 from repro.compilers.options import OptSetting
 from repro.compilers.passes.base import Pass
+from repro.telemetry.spans import get_tracer
 
 __all__ = ["CompiledKernel", "Compiler"]
 
@@ -67,8 +77,17 @@ class Compiler(abc.ABC):
     # -- internals ------------------------------------------------------------
     def _front_end(self, program: Program) -> Kernel:
         """Preprocess and validate; the opt-independent half of a compile."""
+        tracer = get_tracer()
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
         kernel = self.preprocess(program)
         issues = validate_kernel(kernel)
+        if tracer.enabled:
+            tracer.record(
+                "compile.front_end",
+                t0,
+                time.perf_counter_ns(),
+                compiler=self.name,
+            )
         if issues:
             raise CompileError(
                 f"{self.name}: program {program.program_id!r} is malformed: "
@@ -80,12 +99,32 @@ class Compiler(abc.ABC):
         self, program: Program, kernel: Kernel, opt: OptSetting
     ) -> CompiledKernel:
         """Run the pass pipeline for one setting on a validated kernel."""
+        tracer = get_tracer()
         applied: List[str] = []
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
         for p in self.pipeline(opt, kernel.fptype):
+            p0 = time.perf_counter_ns() if tracer.enabled else 0
             new_kernel = p.run(kernel)
+            if tracer.enabled:
+                tracer.record(
+                    "compile.pass",
+                    p0,
+                    time.perf_counter_ns(),
+                    compiler=self.name,
+                    opt=opt.label,
+                    pass_name=p.name,
+                )
             if new_kernel is not kernel:
                 applied.append(p.name)
             kernel = new_kernel
+        if tracer.enabled:
+            tracer.record(
+                "compile",
+                t0,
+                time.perf_counter_ns(),
+                compiler=self.name,
+                opt=opt.label,
+            )
         return CompiledKernel(
             kernel=kernel,
             vendor=self.vendor,

@@ -20,6 +20,7 @@ small set of math calls through the modeled compatibility wrapper — the
 
 from __future__ import annotations
 
+import time
 from typing import List, Sequence
 
 from repro.fp.env import FlushMode
@@ -39,6 +40,7 @@ from repro.compilers.passes import (
     Pass,
     ReciprocalDivision,
 )
+from repro.telemetry.spans import get_tracer
 
 __all__ = ["HipccCompiler"]
 
@@ -65,10 +67,19 @@ class HipccCompiler(Compiler):
     def preprocess(self, program: Program) -> Kernel:
         kernel = program.kernel
         if program.via_hipify:
+            tracer = get_tracer()
+            t0 = time.perf_counter_ns() if tracer.enabled else 0
             marker = _MarkHipifyCalls()
             body = marker.transform_body(kernel.body)
             if marker.n_marked:
                 kernel = kernel.with_body(body)
+            if tracer.enabled:
+                tracer.record(
+                    "compile.hipify",
+                    t0,
+                    time.perf_counter_ns(),
+                    marked=marker.n_marked,
+                )
         return kernel
 
     def pipeline(self, opt: OptSetting, fptype: FPType) -> Sequence[Pass]:

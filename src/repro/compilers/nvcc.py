@@ -12,6 +12,10 @@ Pipelines (DESIGN.md §5):
   reassociation, reciprocal-division, and (FP32) approximate intrinsics
   with ``__fdividef`` division; FP32 arithmetic runs with full
   flush-to-zero (inputs and outputs).
+
+Telemetry: the :class:`~repro.compilers.compiler.Compiler` base driver
+records ``compile``/``compile.front_end``/``compile.pass`` spans for
+this pipeline when tracing is on; nothing here needs its own hooks.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ harness compares between platforms.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -36,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import ExecutionError, TrapError
+from repro.telemetry.spans import get_tracer
 from repro.fp.classify import OutcomeClass, classify_value
 from repro.fp.env import FlushMode, FPEnv
 from repro.fp.types import FPType
@@ -227,6 +229,8 @@ class Interpreter:
                 f"kernel {kernel.name!r} takes {len(kernel.params)} inputs, "
                 f"got {len(inputs)}"
             )
+        tracer = get_tracer()
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
         env = FPEnv(fptype=kernel.fptype, flush=options.flush)
         dtype = kernel.fptype.dtype
         frame = _Frame()
@@ -253,6 +257,14 @@ class Interpreter:
         comp = frame.scalars.get("comp")
         if comp is None:
             raise ExecutionError("kernel has no 'comp' accumulator")
+        if tracer.enabled:
+            tracer.record(
+                "device.eval",
+                t0,
+                time.perf_counter_ns(),
+                mathlib=self.mathlib.name,
+                fptype=kernel.fptype.name.lower(),
+            )
         printed = format_printf_g17(comp)
         return ExecutionResult(
             value=float(comp),

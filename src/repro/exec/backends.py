@@ -15,11 +15,34 @@ process startup each time.  Workers import the repo fresh; payloads and
 the mapped function must be picklable (module-level functions only).
 
 Future backends (async, distributed) implement the same two methods.
+
+**Telemetry** (active tracer enabled only — the disabled path is the
+original code): the pool backend wraps payloads and the mapped function
+to attribute every chunk's wall time to four phases that tile
+[submit, arrive]:
+
+* ``pool.pickle`` — measuring ``pickle.dumps`` of the payload (a second
+  pickle happens inside ``mp.Pool``; the duplication is the accepted
+  cost of tracing, never paid when tracing is off);
+* ``pool.queue_wait`` — submit → worker pickup;
+* ``pool.execute`` — worker function run (recorded with the worker's
+  pid);
+* ``pool.result_wait`` — worker done → parent receives (for ``imap``
+  this includes in-order head-of-line blocking).
+
+Timestamps are ``time.perf_counter_ns()`` — CLOCK_MONOTONIC on Linux is
+system-wide, so parent- and worker-side stamps share one clock.
 """
 
 from __future__ import annotations
 
+import functools
+import os
+import pickle
+import time
 from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.telemetry.spans import get_tracer
 
 try:  # pragma: no cover - Protocol missing only on <3.8
     from typing import Protocol
@@ -27,6 +50,42 @@ except ImportError:  # pragma: no cover
     Protocol = object  # type: ignore[assignment]
 
 __all__ = ["Backend", "SerialBackend", "ProcessPoolBackend", "make_backend"]
+
+
+def _worker_timed_call(fn, wrapped):
+    """Worker-side shim: unwrap a tagged payload, time the real call.
+
+    Module-level (and used via ``functools.partial(fn=...)``) so the
+    spawn pool can pickle it.
+    """
+    index, submit_ns, payload = wrapped
+    start_ns = time.perf_counter_ns()
+    result = fn(payload)
+    end_ns = time.perf_counter_ns()
+    return index, submit_ns, start_ns, end_ns, os.getpid(), result
+
+
+def _tag_payloads(payloads: Iterable[Any], tracer) -> Iterator[Any]:
+    """Wrap payloads as ``(index, submit_ns, payload)``; record pickle
+    size/time.  Consumed by ``mp.Pool``'s feeder thread, so the tracer's
+    record path must be (and is) thread-safe."""
+    for index, payload in enumerate(payloads):
+        t0 = time.perf_counter_ns()
+        size = len(pickle.dumps(payload))
+        t1 = time.perf_counter_ns()
+        tracer.record("pool.pickle", t0, t1, chunk=index, payload_bytes=size)
+        yield index, time.perf_counter_ns(), payload
+
+
+def _traced_results(results: Iterable[Any], tracer) -> Iterator[Any]:
+    """Unwrap timed worker results, recording the three phases that
+    complete each chunk's [submit, arrive] interval."""
+    for index, submit_ns, start_ns, end_ns, pid, result in results:
+        arrive_ns = time.perf_counter_ns()
+        tracer.record("pool.queue_wait", submit_ns, start_ns, chunk=index)
+        tracer.record("pool.execute", start_ns, end_ns, chunk=index, pid=pid)
+        tracer.record("pool.result_wait", end_ns, arrive_ns, chunk=index)
+        yield result
 
 
 class Backend(Protocol):
@@ -97,7 +156,14 @@ class ProcessPoolBackend:
         return self._pool
 
     def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
-        return self._ensure_pool().imap(fn, payloads)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._ensure_pool().imap(fn, payloads)
+        results = self._ensure_pool().imap(
+            functools.partial(_worker_timed_call, fn),
+            _tag_payloads(payloads, tracer),
+        )
+        return _traced_results(results, tracer)
 
     def imap_unordered(
         self, fn: Callable[[Any], Any], payloads: Iterable[Any]
@@ -105,7 +171,14 @@ class ProcessPoolBackend:
         """Results in completion order — for callers that persist results
         as they finish (crash durability) and re-order for aggregation
         themselves."""
-        return self._ensure_pool().imap_unordered(fn, payloads)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._ensure_pool().imap_unordered(fn, payloads)
+        results = self._ensure_pool().imap_unordered(
+            functools.partial(_worker_timed_call, fn),
+            _tag_payloads(payloads, tracer),
+        )
+        return _traced_results(results, tracer)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -26,6 +26,7 @@ Guarantees:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.exec.content import content_id, content_text
 from repro.exec.store import BoundRunCache, RunStore
 from repro.exec.units import SweepOutcome, SweepRequest
 from repro.harness.runner import PairResult
+from repro.telemetry.spans import SpanRecord, Tracer, get_tracer, set_tracer
 from repro.varity.testcase import TestCase
 
 __all__ = ["ExecutionService", "ExecMetrics"]
@@ -57,6 +59,14 @@ class ExecMetrics:
     store_evictions: int = 0
     store_disk_hits: int = 0
     elapsed_seconds: float = 0.0
+    #: Always-on phase wall time (seconds), measured with bare
+    #: ``perf_counter`` around the store view and the sweep body — no
+    #: tracer required, so ``--json`` consumers get timings for free.
+    #: These are the one legitimately scheduling-dependent part of the
+    #: exec block: counts stay worker-invariant, wall time cannot.
+    lookup_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    commit_seconds: float = 0.0
     #: device executions per stack name (all pairs folded together); the
     #: ``nvcc_executions``/``hipcc_executions`` scalars above remain the
     #: legacy lhs/rhs slot totals.
@@ -82,6 +92,11 @@ class ExecMetrics:
                 "misses": self.store_misses,
                 "evictions": self.store_evictions,
                 "disk_hits": self.store_disk_hits,
+            },
+            "phase_seconds": {
+                "lookup": self.lookup_seconds,
+                "execute": self.execute_seconds,
+                "commit": self.commit_seconds,
             },
         }
 
@@ -115,20 +130,51 @@ def _rebound_outcome(
     )
 
 
+class _TimedView(BoundRunCache):
+    """A :class:`BoundRunCache` that accumulates lookup/commit wall time
+    into a shared per-chunk phase dict.
+
+    Always on (two ``perf_counter`` calls per store op) so the exec
+    metrics carry phase timings even with tracing off; strictly
+    out-of-band — behaviour is the base class's, byte for byte.
+    """
+
+    def __init__(self, store, key, phases, *, compiler="nvcc"):
+        super().__init__(store, key, compiler=compiler)
+        self._phases = phases
+
+    def get(self, test_id, opt_label):
+        t0 = time.perf_counter()
+        try:
+            return super().get(test_id, opt_label)
+        finally:
+            self._phases["lookup"] += time.perf_counter() - t0
+
+    def put(self, test_id, opt_label, outcomes):
+        t0 = time.perf_counter()
+        try:
+            return super().put(test_id, opt_label, outcomes)
+        finally:
+            self._phases["commit"] += time.perf_counter() - t0
+
+
 def _execute_requests(
     requests: Sequence[SweepRequest], shared_store: Optional[RunStore] = None
-) -> Tuple[List[SweepOutcome], Dict[str, int]]:
+) -> Tuple[List[SweepOutcome], Dict[str, float]]:
     """Run one chunk serially; the core every backend executes.
 
     ``shared_store`` is the service's own store (in-process execution
     only); chunk-scope requests — and shared-scope ones running in a
     worker — use a store private to this chunk.
     """
+    tracer = get_tracer()
     chunk_store: Optional[RunStore] = None
     runners: Dict[Any, Any] = {}
     memo: Dict[object, TestCase] = {}
     seen: Dict[Tuple[object, ...], SweepOutcome] = {}
     outcomes: List[SweepOutcome] = []
+    phases = {"lookup": 0.0, "commit": 0.0}
+    execute_seconds = 0.0
     for req in requests:
         runner = runners.get(req.runner)
         if runner is None:
@@ -161,11 +207,33 @@ def _execute_requests(
             # can never replay nvcc outcomes as its own.
             lhs = runner.stacks[0]
             view_key = key if lhs == "nvcc" else f"{lhs}@{key}"
-            view = BoundRunCache(store, view_key, compiler=lhs)
+            view = _TimedView(store, view_key, phases, compiler=lhs)
         nv0, hp0 = runner.lhs_executions, runner.rhs_executions
+        hits0 = view.hits if view is not None else 0
+        lk0, cm0 = phases["lookup"], phases["commit"]
+        t0 = time.perf_counter_ns()
         pairs = runner.run_sweep(
             test, req.opts, nvcc_cache=view, populate_cache=view
         )
+        t1 = time.perf_counter_ns()
+        execute_seconds += (
+            (t1 - t0) / 1e9
+            - (phases["lookup"] - lk0)
+            - (phases["commit"] - cm0)
+        )
+        if tracer.enabled:
+            tracer.record(
+                "exec.request",
+                t0,
+                t1,
+                lhs=runner.stacks[0],
+                rhs=runner.stacks[1],
+                cache=(
+                    "off"
+                    if view is None
+                    else ("hit" if view.hits > hits0 else "miss")
+                ),
+            )
         outcome = SweepOutcome(
             tag=req.tag,
             test_id=test.test_id,
@@ -178,25 +246,70 @@ def _execute_requests(
         )
         seen[dedup_key] = outcome
         outcomes.append(outcome)
-    stats = chunk_store.stats() if chunk_store is not None else {}
+    stats: Dict[str, float] = (
+        dict(chunk_store.stats()) if chunk_store is not None else {}
+    )
+    stats["lookup_seconds"] = phases["lookup"]
+    stats["execute_seconds"] = execute_seconds
+    stats["commit_seconds"] = phases["commit"]
     return outcomes, stats
 
 
 def _execute_chunk_task(
     requests: Sequence[SweepRequest],
-) -> Tuple[List[SweepOutcome], Dict[str, int]]:
+) -> Tuple[List[SweepOutcome], Dict[str, float]]:
     """Top-level chunk entry point for process-pool workers."""
     return _execute_requests(requests)
 
 
 def _execute_indexed_chunk_task(
     payload: Tuple[int, Sequence[SweepRequest]],
-) -> Tuple[int, List[SweepOutcome], Dict[str, int]]:
+) -> Tuple[int, List[SweepOutcome], Dict[str, float]]:
     """Chunk entry point for unordered dispatch: the index rides along so
     completion-order consumers can re-associate results with chunks."""
     index, requests = payload
     outcomes, stats = _execute_requests(requests)
     return index, outcomes, stats
+
+
+def _run_chunk_traced(
+    requests: Sequence[SweepRequest],
+) -> Tuple[List[SweepOutcome], Dict[str, float], List[SpanRecord]]:
+    """Run one chunk under a fresh local tracer; ship its spans back.
+
+    Used only when the parent's tracer is enabled, so the untraced task
+    above stays the zero-overhead path.  The worker records into its
+    own tracer (the parent's is unreachable across the process
+    boundary) and the parent merges the batch by submission-order chunk
+    index — never arrival order — keeping traces deterministic.
+    """
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        t0 = time.perf_counter_ns()
+        outcomes, stats = _execute_requests(requests)
+        tracer.record(
+            "exec.chunk", t0, time.perf_counter_ns(), requests=len(requests)
+        )
+    finally:
+        set_tracer(previous)
+    return outcomes, stats, tracer.drain()
+
+
+def _execute_chunk_task_traced(
+    requests: Sequence[SweepRequest],
+) -> Tuple[List[SweepOutcome], Dict[str, float], List[SpanRecord]]:
+    """Traced twin of :func:`_execute_chunk_task`."""
+    return _run_chunk_traced(requests)
+
+
+def _execute_indexed_chunk_task_traced(
+    payload: Tuple[int, Sequence[SweepRequest]],
+) -> Tuple[int, List[SweepOutcome], Dict[str, float], List[SpanRecord]]:
+    """Traced twin of :func:`_execute_indexed_chunk_task`."""
+    index, requests = payload
+    outcomes, stats, records = _run_chunk_traced(requests)
+    return index, outcomes, stats, records
 
 
 class ExecutionService:
@@ -224,16 +337,44 @@ class ExecutionService:
     ) -> Iterator[List[SweepOutcome]]:
         """Execute chunks through the backend, yielding outcome lists in
         chunk order as they complete (consume lazily to stream)."""
+        tracer = get_tracer()
         if self.backend.remote:
+            if tracer.enabled:
+                traced = self.backend.imap(
+                    _execute_chunk_task_traced,
+                    (tuple(chunk) for chunk in chunks),
+                )
+                # Ordered imap: arrival order == submission order, so
+                # enumerate() is the deterministic chunk index.
+                for index, (outcomes, stats, records) in enumerate(traced):
+                    tracer.merge(index, records)
+                    self._absorb(outcomes, stats)
+                    yield outcomes
+                return
             results = self.backend.imap(
                 _execute_chunk_task, (tuple(chunk) for chunk in chunks)
             )
-        else:
-            results = (
-                _execute_requests(list(chunk), shared_store=self.store)
-                for chunk in chunks
-            )
-        for outcomes, stats in results:
+            for outcomes, stats in results:
+                self._absorb(outcomes, stats)
+                yield outcomes
+            return
+        for index, chunk in enumerate(chunks):
+            if tracer.enabled:
+                t0 = time.perf_counter_ns()
+                outcomes, stats = _execute_requests(
+                    list(chunk), shared_store=self.store
+                )
+                tracer.record(
+                    "exec.chunk",
+                    t0,
+                    time.perf_counter_ns(),
+                    chunk=index,
+                    requests=len(outcomes),
+                )
+            else:
+                outcomes, stats = _execute_requests(
+                    list(chunk), shared_store=self.store
+                )
             self._absorb(outcomes, stats)
             yield outcomes
 
@@ -246,17 +387,44 @@ class ExecutionService:
         aggregation themselves; outcome content is identical to the
         ordered path's, only arrival order is scheduling-dependent.
         """
+        tracer = get_tracer()
         indexed = ((i, tuple(chunk)) for i, chunk in enumerate(chunks))
         if self.backend.remote:
+            if tracer.enabled:
+                traced = self.backend.imap_unordered(
+                    _execute_indexed_chunk_task_traced, indexed
+                )
+                # The chunk index rides inside the payload, so merging
+                # stays deterministic even though arrival order is not.
+                for index, outcomes, stats, records in traced:
+                    tracer.merge(index, records)
+                    self._absorb(outcomes, stats)
+                    yield index, outcomes
+                return
             results = self.backend.imap_unordered(_execute_indexed_chunk_task, indexed)
-        else:
-            results = (
-                (i, *_execute_requests(list(chunk), shared_store=self.store))
-                for i, chunk in indexed
-            )
-        for index, outcomes, stats in results:
+            for index, outcomes, stats in results:
+                self._absorb(outcomes, stats)
+                yield index, outcomes
+            return
+        for i, chunk in indexed:
+            if tracer.enabled:
+                t0 = time.perf_counter_ns()
+                outcomes, stats = _execute_requests(
+                    list(chunk), shared_store=self.store
+                )
+                tracer.record(
+                    "exec.chunk",
+                    t0,
+                    time.perf_counter_ns(),
+                    chunk=i,
+                    requests=len(outcomes),
+                )
+            else:
+                outcomes, stats = _execute_requests(
+                    list(chunk), shared_store=self.store
+                )
             self._absorb(outcomes, stats)
-            yield index, outcomes
+            yield i, outcomes
 
     def run_chunk(self, requests: Sequence[SweepRequest]) -> List[SweepOutcome]:
         """One chunk, synchronously, on the calling process."""
@@ -275,7 +443,7 @@ class ExecutionService:
         return [fn(p) for p in payloads]
 
     # ----------------------------------------------------------- plumbing
-    def _absorb(self, outcomes: List[SweepOutcome], stats: Dict[str, int]) -> None:
+    def _absorb(self, outcomes: List[SweepOutcome], stats: Dict[str, float]) -> None:
         m = self.metrics
         m.chunks += 1
         m.requests += len(outcomes)
@@ -301,6 +469,9 @@ class ExecutionService:
         m.store_misses += stats.get("misses", 0)
         m.store_evictions += stats.get("evictions", 0)
         m.store_disk_hits += stats.get("disk_hits", 0)
+        m.lookup_seconds += stats.get("lookup_seconds", 0.0)
+        m.execute_seconds += stats.get("execute_seconds", 0.0)
+        m.commit_seconds += stats.get("commit_seconds", 0.0)
 
     def stats(self) -> Dict[str, object]:
         """Aggregate metrics: chunk stores plus the service's shared store."""

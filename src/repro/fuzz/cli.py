@@ -25,6 +25,8 @@ from repro.fuzz.mutators import MUTATION_NAMES
 from repro.fuzz.signature import signature_histogram
 from repro.oracle.relations import RELATION_NAMES
 from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
+from repro.telemetry.session import TelemetrySession, add_telemetry_args
+from repro.utils.tables import Table
 
 __all__ = ["main", "build_parser"]
 
@@ -105,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="also print the signature histogram of all findings",
     )
+    add_telemetry_args(parser)
     return parser
 
 
@@ -187,13 +190,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if done == total:
             print(file=sys.stderr)
 
-    try:
-        result = run_fuzz(
-            config, ledger=args.ledger, resume=args.resume, progress=progress
-        )
-    except HarnessError as exc:
-        print(f"repro-fuzz: error: {exc}", file=sys.stderr)
-        return 2
+    telemetry = TelemetrySession.from_args(args)
+    with telemetry:
+        try:
+            result = run_fuzz(
+                config, ledger=args.ledger, resume=args.resume, progress=progress
+            )
+        except HarnessError as exc:
+            print(f"repro-fuzz: error: {exc}", file=sys.stderr)
+            return 2
 
     if result.resumed_iterations:
         print(
@@ -246,6 +251,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  nvcc cache hits      {result.nvcc_cache_hits}")
         print(f"  cache hit rate       {100.0 * result.cache_hit_rate:.0f}%")
         print(f"  duplicates avoided   {result.duplicates}")
+        if result.batch_walls:
+            wall = Table(
+                title="Per-batch wall time (traced)",
+                headers=["iterations", "seconds"],
+            )
+            for start, stop, seconds in result.batch_walls:
+                wall.add_row([f"{start}..{stop}", seconds])
+            print()
+            print(wall.render())
+    telemetry.write(exec_metrics=result.exec_metrics)
     return 0
 
 

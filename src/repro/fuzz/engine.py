@@ -97,6 +97,7 @@ from repro.ir.validate import validate_kernel
 from repro.oracle.engine import build_relation_requests, check_relation_outcomes
 from repro.oracle.relations import Relation, RelationViolation, resolve_relations
 from repro.stacks import DEFAULT_STACK_PAIR, pair_name, resolve_stacks, stack_pairs
+from repro.telemetry.spans import get_tracer
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 from repro.varity.config import GeneratorConfig
@@ -361,6 +362,15 @@ class FuzzResult:
     nvcc_cache_hits: int = 0
     elapsed_seconds: float = 0.0
     stopped_by: str = "budget"
+    #: per-batch wall time ``(start_iteration, stop_iteration, seconds)``
+    #: from the tracer — populated only when tracing is on; telemetry
+    #: only, never serialized into the ledger.
+    batch_walls: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: execution-service counters (see
+    #: :meth:`repro.exec.ExecutionService.stats`), including the
+    #: always-on ``phase_seconds`` aggregates.  Out-of-band like
+    #: ``elapsed_seconds``.
+    exec_metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def novel_signatures(self) -> List[DiscrepancySignature]:
@@ -797,6 +807,8 @@ def run_fuzz(
             baseline_signatures = []
             hot_indices = []
             runs0 = evaluator.pair_runs
+            tracer = get_tracer()
+            base_t0 = time.perf_counter_ns() if tracer.enabled else 0
             seeds = corpus.seed_tests()
             baseline_chunks = (evaluator.chunk_for(t) for t in seeds)
             for index, outcomes in enumerate(service.run_sweeps(baseline_chunks)):
@@ -812,6 +824,14 @@ def run_fuzz(
                 if progress is not None:
                     progress("baseline", index + 1, config.n_seed_programs)
             baseline_pair_runs = evaluator.pair_runs - runs0
+            if tracer.enabled:
+                tracer.record(
+                    "fuzz.baseline",
+                    base_t0,
+                    time.perf_counter_ns(),
+                    seeds=len(seeds),
+                    signatures=len(baseline_signatures),
+                )
             if book is not None:
                 book.append_baseline(
                     baseline_pair_runs, baseline_signatures, hot_indices
@@ -903,14 +923,31 @@ def run_fuzz(
         batch_start = state.iterations_completed
         batches_written = state.batches_completed
         stopped_by = "budget"
+        loop_tracer = get_tracer()
+        batch_t0 = time.perf_counter_ns() if loop_tracer.enabled else 0
 
         def flush_batch(stop: int) -> None:
             nonlocal batch_start, batches_written, batch_findings, batch_promotions
+            nonlocal batch_t0
             if book is not None and stop > batch_start:
                 book.append_batch(
                     batches_written, batch_start, stop, batch_findings, batch_promotions
                 )
                 batches_written += 1
+            if loop_tracer.enabled and stop > batch_start:
+                now = time.perf_counter_ns()
+                loop_tracer.record(
+                    "fuzz.batch",
+                    batch_t0,
+                    now,
+                    start=batch_start,
+                    stop=stop,
+                    findings=len(batch_findings),
+                )
+                result.batch_walls.append(
+                    (batch_start, stop, (now - batch_t0) / 1e9)
+                )
+                batch_t0 = now
             batch_start = stop
             batch_findings = []
             batch_promotions = []
@@ -1154,6 +1191,7 @@ def run_fuzz(
         result.nvcc_cache_hits = evaluator.cache_hits
         result.elapsed_seconds = time.perf_counter() - t0
         result.stopped_by = stopped_by
+        result.exec_metrics = service.stats()
         return result
     finally:
         service.close()

@@ -89,6 +89,7 @@ from repro.fp.types import FPType
 from repro.harness.differential import Discrepancy
 from repro.harness.runner import PairResult
 from repro.stacks import DEFAULT_STACK_PAIR, pair_name, stack_pairs
+from repro.telemetry.spans import get_tracer
 from repro.utils.checkpoint import JsonlCheckpoint
 from repro.utils.rng import derive_seed
 from repro.varity.config import GeneratorConfig
@@ -491,6 +492,10 @@ class CampaignResult:
     #: executed (resumed steps replay from the checkpoint and are not
     #: re-counted here).  See :meth:`repro.exec.ExecutionService.stats`.
     exec_metrics: Dict[str, object] = field(default_factory=dict)
+    #: wall seconds per plan group (arm or fused-arm label), summed from
+    #: ``exec.chunk`` spans when a tracer is active — empty otherwise.
+    #: Telemetry-only: never serialized into checkpoints or ``--json``.
+    group_wall_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_runs(self) -> int:
@@ -857,6 +862,17 @@ def run_campaign(
         if ckpt is not None:
             ckpt.close()
 
+    # Per-arm-group wall time from the tracer's exec.chunk spans: chunk
+    # index == pending index (the chunks generator runs in pending
+    # order), so attribution is deterministic at any worker count.
+    group_wall: Dict[str, float] = {}
+    tracer = get_tracer()
+    if tracer.enabled:
+        for index, seconds in sorted(tracer.seconds_by_chunk("exec.chunk").items()):
+            if 0 <= index < len(pending):
+                label = pending[index].label
+                group_wall[label] = group_wall.get(label, 0.0) + seconds
+
     # Present arms in canonical order regardless of plan/completion order.
     arms_ordered = {name: merged[name] for name in config.arm_names()}
     return CampaignResult(
@@ -865,4 +881,5 @@ def run_campaign(
         elapsed_seconds=time.perf_counter() - t0,
         resumed_steps=resumed_steps,
         exec_metrics=exec_metrics,
+        group_wall_seconds=group_wall,
     )

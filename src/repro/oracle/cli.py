@@ -24,6 +24,7 @@ from repro.fp.types import FPType
 from repro.oracle.engine import OracleConfig, run_oracle
 from repro.oracle.relations import RELATION_NAMES
 from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
+from repro.telemetry.session import TelemetrySession, add_telemetry_args
 
 __all__ = ["main", "build_parser"]
 
@@ -81,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print every violation and the execution-service "
         "cache/dedup metrics",
     )
+    add_telemetry_args(parser)
     return parser
 
 
@@ -145,13 +147,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if done == total:
             print(file=sys.stderr)
 
-    try:
-        result = run_oracle(
-            config, ledger=args.ledger, resume=args.resume, progress=progress
-        )
-    except HarnessError as exc:
-        print(f"repro-oracle: error: {exc}", file=sys.stderr)
-        return 2
+    telemetry = TelemetrySession.from_args(args)
+    with telemetry:
+        try:
+            result = run_oracle(
+                config, ledger=args.ledger, resume=args.resume, progress=progress
+            )
+        except HarnessError as exc:
+            print(f"repro-oracle: error: {exc}", file=sys.stderr)
+            return 2
 
     if result.resumed_programs:
         print(
@@ -183,6 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  pair runs            {result.pair_runs}")
         print(f"  nvcc executions      {exec_metrics.get('nvcc_executions', 0)}")
         print(f"  store hits/misses    {store.get('hits', 0)}/{store.get('misses', 0)}")
+    telemetry.write(exec_metrics=result.exec_metrics)
     return 0
 
 

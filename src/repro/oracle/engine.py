@@ -41,6 +41,7 @@ from repro.oracle.relations import (
     RELATION_NAMES,
     resolve_relations,
 )
+from repro.telemetry.spans import get_tracer
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 from repro.varity.config import GeneratorConfig
@@ -327,6 +328,7 @@ def check_relation_outcomes(
             base_by_rel[str(rel_name)] = outcome.pairs
         else:
             variants_by_rel.setdefault(str(rel_name), {})[str(label)] = outcome.pairs
+    tracer = get_tracer()
     violations: List[RelationViolation] = []
     for rel in relations:
         base = base_by_rel.get(rel.name, {})
@@ -335,7 +337,17 @@ def check_relation_outcomes(
             continue
         if not base and not variants:
             continue
-        violations.extend(rel.check(fptype, base, variants, ulp_bound))
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
+        found = rel.check(fptype, base, variants, ulp_bound)
+        if tracer.enabled:
+            tracer.record(
+                "oracle.relation",
+                t0,
+                time.perf_counter_ns(),
+                relation=rel.name,
+                violations=len(found),
+            )
+        violations.extend(found)
     if test_id is not None:
         violations = [
             replace(v, test_id=test_id) if v.test_id != test_id else v

@@ -1,0 +1,126 @@
+"""Trace and metrics serialization.
+
+Three output shapes:
+
+* **JSONL span log** — one span per line, stable field order; the raw
+  material for ad-hoc analysis (``jq``-able).
+* **Chrome trace-event format** — ``{"traceEvents": [...]}`` of
+  ``"ph": "X"`` complete events, loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev.  Nesting is inferred by the viewer from
+  interval containment per (pid, tid) track, so no parent pointers are
+  needed.  Timestamps are normalized to the earliest span so traces
+  start at t=0.
+* **Metrics snapshot JSON** — the flat ``MetricsRegistry.snapshot()``
+  dict, sorted keys, for ``repro-report render``/``diff``.
+
+``write_trace`` dispatches on the output suffix: ``.jsonl`` gets the
+span log, anything else the Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanRecord
+
+
+def span_dict(rec: SpanRecord) -> Dict[str, object]:
+    return {
+        "name": rec.name,
+        "start_ns": rec.start_ns,
+        "dur_ns": rec.dur_ns,
+        "pid": rec.pid,
+        "tid": rec.tid,
+        "depth": rec.depth,
+        "chunk": rec.chunk,
+        "args": dict(rec.args),
+    }
+
+
+def write_span_jsonl(records: Sequence[SpanRecord], path: Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(span_dict(rec), sort_keys=True) + "\n")
+
+
+def chrome_trace(records: Sequence[SpanRecord]) -> Dict[str, object]:
+    """Records → Chrome trace-event JSON dict (complete "X" events)."""
+    events: List[Dict[str, object]] = []
+    t0 = min((rec.start_ns for rec in records), default=0)
+    for rec in records:
+        events.append(
+            {
+                "name": rec.name,
+                "ph": "X",
+                "ts": (rec.start_ns - t0) / 1000.0,  # microseconds
+                "dur": rec.dur_ns / 1000.0,
+                "pid": rec.pid,
+                "tid": rec.tid,
+                "args": {**dict(rec.args), "chunk": rec.chunk},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Sequence[SpanRecord], path: Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(records), sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def write_trace(records: Sequence[SpanRecord], path: Path) -> None:
+    """Suffix dispatch: ``.jsonl`` → span log, else Chrome trace JSON."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        write_span_jsonl(records, path)
+    else:
+        write_chrome_trace(records, path)
+
+
+def write_metrics_snapshot(snapshot: Dict[str, object], path: Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def fold_exec_metrics(
+    registry: MetricsRegistry, exec_metrics: Dict[str, object]
+) -> None:
+    """Fold an ``ExecMetrics.as_dict()`` into counters.
+
+    Phase seconds land as ``phase.<name>_seconds`` (the names the
+    nightly regression gate blames); scalar counters keep their names
+    under ``exec.``.
+    """
+    phases = exec_metrics.get("phase_seconds", {})
+    if isinstance(phases, dict):
+        for name, seconds in sorted(phases.items()):
+            if isinstance(seconds, (int, float)):
+                registry.counter(f"phase.{name}_seconds").inc(float(seconds))
+    for key, value in sorted(exec_metrics.items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            registry.counter(f"exec.{key}").inc(float(value))
+
+
+def fold_spans(
+    registry: MetricsRegistry, records: Iterable[SpanRecord]
+) -> None:
+    """Fold span totals into counters + an exec.chunk histogram."""
+    totals: Dict[str, float] = {}
+    for rec in records:
+        seconds = rec.dur_ns / 1e9
+        totals[rec.name] = totals.get(rec.name, 0.0) + seconds
+        if rec.name == "exec.chunk":
+            registry.histogram("span.exec.chunk_seconds").observe(seconds)
+    for name in sorted(totals):
+        registry.counter(f"span.{name}_seconds").inc(totals[name])

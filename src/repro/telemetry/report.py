@@ -1,0 +1,131 @@
+"""Render and diff metrics snapshots (the ``repro-report`` entry point).
+
+::
+
+    repro-report render snapshot.json
+    repro-report diff old.json new.json
+
+``render`` prints the counters/gauges/histograms as tables; ``diff``
+prints per-metric old/new/delta rows — for ``*_seconds`` counters these
+are exactly the per-phase wall-time deltas the nightly gate cares
+about.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.utils.tables import Table
+
+
+def load_snapshot(path: Path) -> Dict[str, object]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: snapshot is not a JSON object")
+    return data
+
+
+def _section(snapshot: Dict[str, object], key: str) -> Dict[str, object]:
+    value = snapshot.get(key, {})
+    return value if isinstance(value, dict) else {}
+
+
+def render_snapshot(snapshot: Dict[str, object]) -> str:
+    blocks: List[str] = []
+    counters = _section(snapshot, "counters")
+    if counters:
+        t = Table(title="Counters", headers=["name", "value"])
+        for name in sorted(counters):
+            t.add_row([name, float(counters[name])])
+        blocks.append(t.render())
+    gauges = _section(snapshot, "gauges")
+    if gauges:
+        t = Table(title="Gauges", headers=["name", "value"])
+        for name in sorted(gauges):
+            t.add_row([name, float(gauges[name])])
+        blocks.append(t.render())
+    histograms = _section(snapshot, "histograms")
+    if histograms:
+        t = Table(title="Histograms", headers=["name", "count", "sum", "mean"])
+        for name in sorted(histograms):
+            h = histograms[name]
+            if not isinstance(h, dict):
+                continue
+            count = int(h.get("count", 0))
+            total = float(h.get("sum", 0.0))
+            mean = total / count if count else 0.0
+            t.add_row([name, count, total, mean])
+        blocks.append(t.render())
+    if not blocks:
+        return "(empty snapshot)"
+    return "\n\n".join(blocks)
+
+
+def diff_snapshots(
+    old: Dict[str, object], new: Dict[str, object]
+) -> str:
+    """Per-metric old/new/delta table across both snapshots.
+
+    ``*_seconds`` counter rows are the per-phase deltas; histogram rows
+    compare count and sum.
+    """
+    t = Table(title="Snapshot diff", headers=["metric", "old", "new", "delta"])
+    for section in ("counters", "gauges"):
+        olds = _section(old, section)
+        news = _section(new, section)
+        for name in sorted(set(olds) | set(news)):
+            a = float(olds.get(name, 0.0))  # type: ignore[arg-type]
+            b = float(news.get(name, 0.0))  # type: ignore[arg-type]
+            if a == b:
+                continue
+            t.add_row([name, a, b, b - a])
+    old_h = _section(old, "histograms")
+    new_h = _section(new, "histograms")
+    for name in sorted(set(old_h) | set(new_h)):
+        a = old_h.get(name, {})
+        b = new_h.get(name, {})
+        a = a if isinstance(a, dict) else {}
+        b = b if isinstance(b, dict) else {}
+        for stat in ("count", "sum"):
+            va = float(a.get(stat, 0.0))
+            vb = float(b.get(stat, 0.0))
+            if va == vb:
+                continue
+            t.add_row([f"{name}.{stat}", va, vb, vb - va])
+    if not t.rows:
+        return "Snapshots are identical."
+    return t.render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-report", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_render = sub.add_parser("render", help="print one snapshot as tables")
+    p_render.add_argument("snapshot", type=Path)
+    p_diff = sub.add_parser("diff", help="per-phase deltas between snapshots")
+    p_diff.add_argument("old", type=Path)
+    p_diff.add_argument("new", type=Path)
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "render":
+            print(render_snapshot(load_snapshot(args.snapshot)))
+        else:
+            print(diff_snapshots(load_snapshot(args.old), load_snapshot(args.new)))
+    except BrokenPipeError:
+        # `repro-report render ... | head` closing stdout early is not
+        # an error worth reporting (stderr may be gone too).
+        return 0
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-report: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

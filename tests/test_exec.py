@@ -284,9 +284,11 @@ class TestWorkerInvariance:
                 == 0
             )
             data = json.loads(out.read_text())
-            # The only legitimately scheduling-dependent fields:
+            # The only legitimately scheduling-dependent fields: wall
+            # clock, the worker count, and the exec phase timings.
             data.pop("elapsed_seconds")
             data["config"].pop("workers")
+            data["exec"].pop("phase_seconds")
             return data
 
         serial = payload(0)
@@ -317,6 +319,7 @@ class TestWorkerInvariance:
             data = json.loads(out.read_text())
             data.pop("elapsed_seconds")
             data["config"].pop("workers")
+            data["exec"].pop("phase_seconds")
             return data
 
         serial = payload(0)

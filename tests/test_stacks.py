@@ -143,6 +143,7 @@ class TestCampaignStackMatrix:
         data = json.loads(out.read_text())
         data.pop("elapsed_seconds")
         data["config"].pop("workers")
+        data["exec"].pop("phase_seconds")
         return data
 
     def test_three_choose_two_matrix(self, tmp_path):

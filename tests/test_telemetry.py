@@ -1,0 +1,497 @@
+"""Telemetry subsystem: spans, metrics, export, report, and the
+out-of-band contract.
+
+The load-bearing guarantee is the last class: campaign checkpoints and
+fuzz/oracle ledgers must be byte-identical with tracing on or off at any
+worker count.  Telemetry that changed an artifact would silently fork
+every determinism claim the repo makes, so the invariance tests run the
+real CLIs with ``--trace-out`` against untraced serial baselines.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.export import (
+    chrome_trace,
+    fold_exec_metrics,
+    fold_spans,
+    write_metrics_snapshot,
+    write_span_jsonl,
+    write_trace,
+)
+from repro.telemetry.metrics import DEFAULT_TIME_EDGES, MetricsRegistry
+from repro.telemetry.report import main as report_main
+from repro.telemetry.spans import (
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+# ------------------------------------------------------------- tracer core
+class TestTracer:
+    def test_null_tracer_is_the_default(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert tracer.enabled is False
+        # The disabled span is a shared singleton no-op context manager:
+        # the hot path pays one attribute lookup and nothing else.
+        a = tracer.span("compile", stack="nvcc")
+        b = tracer.span("exec.chunk")
+        assert a is b
+        with a:
+            pass
+        assert tracer.records() == [] and tracer.drain() == []
+
+    def test_set_tracer_returns_previous_and_none_restores_null(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer().enabled is False
+        # Explicit None also lands back on the shared null tracer.
+        before = set_tracer(None)
+        assert get_tracer().enabled is False
+        set_tracer(before)
+
+    def test_span_nesting_and_attribution(self):
+        tracer = Tracer()
+        with tracer.span("outer", stack="nvcc"):
+            with tracer.span("inner", opt="O3"):
+                time.sleep(0.002)
+        records = tracer.records()
+        # Inner exits (and records) first, but both carry their depth.
+        by_name = {r.name: r for r in records}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].dur_ns <= by_name["outer"].dur_ns
+        assert by_name["outer"].args == (("stack", "nvcc"),)
+        assert by_name["inner"].args == (("opt", "O3"),)
+        assert by_name["inner"].dur_ns >= 2_000_000  # the sleep
+        totals = tracer.totals_by_name()
+        assert totals["inner"] <= totals["outer"]
+
+    def test_merge_orders_by_chunk_not_arrival(self):
+        """Worker batches merged out of order still export in
+        submission order — the worker-count-invariance mechanism."""
+
+        def batch(tag):
+            local = Tracer()
+            local.record(f"{tag}.a", 100, 200)
+            local.record(f"{tag}.b", 200, 300)
+            return local.drain()
+
+        tracer = Tracer()
+        tracer.record("parent", 0, 50)
+        # Chunk 2 "arrives" before chunk 0.
+        tracer.merge(2, batch("late"))
+        tracer.merge(0, batch("early"))
+        names = [r.name for r in tracer.records()]
+        assert names == ["parent", "early.a", "early.b", "late.a", "late.b"]
+        chunks = [r.chunk for r in tracer.records()]
+        assert chunks == [-1, 0, 0, 2, 2]
+
+    def test_drain_clears_and_ships(self):
+        tracer = Tracer()
+        tracer.record("x", 0, 10)
+        shipped = tracer.drain()
+        assert [r.name for r in shipped] == ["x"]
+        assert tracer.records() == []
+
+    def test_max_records_drops_instead_of_growing(self):
+        tracer = Tracer(max_records=2)
+        for i in range(5):
+            tracer.record(f"s{i}", 0, 1)
+        assert len(tracer.records()) == 2
+        assert tracer.dropped == 3
+
+    def test_seconds_by_chunk_skips_parent_spans(self):
+        tracer = Tracer()
+        tracer.record("exec.chunk", 0, 1_000_000_000)  # parent, chunk=-1
+        tracer.record("exec.chunk", 0, 500_000_000, chunk=3)
+        assert tracer.seconds_by_chunk() == {3: 0.5}
+
+
+# ------------------------------------------------------------------ metrics
+class TestMetrics:
+    def test_histogram_buckets_are_deterministic(self):
+        values = [1e-7, 1e-6, 3e-5, 0.004, 0.26, 17.0, 1e6]
+
+        def build():
+            reg = MetricsRegistry()
+            hist = reg.histogram("lat")
+            for v in values:
+                hist.observe(v)
+            reg.counter("n").inc(len(values))
+            reg.gauge("g").set(3.5)
+            return reg.snapshot()
+
+        a, b = build(), build()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        hist = a["histograms"]["lat"]
+        assert tuple(hist["edges"]) == DEFAULT_TIME_EDGES
+        assert len(hist["counts"]) == len(DEFAULT_TIME_EDGES) + 1
+        assert sum(hist["counts"]) == hist["count"] == len(values)
+        assert hist["sum"] == pytest.approx(sum(values))
+        # 1e-7 is below the first edge; 1e6 is past the last.
+        assert hist["counts"][0] >= 1
+        assert hist["counts"][-1] >= 1
+
+    def test_counters_accumulate_and_snapshot_sorts(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2.0)
+        reg.counter("a").inc()
+        reg.counter("b").inc(0.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["b"] == pytest.approx(2.5)
+
+    def test_fold_exec_metrics_names_phases(self):
+        reg = MetricsRegistry()
+        fold_exec_metrics(
+            reg,
+            {
+                "requests": 10,
+                "phase_seconds": {"lookup": 0.5, "execute": 2.0, "commit": 0.25},
+                "store": {"hits": 3},  # non-scalar: ignored
+            },
+        )
+        counters = reg.snapshot()["counters"]
+        assert counters["phase.lookup_seconds"] == pytest.approx(0.5)
+        assert counters["phase.execute_seconds"] == pytest.approx(2.0)
+        assert counters["phase.commit_seconds"] == pytest.approx(0.25)
+        assert counters["exec.requests"] == pytest.approx(10.0)
+        assert "exec.store" not in counters
+
+
+# ------------------------------------------------------------------- export
+class TestExport:
+    def _records(self):
+        tracer = Tracer()
+        tracer.record("exec.chunk", 2_000_000, 5_000_000, chunk=0, requests=2)
+        tracer.record("compile", 2_500_000, 3_000_000, chunk=0, compiler="nvcc")
+        return tracer.records()
+
+    def test_chrome_trace_schema(self):
+        trace = chrome_trace(self._records())
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert isinstance(ev["name"], str)
+            assert isinstance(ev["ts"], float) and ev["ts"] >= 0.0
+            assert isinstance(ev["dur"], float) and ev["dur"] >= 0.0
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            assert ev["args"]["chunk"] == 0
+        # Timestamps are normalized to the earliest span (microseconds).
+        assert min(ev["ts"] for ev in events) == 0.0
+        assert events[0]["args"]["requests"] == 2
+
+    def test_write_trace_dispatches_on_suffix(self, tmp_path):
+        records = self._records()
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        write_trace(records, jsonl)
+        write_trace(records, chrome)
+        lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        assert [l["name"] for l in lines] == ["exec.chunk", "compile"]
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+    def test_span_jsonl_round_trips_args(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_span_jsonl(self._records(), path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["args"] == {"requests": 2}
+        assert first["chunk"] == 0
+
+    def test_fold_spans_builds_chunk_histogram(self):
+        reg = MetricsRegistry()
+        fold_spans(reg, self._records())
+        snap = reg.snapshot()
+        assert snap["counters"]["span.exec.chunk_seconds"] == pytest.approx(0.003)
+        assert snap["histograms"]["span.exec.chunk_seconds"]["count"] == 1
+
+
+# ------------------------------------------------------------------- report
+class TestReport:
+    def _snapshot(self, tmp_path, name, extra=0.0):
+        reg = MetricsRegistry()
+        reg.counter("phase.execute_seconds").inc(1.0 + extra)
+        reg.counter("span.exec.chunk_seconds").inc(2.0)
+        reg.gauge("workers").set(2)
+        reg.histogram("lat").observe(0.01)
+        path = tmp_path / name
+        write_metrics_snapshot(reg.snapshot(), path)
+        return path
+
+    def test_render(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path, "snap.json")
+        assert report_main(["render", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase.execute_seconds" in out
+        assert "workers" in out
+
+    def test_diff_shows_deltas(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path, "old.json")
+        new = self._snapshot(tmp_path, "new.json", extra=0.5)
+        assert report_main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "phase.execute_seconds" in out
+
+    def test_diff_identical_snapshots(self, tmp_path, capsys):
+        old = self._snapshot(tmp_path, "old.json")
+        new = self._snapshot(tmp_path, "new.json")
+        assert report_main(["diff", str(old), str(new)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_bad_input_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert report_main(["render", str(missing)]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]\n")
+        assert report_main(["render", str(bad)]) == 2
+        capsys.readouterr()
+
+
+# ------------------------------------------- out-of-band byte identity
+class TestOutOfBandContract:
+    """Tracing must never change an artifact: checkpoints, ledgers and
+    fingerprints are byte-identical with ``--trace-out`` at workers
+    0/2/4 vs an untraced serial baseline."""
+
+    def test_campaign_checkpoint_byte_identical(self, tmp_path):
+        """Checkpoint line order is legitimately scheduling-dependent
+        (resume keys steps, not lines), so the contract is: at each
+        worker count, tracing changes nothing; across worker counts,
+        the *content* (sorted lines) is identical."""
+        from repro.cli import main
+
+        def run(tag, workers, traced):
+            ckpt = tmp_path / f"ckpt-{tag}.jsonl"
+            argv = [
+                "--seed", "2024", "--fp64-programs", "8", "--no-fp32",
+                "--inputs", "2", "--workers", str(workers),
+                "--checkpoint", str(ckpt),
+            ]
+            if traced:
+                argv += ["--trace-out", str(tmp_path / f"trace-{tag}.json")]
+            assert main(argv) == 0
+            return ckpt.read_bytes()
+
+        baseline = run("serial", 0, traced=False)
+        assert baseline  # the run actually checkpointed something
+        # Serial scheduling is fully deterministic: tracing must not
+        # move a byte.
+        assert run("on-w0", 0, traced=True) == baseline
+        # Pooled runs may interleave completions differently between any
+        # two runs (traced or not), so compare content, not line order.
+        for workers in (2, 4):
+            traced = run(f"on-w{workers}", workers, traced=True)
+            assert sorted(traced.splitlines()) == sorted(baseline.splitlines()), workers
+
+    def test_fuzz_ledger_byte_identical(self, tmp_path):
+        from repro.fuzz.cli import main
+
+        def run(tag, workers, traced):
+            ledger = tmp_path / f"fuzz-{tag}.jsonl"
+            argv = [
+                "--seed", "11", "--seed-programs", "6", "--inputs", "2",
+                "--mutants", "10", "--batch", "5", "--no-minimize",
+                "--workers", str(workers), "--ledger", str(ledger),
+            ]
+            if traced:
+                argv += ["--trace-out", str(tmp_path / f"trace-{tag}.jsonl")]
+            assert main(argv) == 0
+            return ledger.read_bytes()
+
+        baseline = run("base", 0, traced=False)
+        assert baseline
+        for workers in (0, 2, 4):
+            assert run(f"w{workers}", workers, traced=True) == baseline, workers
+
+    def test_oracle_ledger_byte_identical(self, tmp_path):
+        from repro.oracle.cli import main
+
+        def run(tag, workers, traced):
+            ledger = tmp_path / f"oracle-{tag}.jsonl"
+            argv = [
+                "--seed", "11", "--programs", "6", "--inputs", "2",
+                "--workers", str(workers), "--ledger", str(ledger),
+            ]
+            if traced:
+                argv += ["--trace-out", str(tmp_path / f"trace-{tag}.json")]
+            assert main(argv) == 0
+            return ledger.read_bytes()
+
+        baseline = run("base", 0, traced=False)
+        assert baseline
+        for workers in (0, 2, 4):
+            assert run(f"w{workers}", workers, traced=True) == baseline, workers
+
+    def test_trace_out_writes_a_loadable_chrome_trace(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "--seed", "7", "--fp64-programs", "8", "--no-fp32",
+                    "--inputs", "2", "--workers", "2",
+                    "--trace-out", str(trace), "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(trace.read_text())
+        names = {ev["name"] for ev in data["traceEvents"]}
+        # Pool-backend phases and the exec layer both show up; compile
+        # spans prove worker-side spans were shipped back and merged.
+        assert "exec.chunk" in names
+        assert "pool.execute" in names
+        assert "compile" in names
+        snap = json.loads(metrics.read_text())
+        counters = snap["counters"]
+        assert counters.get("phase.execute_seconds", 0.0) > 0.0
+        assert "span.exec.chunk_seconds" in counters
+
+
+# ------------------------------------------------- phase-time aggregates
+class TestPhaseSeconds:
+    def test_campaign_json_exec_block_has_phase_seconds(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "campaign.json"
+        assert (
+            main(
+                [
+                    "--seed", "7", "--fp64-programs", "4", "--no-fp32",
+                    "--inputs", "2", "--json", str(out),
+                ]
+            )
+            == 0
+        )
+        phases = json.loads(out.read_text())["exec"]["phase_seconds"]
+        assert set(phases) == {"lookup", "execute", "commit"}
+        assert all(v >= 0.0 for v in phases.values())
+        assert phases["execute"] > 0.0
+
+
+# ------------------------------------------------- merge_trajectory gate
+def _load_merge_trajectory():
+    spec = importlib.util.spec_from_file_location(
+        "merge_trajectory", BENCH_DIR / "merge_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestMergeTrajectoryBaseline:
+    """Satellite: a missing or torn baseline warns and passes."""
+
+    def test_non_dict_baseline_is_skipped(self, tmp_path, capsys):
+        mod = _load_merge_trajectory()
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[1, 2, 3]\n")
+        rc = mod.main(
+            [
+                "--results-dir", str(tmp_path),
+                "--out", str(tmp_path / "trajectory.json"),
+                "--baseline", str(baseline),
+                "--fail-threshold", "2.0",
+            ]
+        )
+        assert rc == 0
+        assert "comparison skipped" in capsys.readouterr().err
+
+    def test_torn_baseline_is_skipped(self, tmp_path, capsys):
+        mod = _load_merge_trajectory()
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"meta": {"commit": "abc",')  # torn write
+        rc = mod.main(
+            [
+                "--results-dir", str(tmp_path),
+                "--out", str(tmp_path / "trajectory.json"),
+                "--baseline", str(baseline),
+                "--fail-threshold", "2.0",
+            ]
+        )
+        assert rc == 0
+        assert "comparison skipped" in capsys.readouterr().err
+        # The merged artifact is still written.
+        assert (tmp_path / "trajectory.json").exists()
+
+    def test_phases_fold_and_blame(self, tmp_path, capsys):
+        """metrics_snapshot.json seconds become the phases block, and a
+        tripped gate names the slowest-growing phase."""
+        mod = _load_merge_trajectory()
+
+        def night(dirname, mean, execute_seconds):
+            d = tmp_path / dirname
+            d.mkdir()
+            (d / "bench_fuzz_engine.json").write_text(
+                json.dumps(
+                    {
+                        "benchmarks": [
+                            {
+                                "name": "test_fuzz",
+                                "stats": {
+                                    "min": mean, "mean": mean, "max": mean,
+                                    "rounds": 3,
+                                },
+                            }
+                        ]
+                    }
+                )
+            )
+            (d / "metrics_snapshot.json").write_text(
+                json.dumps(
+                    {
+                        "counters": {
+                            "phase.execute_seconds": execute_seconds,
+                            "phase.lookup_seconds": 0.1,
+                        },
+                        "gauges": {},
+                        "histograms": {},
+                    }
+                )
+            )
+            return d
+
+        base_dir = night("base", mean=1.0, execute_seconds=1.0)
+        slow_dir = night("slow", mean=5.0, execute_seconds=4.0)
+        base_out = tmp_path / "base.json"
+        assert mod.main(
+            ["--results-dir", str(base_dir), "--out", str(base_out)]
+        ) == 0
+        assert json.loads(base_out.read_text())["phases"] == {
+            "phase.execute_seconds": 1.0,
+            "phase.lookup_seconds": 0.1,
+        }
+        capsys.readouterr()
+        rc = mod.main(
+            [
+                "--results-dir", str(slow_dir),
+                "--out", str(tmp_path / "slow.json"),
+                "--baseline", str(base_out),
+                "--fail-threshold", "2.0",
+            ]
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "phase.execute_seconds at 4.00x" in err
