@@ -9,10 +9,13 @@ three execution configurations the redesign enables:
   disk tier (this pass also writes the store the warm mode reads);
 * ``pool``      — ``ProcessPoolBackend``, the same chunks fanned out to
   spawn workers;
+* ``bridge``    — ``BridgeBackend`` against an in-process bridge server
+  with 2 local ``repro-worker`` processes: the same chunks leased over
+  HTTP, executed remotely, and merged back in submission order;
 * ``warm``      — ``SerialBackend`` again, reopening the disk store the
   first pass wrote: every CUDA-side run replays, zero nvcc executions.
 
-All three modes must produce identical discrepancy sets (the backends'
+All modes must produce identical discrepancy sets (the backends'
 ordered-results contract).  On multi-core hosts the pool must beat
 serial on wall clock and the warm store must beat a cold one; both perf
 assertions are informational at tiny (CI smoke) scale, and the pool one
@@ -35,9 +38,13 @@ pickle per chunk, so the pool pass carries a small known overhead.
 from __future__ import annotations
 
 import json
+import multiprocessing as mp
 import os
 import time
 
+from repro.bridge.client import BridgeBackend
+from repro.bridge.server import start_server
+from repro.bridge.worker import run_worker
 from repro.exec import (
     ExecutionService,
     ProcessPoolBackend,
@@ -148,6 +155,41 @@ def test_exec_service_throughput(results_dir):
     finally:
         set_tracer(previous)
     records = tracer.records()
+
+    # Bridge pass: a real (if colocated) fleet — in-process HTTP server,
+    # two spawned repro-worker processes pulling leases over the wire.
+    bridge_workers = 2
+    queue_db = results_dir / "exec_service.bridge_queue.sqlite"
+    if queue_db.exists():
+        queue_db.unlink()
+    server = start_server(queue_db, lease_seconds=60.0)
+    ctx = mp.get_context("spawn")
+    procs = [
+        ctx.Process(
+            target=run_worker,
+            args=(server.url,),
+            kwargs=dict(
+                worker_id=f"bench-w{i}",
+                poll_seconds=0.05,
+                max_idle_seconds=60.0,
+            ),
+            daemon=True,
+        )
+        for i in range(bridge_workers)
+    ]
+    for p in procs:
+        p.start()
+    try:
+        bridge_s, bridge_t, bridge_keys = _run(
+            ExecutionService(BridgeBackend(server.url, poll_seconds=1.0)), chunks
+        )
+    finally:
+        for p in procs:
+            p.terminate()
+        for p in procs:
+            p.join(timeout=10)
+        server.close()
+
     warm_s, warm_t, warm_keys = _run(
         ExecutionService(SerialBackend(), RunStore(path=store_path, max_entries=4096)),
         chunks,
@@ -155,8 +197,8 @@ def test_exec_service_throughput(results_dir):
 
     # Correctness first: every mode finds the same discrepancies and the
     # twin's CUDA half always rides the cache.
-    assert serial_keys == pool_keys == warm_keys
-    assert serial_t == pool_t
+    assert serial_keys == pool_keys == bridge_keys == warm_keys
+    assert serial_t == pool_t == bridge_t
     assert serial_t["nvcc_cache_hits"] == serial_t["nvcc_executions"]
     # The warm store serves the *entire* CUDA side from disk.
     assert warm_t["nvcc_executions"] == 0
@@ -196,6 +238,7 @@ def test_exec_service_throughput(results_dir):
     rows = [
         ("serial (cold store)", serial_s, serial_t),
         (f"pool (workers={workers})", pool_s, pool_t),
+        (f"bridge (workers={bridge_workers})", bridge_s, bridge_t),
         ("serial (warm store)", warm_s, warm_t),
     ]
     lines = [
@@ -235,8 +278,11 @@ def test_exec_service_throughput(results_dir):
         "pair_runs": serial_t["pair_runs"],
         "serial_seconds": round(serial_s, 3),
         "pool_seconds": round(pool_s, 3),
+        "bridge_seconds": round(bridge_s, 3),
+        "bridge_workers": bridge_workers,
         "warm_seconds": round(warm_s, 3),
         "pool_speedup": round(serial_s / pool_s, 3) if pool_s else None,
+        "bridge_speedup": round(serial_s / bridge_s, 3) if bridge_s else None,
         "warm_speedup": round(serial_s / warm_s, 3) if warm_s else None,
         "pool_phase_seconds": phase_totals,
         "pool_wall_attribution": round(attribution, 3),

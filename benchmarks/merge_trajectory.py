@@ -11,7 +11,17 @@ under ``benchmarks/results/`` into a single ``trajectory.json``:
   environment when present, so points can be ordered across nights);
 * one entry per pytest-benchmark JSON (min/mean/max seconds per bench);
 * a ``fuzz_smoke`` block summarizing the nightly fuzz ledger (iterations,
-  batches, finding count) parsed directly from the JSONL.
+  batches, finding count) parsed directly from the JSONL;
+* a ``bridge`` block lifted from the exec-service summary when that run
+  included the bridge lane (seconds / workers / speedup vs serial).
+
+New benches and lanes are gate-safe on first appearance by
+construction: the regression gate compares only pytest-benchmark
+entries present in *both* artifacts, pass-through summaries (the
+exec-service dict, and the ``bridge`` block lifted from it) carry no
+comparable timing shape, and ``only_current`` / ``only_baseline``
+benches are recorded but never fail — so adding a lane can never trip
+the >2x gate the night it lands.
 
 **Regression gate** (``--baseline``): given the previous night's
 ``trajectory.json``, every bench present in both artifacts is compared
@@ -221,6 +231,17 @@ def merge(results_dir: Path) -> Dict[str, object]:
         path = results_dir / filename
         if path.exists():
             benchmarks[name] = _summarize_pytest_benchmark(path)
+    # Lift the bridge lane out of the exec-service summary so the fleet's
+    # trajectory is a first-class block, not a field buried in a
+    # pass-through dict.  Gate-safe: nothing here has the per-bench list
+    # shape ``_bench_means`` folds into the comparison.
+    exec_summary = benchmarks.get("exec_service_bench")
+    if isinstance(exec_summary, dict) and "bridge_seconds" in exec_summary:
+        payload["bridge"] = {
+            "seconds": exec_summary.get("bridge_seconds"),
+            "workers": exec_summary.get("bridge_workers"),
+            "speedup_vs_serial": exec_summary.get("bridge_speedup"),
+        }
     ledger = results_dir / FUZZ_LEDGER
     if ledger.exists():
         payload["fuzz_smoke"] = _summarize_fuzz_ledger(ledger)

@@ -1,0 +1,270 @@
+"""Client side of the bridge: the HTTP wrapper and the Backend.
+
+:class:`BridgeClient` is a thin JSON-over-HTTP wrapper (``urllib`` —
+stdlib only) that turns transport and server errors into
+:class:`BridgeError`.  :class:`BridgeBackend` implements the
+:class:`~repro.exec.backends.Backend` protocol on top of it:
+
+* ``imap(fn, payloads)`` pickles each ``(fn, payload)`` pair (the
+  process-pool contract: module-level functions, picklable payloads),
+  submits the whole batch under a fresh run id, then long-polls
+  ``/v1/results`` and yields **in submission-order chunk index** no
+  matter which worker finished first — the single rule that keeps every
+  caller's ledgers, checkpoints, and content keys byte-identical to a
+  serial run at any worker count.
+* ``imap_unordered`` does the same: submission order is a valid
+  completion order, and choosing it deterministically costs nothing
+  (callers of the unordered path re-associate by embedded index anyway).
+
+**Telemetry** (active tracer only): ``bridge.enqueue`` wraps the submit
+POST, and per chunk the worker-stamped ``enqueue_ns/start_ns/end_ns``
+(same-machine CLOCK_MONOTONIC — see :mod:`~repro.bridge.schemas`) yield
+``bridge.queue_wait`` / ``bridge.execute`` / ``bridge.result_wait``
+records tiling [submit, arrive] exactly like the pool backend's four
+phases.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bridge.schemas import (
+    PROTOCOL_VERSION,
+    JobResult,
+    LeasedJob,
+    decode_blob,
+    encode_blob,
+)
+from repro.errors import HarnessError
+from repro.telemetry.spans import get_tracer
+
+__all__ = ["BridgeError", "BridgeClient", "BridgeBackend"]
+
+
+class BridgeError(HarnessError):
+    """The bridge is unreachable, refused a request, or a chunk failed."""
+
+
+class BridgeClient:
+    """JSON-over-HTTP wrapper around one bridge server."""
+
+    def __init__(self, url: str, *, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -------------------------------------------------------- transport
+    def _request(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        if body is None:
+            req = urllib.request.Request(self.url + path, method="GET")
+        else:
+            payload = dict(body)
+            payload["protocol"] = PROTOCOL_VERSION
+            req = urllib.request.Request(
+                self.url + path,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (json.JSONDecodeError, OSError):
+                detail = ""
+            raise BridgeError(
+                f"bridge {self.url}{path} refused ({exc.code})"
+                + (f": {detail}" if detail else "")
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise BridgeError(
+                f"bridge {self.url} unreachable: {exc}. Is `repro-bridge "
+                "serve` running at that address?"
+            ) from None
+
+    # --------------------------------------------------------- protocol
+    def health(self) -> Dict[str, Any]:
+        info = self._request("/v1/health")
+        got = info.get("protocol")
+        if got != PROTOCOL_VERSION:
+            raise BridgeError(
+                f"bridge {self.url} speaks protocol {got!r}, this client "
+                f"speaks {PROTOCOL_VERSION}; upgrade the older side"
+            )
+        return info
+
+    def submit(self, run_id: str, jobs: List[Tuple[int, str]]) -> int:
+        return int(
+            self._request("/v1/submit", {"run_id": run_id, "jobs": jobs})[
+                "accepted"
+            ]
+        )
+
+    def lease(self, worker: str, max_jobs: int = 1) -> List[LeasedJob]:
+        data = self._request(
+            "/v1/lease", {"worker": worker, "max_jobs": max_jobs}
+        )
+        return [LeasedJob.from_json(item) for item in data["jobs"]]
+
+    def heartbeat(self, worker: str, job_ids: List[int]) -> List[int]:
+        data = self._request(
+            "/v1/heartbeat", {"worker": worker, "job_ids": job_ids}
+        )
+        return [int(j) for j in data["kept"]]
+
+    def complete(
+        self,
+        job_id: int,
+        worker: str,
+        lease_token: str,
+        result: str,
+        *,
+        start_ns: Optional[int] = None,
+        end_ns: Optional[int] = None,
+    ) -> bool:
+        return bool(
+            self._request(
+                "/v1/complete",
+                {
+                    "job_id": job_id,
+                    "worker": worker,
+                    "lease_token": lease_token,
+                    "result": result,
+                    "start_ns": start_ns,
+                    "end_ns": end_ns,
+                },
+            )["committed"]
+        )
+
+    def fail(self, job_id: int, worker: str, lease_token: str, error: str) -> bool:
+        return bool(
+            self._request(
+                "/v1/fail",
+                {
+                    "job_id": job_id,
+                    "worker": worker,
+                    "lease_token": lease_token,
+                    "error": error,
+                },
+            )["accepted"]
+        )
+
+    def results(self, run_id: str, wait_seconds: float = 0.0) -> List[JobResult]:
+        data = self._request(
+            "/v1/results", {"run_id": run_id, "wait_seconds": wait_seconds}
+        )
+        return [JobResult.from_json(item) for item in data["results"]]
+
+    def cancel(self, run_id: str) -> int:
+        return int(self._request("/v1/cancel", {"run_id": run_id})["dropped"])
+
+
+class BridgeBackend:
+    """Ordered chunk execution through a bridge server fleet."""
+
+    name = "bridge"
+    remote = True
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        client: Optional[BridgeClient] = None,
+        poll_seconds: float = 5.0,
+    ) -> None:
+        self.client = client if client is not None else BridgeClient(url)
+        self.poll_seconds = poll_seconds
+        # Fail fast and loudly — a campaign should not build all its
+        # chunks before learning the bridge is down or version-skewed.
+        self.client.health()
+
+    def imap(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        return self._run(fn, payloads)
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], payloads: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Submission order — a valid (and deterministic) completion order."""
+        return self._run(fn, payloads)
+
+    def close(self) -> None:
+        pass  # stateless: every run cancels itself on abandonment
+
+    # ---------------------------------------------------------- the run
+    def _run(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> Iterator[Any]:
+        tracer = get_tracer()
+        run_id = f"run-{os.urandom(8).hex()}"
+        jobs = [
+            (index, encode_blob((fn, payload)))
+            for index, payload in enumerate(payloads)
+        ]
+        if not jobs:
+            return
+        t0 = time.perf_counter_ns()
+        self.client.submit(run_id, jobs)
+        if tracer.enabled:
+            tracer.record(
+                "bridge.enqueue", t0, time.perf_counter_ns(), jobs=len(jobs)
+            )
+        buffered: Dict[int, JobResult] = {}
+        next_index = 0
+        try:
+            while next_index < len(jobs):
+                for res in self.client.results(
+                    run_id, wait_seconds=self.poll_seconds
+                ):
+                    buffered[res.index] = res
+                while next_index in buffered:
+                    res = buffered.pop(next_index)
+                    if res.error is not None:
+                        raise BridgeError(
+                            f"bridge chunk {res.index} failed after "
+                            f"{res.attempts} attempt(s); last error:\n"
+                            f"{res.error}"
+                        )
+                    arrive_ns = time.perf_counter_ns()
+                    if (
+                        tracer.enabled
+                        and res.enqueue_ns is not None
+                        and res.start_ns is not None
+                        and res.end_ns is not None
+                    ):
+                        tracer.record(
+                            "bridge.queue_wait",
+                            res.enqueue_ns,
+                            res.start_ns,
+                            chunk=res.index,
+                        )
+                        tracer.record(
+                            "bridge.execute",
+                            res.start_ns,
+                            res.end_ns,
+                            chunk=res.index,
+                            worker=res.worker,
+                            attempts=res.attempts,
+                        )
+                        tracer.record(
+                            "bridge.result_wait",
+                            res.end_ns,
+                            arrive_ns,
+                            chunk=res.index,
+                        )
+                    assert res.result is not None
+                    yield decode_blob(res.result)
+                    next_index += 1
+        finally:
+            if next_index < len(jobs):
+                # Abandoned mid-run (error or closed generator): drop the
+                # run's jobs so the queue does not accrete orphans.
+                try:
+                    self.client.cancel(run_id)
+                except BridgeError:
+                    pass

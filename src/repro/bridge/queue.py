@@ -1,0 +1,348 @@
+"""The durable job queue behind the bridge server.
+
+One SQLite database (WAL mode) holds every in-flight chunk.  The state
+machine is deliberately small::
+
+    pending ──lease──▶ leased ──complete──▶ done ──collect──▶ (deleted)
+       ▲                 │
+       │   lease expiry /│ fail (attempts left)
+       └─────────────────┘
+                         │ fail / expiry with attempts exhausted
+                         ▼
+                       failed ──collect──▶ (deleted)
+
+Durability contract:
+
+* **Submitted is durable** — a job row survives server restarts (the
+  queue is the database file); on reopen every ``leased`` row is
+  re-queued, because the lease deadlines of the dead process's
+  monotonic clock are meaningless in the new one.
+* **Leases expire** — a worker must heartbeat within ``lease_seconds``;
+  a killed worker stops heartbeating, the next queue scan re-queues its
+  chunks, and another worker executes them.  Expiry counts against
+  ``max_attempts`` so a chunk that kills every worker it touches lands
+  in ``failed`` with a diagnosis instead of looping forever.
+* **Commit is exactly-once** — completing is a single guarded UPDATE:
+  it succeeds only while the job is still ``pending`` (expired and not
+  yet re-leased — the late result is accepted, saving the retry) or
+  ``leased`` under the presenting worker's own token.  A second
+  completion, or one presenting a stale token after the chunk was
+  re-leased, changes zero rows and is reported uncommitted.
+* **Collection is destructive** — results belong to exactly one client
+  (the submitting backend); collecting a run's finished rows deletes
+  them, so the database never accretes history.
+
+All timestamps that order events within the queue use
+``time.monotonic()``; the ``*_ns`` telemetry stamps ride through
+untouched (see :mod:`~repro.bridge.schemas`).
+
+The queue is thread-safe behind one connection + lock: the bridge
+server is its only writer, and its request volume (chunks, not runs) is
+far below SQLite's write ceiling.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bridge.schemas import JobResult, LeasedJob
+
+__all__ = ["JobQueue"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id         TEXT    NOT NULL,
+    chunk_index    INTEGER NOT NULL,
+    payload        TEXT,
+    state          TEXT    NOT NULL DEFAULT 'pending',
+    worker         TEXT,
+    lease_token    TEXT,
+    lease_deadline REAL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    error          TEXT,
+    result         TEXT,
+    enqueue_ns     INTEGER,
+    start_ns       INTEGER,
+    end_ns         INTEGER,
+    UNIQUE (run_id, chunk_index)
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, job_id);
+CREATE INDEX IF NOT EXISTS jobs_run ON jobs (run_id, state);
+"""
+
+
+class JobQueue:
+    """SQLite-backed durable chunk queue with lease/ack semantics."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.path = Path(path)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = max_attempts
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One connection + one lock: the server's handler threads
+        # serialize here, which is simpler (and at chunk granularity no
+        # slower) than a connection pool.
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            # Leases from a previous server process reference a dead
+            # monotonic clock; re-queue them all.
+            self._conn.execute(
+                "UPDATE jobs SET state='pending', worker=NULL, lease_token=NULL,"
+                " lease_deadline=NULL WHERE state='leased'"
+            )
+            self._conn.commit()
+
+    # ------------------------------------------------------------- intake
+    def submit(self, run_id: str, jobs: Sequence[Tuple[int, str]]) -> int:
+        """Enqueue ``(chunk_index, payload_b64)`` jobs; returns the count.
+
+        Re-submitting an existing ``(run_id, index)`` is ignored (the
+        first submission wins), so a client retrying a half-delivered
+        batch cannot duplicate work.
+        """
+        now_ns = time.perf_counter_ns()
+        with self._lock:
+            cur = self._conn.executemany(
+                "INSERT OR IGNORE INTO jobs (run_id, chunk_index, payload,"
+                " enqueue_ns) VALUES (?, ?, ?, ?)",
+                [(run_id, index, payload, now_ns) for index, payload in jobs],
+            )
+            self._conn.commit()
+            return cur.rowcount if cur.rowcount >= 0 else len(jobs)
+
+    # -------------------------------------------------------------- lease
+    def _expire_stale_leases_locked(self, now: float) -> None:
+        """Re-queue expired leases; exhausted chunks become ``failed``.
+
+        Called with the lock held, before every lease/collect scan —
+        lazy expiry needs no background thread and is exact enough: an
+        expired chunk is re-queued by whichever request looks next.
+        """
+        rows = self._conn.execute(
+            "SELECT job_id, attempts, worker FROM jobs"
+            " WHERE state='leased' AND lease_deadline < ?",
+            (now,),
+        ).fetchall()
+        for job_id, attempts, worker in rows:
+            if attempts >= self.max_attempts:
+                self._conn.execute(
+                    "UPDATE jobs SET state='failed', error=?, worker=NULL,"
+                    " lease_token=NULL, lease_deadline=NULL WHERE job_id=?",
+                    (
+                        f"lease expired {attempts} times (last worker"
+                        f" {worker!r} died or stalled mid-chunk)",
+                        job_id,
+                    ),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET state='pending', worker=NULL,"
+                    " lease_token=NULL, lease_deadline=NULL WHERE job_id=?",
+                    (job_id,),
+                )
+
+    def lease(self, worker: str, max_jobs: int = 1) -> List[LeasedJob]:
+        """Hand up to ``max_jobs`` pending chunks to ``worker``.
+
+        Chunks are leased in ``job_id`` order (submission order), which
+        keeps the head of the pipeline — the result the ordered client
+        is waiting on — first in line.
+        """
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        now = time.monotonic()
+        leased: List[LeasedJob] = []
+        with self._lock:
+            self._expire_stale_leases_locked(now)
+            rows = self._conn.execute(
+                "SELECT job_id, run_id, chunk_index, payload FROM jobs"
+                " WHERE state='pending' ORDER BY job_id LIMIT ?",
+                (max_jobs,),
+            ).fetchall()
+            for job_id, run_id, index, payload in rows:
+                token = os.urandom(8).hex()
+                self._conn.execute(
+                    "UPDATE jobs SET state='leased', worker=?, lease_token=?,"
+                    " lease_deadline=?, attempts=attempts+1 WHERE job_id=?",
+                    (worker, token, now + self.lease_seconds, job_id),
+                )
+                leased.append(
+                    LeasedJob(
+                        job_id=job_id,
+                        run_id=run_id,
+                        index=index,
+                        payload=payload,
+                        lease_token=token,
+                        lease_seconds=self.lease_seconds,
+                    )
+                )
+            self._conn.commit()
+        return leased
+
+    def heartbeat(self, worker: str, job_ids: Sequence[int]) -> List[int]:
+        """Extend the named leases; returns the job ids still held.
+
+        A job missing from the return value was lost — its lease
+        expired and it was re-queued (or finished elsewhere) — and the
+        worker should abandon it rather than commit a result that will
+        be rejected anyway.
+        """
+        now = time.monotonic()
+        kept: List[int] = []
+        with self._lock:
+            for job_id in job_ids:
+                cur = self._conn.execute(
+                    "UPDATE jobs SET lease_deadline=? WHERE job_id=?"
+                    " AND state='leased' AND worker=?",
+                    (now + self.lease_seconds, job_id, worker),
+                )
+                if cur.rowcount:
+                    kept.append(job_id)
+            self._conn.commit()
+        return kept
+
+    # ------------------------------------------------------------- commit
+    def complete(
+        self,
+        job_id: int,
+        worker: str,
+        lease_token: str,
+        result: str,
+        *,
+        start_ns: Optional[int] = None,
+        end_ns: Optional[int] = None,
+    ) -> bool:
+        """Commit one chunk's result; returns whether the commit won.
+
+        The guarded UPDATE is the exactly-once mechanism: only the
+        holder of the current lease token — or a late result arriving
+        while the chunk sits re-queued but not yet re-leased — can move
+        the job to ``done``, and only once.
+        """
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state='done', result=?, start_ns=?, end_ns=?,"
+                " worker=?, lease_token=NULL, lease_deadline=NULL, error=NULL"
+                " WHERE job_id=? AND (state='pending'"
+                "   OR (state='leased' AND lease_token=?))",
+                (result, start_ns, end_ns, worker, job_id, lease_token),
+            )
+            self._conn.commit()
+            return cur.rowcount == 1
+
+    def fail(self, job_id: int, worker: str, lease_token: str, error: str) -> bool:
+        """Report an execution error; re-queues or fails terminally.
+
+        Returns True when the report was accepted (the worker held the
+        lease).  With attempts left the chunk goes back to ``pending``;
+        otherwise it lands in ``failed`` carrying the traceback, which
+        the client surfaces instead of hanging forever.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT attempts FROM jobs WHERE job_id=? AND state='leased'"
+                " AND lease_token=?",
+                (job_id, lease_token),
+            ).fetchone()
+            if row is None:
+                return False
+            state = "failed" if row[0] >= self.max_attempts else "pending"
+            self._conn.execute(
+                "UPDATE jobs SET state=?, error=?, worker=NULL,"
+                " lease_token=NULL, lease_deadline=NULL WHERE job_id=?",
+                (state, error if state == "failed" else None, job_id),
+            )
+            self._conn.commit()
+            return True
+
+    # ------------------------------------------------------------ collect
+    def collect(self, run_id: str) -> List[JobResult]:
+        """Remove and return a run's finished chunks (done or failed)."""
+        with self._lock:
+            self._expire_stale_leases_locked(time.monotonic())
+            rows = self._conn.execute(
+                "SELECT job_id, chunk_index, result, error, attempts, worker,"
+                " enqueue_ns, start_ns, end_ns FROM jobs WHERE run_id=?"
+                " AND state IN ('done', 'failed') ORDER BY chunk_index",
+                (run_id,),
+            ).fetchall()
+            if rows:
+                self._conn.executemany(
+                    "DELETE FROM jobs WHERE job_id=?",
+                    [(row[0],) for row in rows],
+                )
+                self._conn.commit()
+        return [
+            JobResult(
+                index=index,
+                result=result,
+                error=error,
+                attempts=attempts,
+                worker=worker or "",
+                enqueue_ns=enqueue_ns,
+                start_ns=start_ns,
+                end_ns=end_ns,
+            )
+            for (_id, index, result, error, attempts, worker,
+                 enqueue_ns, start_ns, end_ns) in rows
+        ]
+
+    def cancel(self, run_id: str) -> int:
+        """Drop every job of a run (an abandoned client's cleanup)."""
+        with self._lock:
+            cur = self._conn.execute(
+                "DELETE FROM jobs WHERE run_id=?", (run_id,)
+            )
+            self._conn.commit()
+            return cur.rowcount
+
+    # ------------------------------------------------------------- status
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        out = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for state, count in rows:
+            out[str(state)] = int(count)
+        return out
+
+    def attempts_for(self, run_id: str, index: int) -> Optional[int]:
+        """Attempt count of one live job (None once collected/unknown)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT attempts FROM jobs WHERE run_id=? AND chunk_index=?",
+                (run_id, index),
+            ).fetchone()
+        return None if row is None else int(row[0])
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

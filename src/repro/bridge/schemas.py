@@ -1,0 +1,134 @@
+"""Wire shapes of the bridge protocol.
+
+Every bridge message is a JSON object; the opaque chunk payloads and
+results inside them are pickled and base64-armored by :func:`encode_blob`
+/ :func:`decode_blob` — the same pickling contract the process-pool
+backend already imposes (module-level functions, picklable requests), so
+anything that runs on the pool runs through the bridge unchanged.
+
+The dataclasses here are deliberately dumb records: the queue, server,
+worker, and client all speak exactly these shapes, and ``to_json`` /
+``from_json`` are the only (de)serialization sites, so a field added
+here is a field added everywhere at once.
+
+Timestamps (``enqueue_ns`` / ``start_ns`` / ``end_ns``) are
+``time.perf_counter_ns()`` stamps: CLOCK_MONOTONIC on Linux is
+system-wide, so server-, worker-, and client-side stamps of a
+*same-machine* fleet share one clock and the four bridge phases tile
+each chunk's [submit, arrive] interval exactly like the pool backend's.
+Across machines the durations stay honest but absolute placement skews;
+the client only ever subtracts same-origin stamps.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode_blob",
+    "decode_blob",
+    "LeasedJob",
+    "JobResult",
+]
+
+#: Bumped when a wire shape changes incompatibly; the client sends it on
+#: every request and the server refuses mismatches loudly instead of
+#: mis-parsing a newer (or older) fleet's messages.
+PROTOCOL_VERSION = 1
+
+
+def encode_blob(obj: Any) -> str:
+    """Pickle + base64: the armor every opaque payload/result rides in."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_blob(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """One chunk handed to a worker, with its lease bookkeeping."""
+
+    job_id: int
+    run_id: str
+    index: int
+    #: base64-armored pickle of ``(fn, payload)``.
+    payload: str
+    #: opaque token naming this lease; completion must present it (a
+    #: late result from an expired, re-leased chunk is rejected).
+    lease_token: str
+    #: how long the lease lasts without a heartbeat, in seconds.
+    lease_seconds: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "run_id": self.run_id,
+            "index": self.index,
+            "payload": self.payload,
+            "lease_token": self.lease_token,
+            "lease_seconds": self.lease_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "LeasedJob":
+        return cls(
+            job_id=int(data["job_id"]),
+            run_id=str(data["run_id"]),
+            index=int(data["index"]),
+            payload=str(data["payload"]),
+            lease_token=str(data["lease_token"]),
+            lease_seconds=float(data["lease_seconds"]),
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One completed (or terminally failed) chunk, as the client collects it."""
+
+    index: int
+    #: base64-armored pickle of the chunk's return value; ``None`` when
+    #: the job failed terminally (see ``error``).
+    result: Optional[str]
+    #: traceback text of a terminal failure; ``None`` on success.
+    error: Optional[str]
+    #: how many times the chunk was leased (1 = first execution
+    #: committed; 2 = one lease expired or failed and the re-queued
+    #: chunk committed on the retry).
+    attempts: int
+    worker: str
+    enqueue_ns: Optional[int] = None
+    start_ns: Optional[int] = None
+    end_ns: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "result": self.result,
+            "error": self.error,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "enqueue_ns": self.enqueue_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "JobResult":
+        return cls(
+            index=int(data["index"]),
+            result=data.get("result"),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
+            worker=str(data.get("worker", "")),
+            enqueue_ns=data.get("enqueue_ns"),
+            start_ns=data.get("start_ns"),
+            end_ns=data.get("end_ns"),
+        )

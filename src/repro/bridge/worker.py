@@ -1,0 +1,203 @@
+"""The ``repro-worker`` pull loop: lease, execute, commit, repeat.
+
+A worker is deliberately stateless — every piece of context rides inside
+the leased payload (a pickled ``(fn, payload)`` pair, executed through
+the same module-level chunk entry points the process pool uses), so any
+worker can execute any chunk and killing one loses nothing: its lease
+expires and the chunk is re-queued (see :mod:`~repro.bridge.queue`).
+
+While a chunk executes, a background heartbeat thread extends its lease
+every ``lease_seconds / 3``; a chunk slower than its lease therefore
+survives, while a *dead* worker's silence expires it.  If a heartbeat
+reports the lease lost (the server restarted, or an operator cancelled
+the run), the worker finishes the chunk anyway and lets the guarded
+commit reject the stale result — execution here is idempotent-by-design
+(pure functions of the request), so the wasted work is the only cost.
+
+Execution errors are reported via ``/v1/fail`` with the full traceback:
+the queue retries on another worker until ``max_attempts``, then parks
+the chunk as ``failed`` for the client to surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import List, Optional
+
+from repro.bridge.client import BridgeClient, BridgeError
+from repro.bridge.schemas import LeasedJob, decode_blob, encode_blob
+
+__all__ = ["run_worker", "main"]
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class _Heartbeater:
+    """Extends one job's lease on a background thread while it executes."""
+
+    def __init__(
+        self, client: BridgeClient, worker: str, job: LeasedJob
+    ) -> None:
+        self._client = client
+        self._worker = worker
+        self._job = job
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{job.job_id}", daemon=True
+        )
+        self.lost = False
+
+    def _loop(self) -> None:
+        interval = max(self._job.lease_seconds / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            try:
+                kept = self._client.heartbeat(self._worker, [self._job.job_id])
+            except BridgeError:
+                continue  # transient server hiccup; the lease may survive
+            if self._job.job_id not in kept:
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_Heartbeater":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _execute_job(client: BridgeClient, worker: str, job: LeasedJob) -> bool:
+    """Run one leased chunk; returns whether a result was committed."""
+    with _Heartbeater(client, worker, job):
+        try:
+            fn, payload = decode_blob(job.payload)
+            start_ns = time.perf_counter_ns()
+            result = fn(payload)
+            end_ns = time.perf_counter_ns()
+        except BaseException:
+            client.fail(
+                job.job_id, worker, job.lease_token, traceback.format_exc()
+            )
+            return False
+    return client.complete(
+        job.job_id,
+        worker,
+        job.lease_token,
+        encode_blob(result),
+        start_ns=start_ns,
+        end_ns=end_ns,
+    )
+
+
+def run_worker(
+    url: str,
+    *,
+    worker_id: Optional[str] = None,
+    max_jobs: int = 1,
+    poll_seconds: float = 0.5,
+    max_idle_seconds: Optional[float] = None,
+    max_chunks: Optional[int] = None,
+    stop_event: Optional[threading.Event] = None,
+) -> int:
+    """Pull-execute-commit until told (or timed) to stop.
+
+    Returns the number of chunks whose results this worker committed.
+    ``max_idle_seconds`` / ``max_chunks`` / ``stop_event`` are the three
+    exit conditions (tests and benches use them; the CLI runs until
+    signalled).
+    """
+    client = BridgeClient(url)
+    client.health()
+    worker = worker_id if worker_id is not None else default_worker_id()
+    committed = 0
+    idle_since: Optional[float] = None
+    while stop_event is None or not stop_event.is_set():
+        if max_chunks is not None and committed >= max_chunks:
+            break
+        try:
+            jobs = client.lease(worker, max_jobs)
+        except BridgeError:
+            if stop_event is not None:
+                break  # in-process server went away; test is over
+            raise
+        if not jobs:
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif (
+                max_idle_seconds is not None
+                and now - idle_since >= max_idle_seconds
+            ):
+                break
+            time.sleep(poll_seconds)
+            continue
+        idle_since = None
+        for job in jobs:
+            if _execute_job(client, worker, job):
+                committed += 1
+    return committed
+
+
+# ------------------------------------------------------------------ CLI
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Stateless execution worker for a repro bridge server.",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8377", help="bridge server URL"
+    )
+    parser.add_argument(
+        "--id",
+        default=None,
+        help="worker id shown in leases/results (default host:pid)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=1,
+        help="chunks to lease per request (keep at 1 for best pipelining)",
+    )
+    parser.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=0.5,
+        help="sleep between empty lease polls",
+    )
+    parser.add_argument(
+        "--max-idle-seconds",
+        type=float,
+        default=None,
+        help="exit after this long without work (default: run until killed)",
+    )
+    args = parser.parse_args(argv)
+    worker = args.id if args.id is not None else default_worker_id()
+    print(
+        f"worker {worker} pulling from {args.url}",
+        file=sys.stderr,
+    )
+    try:
+        committed = run_worker(
+            args.url,
+            worker_id=worker,
+            max_jobs=args.max_jobs,
+            poll_seconds=args.poll_seconds,
+            max_idle_seconds=args.max_idle_seconds,
+        )
+    except KeyboardInterrupt:
+        return 130
+    print(f"worker {worker} exiting ({committed} chunks)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

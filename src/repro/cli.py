@@ -47,6 +47,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers", type=int, default=None, help="process-pool size (0 = serial)"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "pool", "bridge"],
+        default=None,
+        help="execution backend (default: serial or pool from --workers; "
+        "bridge routes chunks through a repro-bridge server fleet)",
+    )
+    parser.add_argument(
+        "--bridge-url",
+        metavar="URL",
+        default=None,
+        help="address of a running `repro-bridge serve` (with --backend bridge)",
+    )
     parser.add_argument("--fp64-programs", type=int, default=None, help="override FP64 program count")
     parser.add_argument("--fp32-programs", type=int, default=None, help="override FP32 program count")
     parser.add_argument("--fp16-programs", type=int, default=None, help="override FP16 program count")
@@ -112,6 +125,10 @@ def _config_from_args(
             parser.error(f"{name} must be >= {minimum} (got {value})")
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.backend == "bridge" and not args.bridge_url:
+        parser.error("--backend bridge requires --bridge-url")
+    if args.bridge_url and args.backend != "bridge":
+        parser.error("--bridge-url requires --backend bridge")
     if args.oracle_programs is not None and not args.oracle:
         parser.error("--oracle-programs requires --oracle")
     stacks = DEFAULT_STACK_PAIR
@@ -146,6 +163,8 @@ def _config_from_args(
         ),
         stacks=stacks,
         workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend,
+        bridge_url=args.bridge_url,
     )
 
 

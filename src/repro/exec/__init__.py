@@ -10,8 +10,9 @@ owns that primitive once, as data plus policy:
   kernels with identical inputs share one identity;
 * :mod:`~repro.exec.store` — the two-tier content-keyed
   :class:`RunStore` (memory LRU + optional on-disk JSONL);
-* :mod:`~repro.exec.backends` — ordered chunk execution, serial or on a
-  persistent process pool, deterministic at any worker count;
+* :mod:`~repro.exec.backends` — ordered chunk execution, serial, on a
+  persistent process pool, or through a :mod:`repro.bridge` worker
+  fleet, deterministic at any worker count;
 * :mod:`~repro.exec.service` — the :class:`ExecutionService` facade:
   dedup, store routing, dispatch, metrics.
 
@@ -24,6 +25,7 @@ from repro.exec.backends import (
     ProcessPoolBackend,
     SerialBackend,
     make_backend,
+    resolve_backend,
 )
 from repro.exec.content import content_id, content_text, content_id_for
 from repro.exec.service import ExecMetrics, ExecutionService
@@ -51,6 +53,7 @@ __all__ = [
     "NO_CACHE",
     "ProcessPoolBackend",
     "RunnerSpec",
+    "resolve_backend",
     "RunStore",
     "SerialBackend",
     "SHARED_CACHE",

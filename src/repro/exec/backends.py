@@ -49,7 +49,13 @@ try:  # pragma: no cover - Protocol missing only on <3.8
 except ImportError:  # pragma: no cover
     Protocol = object  # type: ignore[assignment]
 
-__all__ = ["Backend", "SerialBackend", "ProcessPoolBackend", "make_backend"]
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "resolve_backend",
+]
 
 
 def _worker_timed_call(fn, wrapped):
@@ -192,3 +198,37 @@ def make_backend(workers: Optional[int]) -> "Backend":
     if workers and workers > 1:
         return ProcessPoolBackend(workers)
     return SerialBackend()
+
+
+def resolve_backend(
+    name: Optional[str],
+    workers: Optional[int] = None,
+    bridge_url: Optional[str] = None,
+) -> "Backend":
+    """Resolve a named backend spec (the CLIs' ``--backend`` flag).
+
+    ``None`` keeps the historical behaviour — :func:`make_backend` picks
+    serial or pool from the worker count — so every existing caller and
+    artifact is untouched.  ``"bridge"`` needs ``bridge_url``; the
+    import is deferred so the exec layer stays bridge-free unless asked.
+    """
+    from repro.errors import HarnessError
+
+    if name is None:
+        return make_backend(workers)
+    if name == "serial":
+        return SerialBackend()
+    if name == "pool":
+        return make_backend(workers if workers and workers > 1 else 2)
+    if name == "bridge":
+        if not bridge_url:
+            raise HarnessError(
+                "--backend bridge needs --bridge-url (the address of a "
+                "running `repro-bridge serve`)"
+            )
+        from repro.bridge.client import BridgeBackend
+
+        return BridgeBackend(bridge_url)
+    raise HarnessError(
+        f"unknown backend {name!r}; expected serial, pool, or bridge"
+    )

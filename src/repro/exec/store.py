@@ -24,6 +24,13 @@ Counters are entry-level (``hits`` / ``misses`` / ``disk_hits`` /
 ``evictions``); per-*input* replay counts — the numbers surfaced as
 ``nvcc_cache_hits`` — live on the :class:`BoundRunCache` views handed to
 the differential runner.
+
+The disk tier is **single-writer**: the append-only JSONL format has no
+way to interleave two writers' lines safely, so opening a path that
+another live store already writes raises :class:`~repro.errors.HarnessError`
+(via an advisory ``flock`` on a ``.lock`` sidecar) instead of silently
+corrupting the ledger.  Fleets that need concurrent writers use the
+SQLite tier (:class:`repro.bridge.sqlstore.SqliteRunStore`).
 """
 
 from __future__ import annotations
@@ -34,6 +41,12 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
+try:  # POSIX only; on other platforms the guard degrades to unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import HarnessError
 from repro.harness.outcomes import RunRecord
 from repro.varity.testcase import TestCase
 
@@ -76,6 +89,47 @@ def _rebind(
     )
 
 
+def _encode_runs(entry: Sequence[_Neutral]) -> List[Optional[Dict[str, object]]]:
+    """Neutral entry → the ``{"i","p","b","f"}`` runs-JSON wire form.
+
+    Shared by the JSONL tier here and the SQLite tier in
+    :mod:`repro.bridge.sqlstore`, so entries migrate between tiers
+    byte-compatibly.
+    """
+    runs: List[Optional[Dict[str, object]]] = []
+    for item in entry:
+        if item is None:
+            runs.append(None)
+            continue
+        input_index, printed, bits, flags = item
+        run: Dict[str, object] = {"i": input_index, "p": printed, "b": bits}
+        if flags is not None:
+            run["f"] = list(list(pair) for pair in flags)
+        runs.append(run)
+    return runs
+
+
+def _decode_runs(runs: Sequence[Optional[Dict[str, object]]]) -> Tuple[_Neutral, ...]:
+    """Inverse of :func:`_encode_runs`."""
+    entry: List[_Neutral] = []
+    for run in runs:
+        if run is None:
+            entry.append(None)
+            continue
+        flags = run.get("f")
+        entry.append(
+            (
+                int(run["i"]),  # type: ignore[arg-type]
+                str(run["p"]),
+                int(run["b"]),  # type: ignore[arg-type]
+                tuple((str(k), int(v)) for k, v in flags)  # type: ignore[union-attr]
+                if flags is not None
+                else None,
+            )
+        )
+    return tuple(entry)
+
+
 class RunStore:
     """Two-tier content-keyed store of nvcc-side run outcomes."""
 
@@ -91,12 +145,14 @@ class RunStore:
         self._mem: "OrderedDict[Tuple[str, str], Tuple[_Neutral, ...]]" = OrderedDict()
         self._disk_index: Dict[Tuple[str, str], int] = {}
         self._fh: Optional[IO[str]] = None
+        self._lock_fh: Optional[IO[str]] = None
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.puts = 0
         self.evictions = 0
         if self.path is not None:
+            self._acquire_writer_lock()
             self._load_disk_index()
 
     # ------------------------------------------------------------------ api
@@ -165,6 +221,11 @@ class RunStore:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        if self._lock_fh is not None:
+            # Closing drops the flock; the sidecar file itself stays (a
+            # stale empty .lock is harmless and racy to delete safely).
+            self._lock_fh.close()
+            self._lock_fh = None
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -186,6 +247,34 @@ class RunStore:
             self.evictions += 1
 
     # --------------------------------------------------------------- disk
+    def _acquire_writer_lock(self) -> None:
+        """Enforce the disk tier's single-writer contract up front.
+
+        An advisory non-blocking ``flock`` on a ``<path>.lock`` sidecar:
+        the second store attaching to a live path gets a clear error
+        instead of interleaving appends into an unparseable ledger.
+        The flock dies with the holding process, so a crashed writer
+        never wedges the path.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        assert self.path is not None
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fh = lock_path.open("a")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.close()
+            raise HarnessError(
+                f"run store {self.path} is already open for writing in another "
+                "process; the on-disk JSONL tier is single-writer (append-only "
+                "lines cannot interleave safely). Point each writer at its own "
+                "path, or use the concurrent-writer SQLite tier "
+                "(repro.bridge.sqlstore.SqliteRunStore)."
+            ) from None
+        self._lock_fh = fh
+
     def _load_disk_index(self) -> None:
         """Index existing entries by byte offset (torn lines skipped)."""
         if not self.path.exists():
@@ -224,16 +313,7 @@ class RunStore:
                     json.dumps({"kind": "header", "format": "repro-runstore-v1"})
                     + "\n"
                 )
-        runs: List[Optional[Dict[str, object]]] = []
-        for item in entry:
-            if item is None:
-                runs.append(None)
-                continue
-            input_index, printed, bits, flags = item
-            run: Dict[str, object] = {"i": input_index, "p": printed, "b": bits}
-            if flags is not None:
-                run["f"] = list(list(pair) for pair in flags)
-            runs.append(run)
+        runs = _encode_runs(entry)
         self._fh.flush()
         self._disk_index[mkey] = self._fh.tell()
         self._fh.write(
@@ -255,23 +335,7 @@ class RunStore:
             return None
         if data.get("kind") != "entry" or (str(data["k"]), str(data["o"])) != mkey:
             return None
-        entry: List[_Neutral] = []
-        for run in data["r"]:
-            if run is None:
-                entry.append(None)
-                continue
-            flags = run.get("f")
-            entry.append(
-                (
-                    int(run["i"]),
-                    str(run["p"]),
-                    int(run["b"]),
-                    tuple((str(k), int(v)) for k, v in flags)
-                    if flags is not None
-                    else None,
-                )
-            )
-        return tuple(entry)
+        return _decode_runs(data["r"])
 
 
 class BoundRunCache:

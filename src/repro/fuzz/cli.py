@@ -67,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
         "ledger is byte-identical at any worker count)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["serial", "pool", "bridge"],
+        default=None,
+        help="execution backend (default: serial or pool from --workers; "
+        "bridge routes chunks through a repro-bridge server fleet)",
+    )
+    parser.add_argument(
+        "--bridge-url",
+        metavar="URL",
+        default=None,
+        help="address of a running `repro-bridge serve` (with --backend bridge)",
+    )
+    parser.add_argument(
         "--no-hipify", action="store_true", help="skip each mutant's HIPIFY twin"
     )
     parser.add_argument(
@@ -129,6 +142,10 @@ def _config_from_args(
         parser.error(f"--max-seconds must be positive (got {args.max_seconds})")
     if args.resume and args.ledger is None:
         parser.error("--resume requires --ledger")
+    if args.backend == "bridge" and not args.bridge_url:
+        parser.error("--backend bridge requires --bridge-url")
+    if args.bridge_url and args.backend != "bridge":
+        parser.error("--bridge-url requires --backend bridge")
 
     base = FuzzConfig()
     mutations = base.mutations
@@ -177,6 +194,8 @@ def _config_from_args(
         oracle_relations=oracle_relations,
         stacks=stacks,
         workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend,
+        bridge_url=args.bridge_url,
     )
 
 

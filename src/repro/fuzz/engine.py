@@ -83,6 +83,7 @@ from repro.exec import (
     SweepRequest,
     content_id,
     content_text,
+    resolve_backend,
 )
 from repro.exec.units import RunnerSpec
 from repro.fp.classify import OutcomeClass
@@ -171,6 +172,11 @@ class FuzzConfig:
     #: excluded from :meth:`fingerprint` exactly like the campaign
     #: checkpoint's.
     workers: int = 0
+    #: Execution backend (None = worker-count rule; "serial"/"pool"/
+    #: "bridge").  Pure scheduling, like ``workers`` — excluded from the
+    #: fingerprint.
+    backend: Optional[str] = None
+    bridge_url: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_seed_programs < 1:
@@ -740,6 +746,15 @@ class _Prep:
 # ---------------------------------------------------------------------------
 
 
+def _service_for(config: "FuzzConfig") -> ExecutionService:
+    """The configured execution service: worker-count rule or named backend."""
+    if config.backend is None:
+        return ExecutionService.for_workers(config.workers)
+    return ExecutionService(
+        backend=resolve_backend(config.backend, config.workers, config.bridge_url)
+    )
+
+
 def run_fuzz(
     config: Optional[FuzzConfig] = None,
     *,
@@ -760,7 +775,7 @@ def run_fuzz(
         raise HarnessError("resume requires a ledger path")
     t0 = time.perf_counter()
 
-    service = ExecutionService.for_workers(config.workers)
+    service = _service_for(config)
     corpus = _LazyCorpus(config)
     evaluator = _Evaluator(config, service)
 
@@ -1219,7 +1234,7 @@ def run_random_session(
     # The control arm honors config.workers too: its chunks stream with
     # no feedback loop, so parallelism never changes the result — only
     # the wall clock, keeping the fuzz-vs-blind timing comparison fair.
-    service = ExecutionService.for_workers(config.workers)
+    service = _service_for(config)
     evaluator = _Evaluator(config, service)
     corpus = build_corpus(
         config.generator_config(),

@@ -70,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
         "at any worker count)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["serial", "pool", "bridge"],
+        default=None,
+        help="execution backend (default: serial or pool from --workers; "
+        "bridge routes chunks through a repro-bridge server fleet)",
+    )
+    parser.add_argument(
+        "--bridge-url",
+        metavar="URL",
+        default=None,
+        help="address of a running `repro-bridge serve` (with --backend bridge)",
+    )
+    parser.add_argument(
         "--ledger", metavar="PATH", default=None,
         help="append per-program results to this JSONL ledger",
     )
@@ -101,6 +114,10 @@ def _config_from_args(
             parser.error(f"{name} must be >= {minimum} (got {value})")
     if args.resume and args.ledger is None:
         parser.error("--resume requires --ledger")
+    if args.backend == "bridge" and not args.bridge_url:
+        parser.error("--backend bridge requires --bridge-url")
+    if args.bridge_url and args.backend != "bridge":
+        parser.error("--bridge-url requires --backend bridge")
 
     base = OracleConfig()
     relations = base.relations
@@ -134,6 +151,8 @@ def _config_from_args(
         ulp_bound=args.ulp_bound if args.ulp_bound is not None else base.ulp_bound,
         stacks=stacks,
         workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend,
+        bridge_url=args.bridge_url,
     )
 
 

@@ -28,7 +28,13 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError
-from repro.exec import CHUNK_CACHE, ExecutionService, SweepOutcome, SweepRequest
+from repro.exec import (
+    CHUNK_CACHE,
+    ExecutionService,
+    SweepOutcome,
+    SweepRequest,
+    resolve_backend,
+)
 from repro.exec.units import RunnerSpec
 from repro.fp.types import FPType
 from repro.harness.runner import PairResult
@@ -77,6 +83,11 @@ class OracleConfig:
     #: checked independently against its own base.
     stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
     workers: int = 0
+    #: Execution backend (None = worker-count rule; "serial"/"pool"/
+    #: "bridge").  Pure scheduling, like ``workers`` — excluded from the
+    #: fingerprint.
+    backend: Optional[str] = None
+    bridge_url: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_programs < 1:
@@ -425,7 +436,14 @@ def run_oracle(
     checked_by_relation: Dict[str, int] = dict(state.checked_by_relation)
     pair_runs = state.pair_runs
 
-    service = ExecutionService.for_workers(config.workers)
+    if config.backend is None:
+        service = ExecutionService.for_workers(config.workers)
+    else:
+        service = ExecutionService(
+            backend=resolve_backend(
+                config.backend, config.workers, config.bridge_url
+            )
+        )
     try:
         plans = [
             oracle_requests_for(
