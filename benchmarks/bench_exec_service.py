@@ -5,6 +5,10 @@ The workload is the fuzz engine's evaluation shape at default fuzz scale
 (CUDA half replayed from the content-keyed store) — pushed through the
 three execution configurations the redesign enables:
 
+* ``scalar``    — ``SerialBackend`` with the PR-9 hot path switched OFF
+  (``RunnerSpec(vectorize=False)`` + ``CachePolicy(artifacts=False)``):
+  the per-row interpreter and per-sweep recompiles every earlier PR
+  lived with — the baseline the batch speedup is measured against;
 * ``serial``    — ``SerialBackend``, cold two-tier ``RunStore`` with a
   disk tier (this pass also writes the store the warm mode reads);
 * ``pool``      — ``ProcessPoolBackend``, the same chunks fanned out to
@@ -46,9 +50,11 @@ from repro.bridge.client import BridgeBackend
 from repro.bridge.server import start_server
 from repro.bridge.worker import run_worker
 from repro.exec import (
+    CachePolicy,
     ExecutionService,
     ProcessPoolBackend,
     RunStore,
+    RunnerSpec,
     SHARED_CACHE,
     SerialBackend,
     SweepRequest,
@@ -90,27 +96,50 @@ def _union_seconds(records, names):
     return total / 1e9
 
 
+#: The PR-9 hot path switched off: per-row scalar interpretation and a
+#: fresh compile per sweep.  ``batch_speedup`` in the summary JSON is
+#: the ratio of this lane to the batched serial lane.
+SCALAR_RUNNER = RunnerSpec(vectorize=False)
+SCALAR_CACHE = CachePolicy(reuse=True, scope="shared", artifacts=False)
+
+
 def _workload():
-    """One chunk per program: native sweep + HIPIFY twin, fuzz-style."""
+    """One chunk per program: native sweep + HIPIFY twin, fuzz-style.
+
+    Returns the batched chunks plus a scalar-lane copy of the same
+    workload (vectorize=False, artifact cache off) for the baseline
+    pass."""
     n_programs = {"tiny": 12, "paper": 400}.get(SCALE, 120)
     corpus = build_corpus(
         GeneratorConfig.fp32(inputs_per_program=3), n_programs, root_seed=2024
     )
-    chunks = [
-        [
-            SweepRequest(
-                test=t, opts=PAPER_OPT_SETTINGS, tag=("native",), cache=SHARED_CACHE
-            ),
-            SweepRequest(
-                test=t.hipified(),
-                opts=PAPER_OPT_SETTINGS,
-                tag=("hipify",),
-                cache=SHARED_CACHE,
-            ),
+
+    def make(cache, runner):
+        return [
+            [
+                SweepRequest(
+                    test=t,
+                    opts=PAPER_OPT_SETTINGS,
+                    tag=("native",),
+                    cache=cache,
+                    runner=runner,
+                ),
+                SweepRequest(
+                    test=t.hipified(),
+                    opts=PAPER_OPT_SETTINGS,
+                    tag=("hipify",),
+                    cache=cache,
+                    runner=runner,
+                ),
+            ]
+            for t in corpus
         ]
-        for t in corpus
-    ]
-    return n_programs, chunks
+
+    return (
+        n_programs,
+        make(SHARED_CACHE, RunnerSpec()),
+        make(SCALAR_CACHE, SCALAR_RUNNER),
+    )
 
 
 def _run(service, chunks):
@@ -133,12 +162,20 @@ def _run(service, chunks):
 
 
 def test_exec_service_throughput(results_dir):
-    n_programs, chunks = _workload()
+    n_programs, chunks, scalar_chunks = _workload()
     store_path = results_dir / "exec_service.store.jsonl"
-    if store_path.exists():
-        store_path.unlink()
+    scalar_store_path = results_dir / "exec_service.scalar.store.jsonl"
+    for path in (store_path, scalar_store_path):
+        if path.exists():
+            path.unlink()
     workers = max(2, (os.cpu_count() or 2) - 1)
 
+    scalar_s, scalar_t, scalar_keys = _run(
+        ExecutionService(
+            SerialBackend(), RunStore(path=scalar_store_path, max_entries=4096)
+        ),
+        scalar_chunks,
+    )
     serial_s, serial_t, serial_keys = _run(
         ExecutionService(SerialBackend(), RunStore(path=store_path, max_entries=4096)),
         chunks,
@@ -196,13 +233,22 @@ def test_exec_service_throughput(results_dir):
     )
 
     # Correctness first: every mode finds the same discrepancies and the
-    # twin's CUDA half always rides the cache.
-    assert serial_keys == pool_keys == bridge_keys == warm_keys
-    assert serial_t == pool_t == bridge_t
+    # twin's CUDA half always rides the cache.  The scalar lane is the
+    # strongest check — different interpreter path, no artifact cache,
+    # same bits.
+    assert scalar_keys == serial_keys == pool_keys == bridge_keys == warm_keys
+    assert scalar_t == serial_t == pool_t == bridge_t
     assert serial_t["nvcc_cache_hits"] == serial_t["nvcc_executions"]
     # The warm store serves the *entire* CUDA side from disk.
     assert warm_t["nvcc_executions"] == 0
     assert warm_t["pair_runs"] == serial_t["pair_runs"]
+    # The batched hot path must win at EVERY scale, including CI smoke —
+    # a batched serial pass slower than the scalar baseline means the
+    # vector interpreter or the artifact cache regressed.
+    assert serial_s < scalar_s, (
+        f"batched serial ({serial_s:.2f}s) did not beat the scalar "
+        f"baseline ({scalar_s:.2f}s)"
+    )
 
     # Pool wall-clock attribution: the fraction of the pool pass during
     # which at least one named backend phase was in flight.  What the
@@ -229,6 +275,12 @@ def test_exec_service_throughput(results_dir):
         assert warm_s < serial_s, (
             f"warm store ({warm_s:.1f}s) did not beat cold serial ({serial_s:.1f}s)"
         )
+        # The PR-9 acceptance bar: batch interpreter + artifact cache
+        # together at least double the serial throughput.
+        assert scalar_s / serial_s >= 2.0, (
+            f"batch speedup {scalar_s / serial_s:.2f}x < 2x "
+            f"(scalar {scalar_s:.1f}s, batched {serial_s:.1f}s)"
+        )
         if multicore:
             assert pool_s < serial_s, (
                 f"pool backend ({pool_s:.1f}s, workers={workers}) did not beat "
@@ -236,6 +288,7 @@ def test_exec_service_throughput(results_dir):
             )
 
     rows = [
+        ("scalar baseline", scalar_s, scalar_t),
         ("serial (cold store)", serial_s, serial_t),
         (f"pool (workers={workers})", pool_s, pool_t),
         (f"bridge (workers={bridge_workers})", bridge_s, bridge_t),
@@ -276,11 +329,16 @@ def test_exec_service_throughput(results_dir):
         "workers": workers,
         "cpu_count": os.cpu_count(),
         "pair_runs": serial_t["pair_runs"],
+        "scalar_seconds": round(scalar_s, 3),
         "serial_seconds": round(serial_s, 3),
         "pool_seconds": round(pool_s, 3),
         "bridge_seconds": round(bridge_s, 3),
         "bridge_workers": bridge_workers,
         "warm_seconds": round(warm_s, 3),
+        # The two PR-9 headline ratios (scalar = per-row interpreter +
+        # no artifact cache; serial = the batched default).
+        "batch_speedup": round(scalar_s / serial_s, 3) if serial_s else None,
+        "pool_vs_serial": round(serial_s / pool_s, 3) if pool_s else None,
         "pool_speedup": round(serial_s / pool_s, 3) if pool_s else None,
         "bridge_speedup": round(serial_s / bridge_s, 3) if bridge_s else None,
         "warm_speedup": round(serial_s / warm_s, 3) if warm_s else None,

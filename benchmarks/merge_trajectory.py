@@ -242,6 +242,17 @@ def merge(results_dir: Path) -> Dict[str, object]:
             "workers": exec_summary.get("bridge_workers"),
             "speedup_vs_serial": exec_summary.get("bridge_speedup"),
         }
+    # Same treatment for the PR-9 hot-path ratios: batch_speedup is the
+    # scalar-baseline-vs-batched-serial gain, pool_vs_serial the pool's
+    # gain over batched serial.  Both trend night over night.
+    if isinstance(exec_summary, dict) and "batch_speedup" in exec_summary:
+        payload["hot_path"] = {
+            "batch_speedup": exec_summary.get("batch_speedup"),
+            "pool_vs_serial": exec_summary.get("pool_vs_serial"),
+            "scalar_seconds": exec_summary.get("scalar_seconds"),
+            "serial_seconds": exec_summary.get("serial_seconds"),
+            "pool_seconds": exec_summary.get("pool_seconds"),
+        }
     ledger = results_dir / FUZZ_LEDGER
     if ledger.exists():
         payload["fuzz_smoke"] = _summarize_fuzz_ledger(ledger)

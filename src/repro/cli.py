@@ -22,10 +22,11 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.report import render_campaign_report
+from repro.cliutil import add_execution_args, resolve_execution_args
 from repro.errors import HarnessError
 from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
-from repro.telemetry.session import TelemetrySession, add_telemetry_args
+from repro.telemetry.session import TelemetrySession
 from repro.utils.jsonio import dump_json
 from repro.utils.tables import Table
 
@@ -44,22 +45,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="preset campaign size (tiny: seconds; default: minutes; paper: full 652k-run grid)",
     )
     parser.add_argument("--seed", type=int, default=2024, help="campaign root seed")
-    parser.add_argument(
-        "--workers", type=int, default=None, help="process-pool size (0 = serial)"
-    )
-    parser.add_argument(
-        "--backend",
-        choices=["serial", "pool", "bridge"],
-        default=None,
-        help="execution backend (default: serial or pool from --workers; "
-        "bridge routes chunks through a repro-bridge server fleet)",
-    )
-    parser.add_argument(
-        "--bridge-url",
-        metavar="URL",
-        default=None,
-        help="address of a running `repro-bridge serve` (with --backend bridge)",
-    )
     parser.add_argument("--fp64-programs", type=int, default=None, help="override FP64 program count")
     parser.add_argument("--fp32-programs", type=int, default=None, help="override FP32 program count")
     parser.add_argument("--fp16-programs", type=int, default=None, help="override FP16 program count")
@@ -104,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reload completed steps from --checkpoint and run only the rest",
     )
-    add_telemetry_args(parser)
+    add_execution_args(parser)
     return parser
 
 
@@ -119,16 +104,12 @@ def _config_from_args(
         ("--fp16-programs", args.fp16_programs, 1),
         ("--oracle-programs", args.oracle_programs, 1),
         ("--inputs", args.inputs, 1),
-        ("--workers", args.workers, 0),
     ):
         if value is not None and value < minimum:
             parser.error(f"{name} must be >= {minimum} (got {value})")
+    resolve_execution_args(parser, args)
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
-    if args.backend == "bridge" and not args.bridge_url:
-        parser.error("--backend bridge requires --bridge-url")
-    if args.bridge_url and args.backend != "bridge":
-        parser.error("--bridge-url requires --backend bridge")
     if args.oracle_programs is not None and not args.oracle:
         parser.error("--oracle-programs requires --oracle")
     stacks = DEFAULT_STACK_PAIR

@@ -1,0 +1,60 @@
+"""Shared argparse plumbing for the execution-facing CLIs.
+
+``repro-campaign``, ``repro-fuzz``, and ``repro-oracle`` all drive the
+same :class:`~repro.exec.service.ExecutionService`, so they share one
+flag block — worker count, backend selection, bridge address, and the
+telemetry outputs — declared once here instead of three diverging
+copies.  :func:`add_execution_args` installs the flags;
+:func:`resolve_execution_args` applies the cross-flag validation every
+CLI must agree on (consistent error text included).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.telemetry.session import add_telemetry_args
+
+__all__ = ["add_execution_args", "resolve_execution_args"]
+
+
+def add_execution_args(
+    parser: argparse.ArgumentParser,
+    *,
+    workers_help: str = "process-pool size (0 = serial)",
+) -> None:
+    """Add the execution flags every service-backed CLI shares.
+
+    ``--workers``, ``--backend``, ``--bridge-url``, plus the telemetry
+    pair (``--trace-out`` / ``--metrics-out``).  ``workers_help`` stays
+    per-CLI because each tool documents its own determinism guarantee.
+    """
+    parser.add_argument(
+        "--workers", type=int, default=None, help=workers_help
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "pool", "bridge"],
+        default=None,
+        help="execution backend (default: serial or pool from --workers; "
+        "bridge routes chunks through a repro-bridge server fleet)",
+    )
+    parser.add_argument(
+        "--bridge-url",
+        metavar="URL",
+        default=None,
+        help="address of a running `repro-bridge serve` (with --backend bridge)",
+    )
+    add_telemetry_args(parser)
+
+
+def resolve_execution_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Validate the shared execution flags (``parser.error`` on misuse)."""
+    if args.workers is not None and args.workers < 0:
+        parser.error(f"--workers must be >= 0 (got {args.workers})")
+    if args.backend == "bridge" and not args.bridge_url:
+        parser.error("--backend bridge requires --bridge-url")
+    if args.bridge_url and args.backend != "bridge":
+        parser.error("--bridge-url requires --backend bridge")

@@ -56,6 +56,11 @@ class Compiler(abc.ABC):
     #: e.g. "nvcc" / "hipcc"
     name: str = "cc"
     vendor: Vendor
+    #: True when :meth:`preprocess` depends on ``program.via_hipify`` —
+    #: the artifact cache then keys native and HIPIFY-twin compiles
+    #: separately (hipcc); compilers that treat the twin byte-identically
+    #: (nvcc, clang) share one artifact for both.
+    hipify_sensitive: bool = False
 
     def compile(self, program: Program, opt: OptSetting) -> CompiledKernel:
         """Compile one program at one optimization setting."""

@@ -63,6 +63,7 @@ class HipccCompiler(Compiler):
 
     name = "hipcc"
     vendor = Vendor.AMD
+    hipify_sensitive = True  # preprocess resolves HIPIFY-converted calls
 
     def preprocess(self, program: Program) -> Kernel:
         kernel = program.kernel

@@ -11,6 +11,7 @@ from repro.devices.device import Device, DeviceSpec, ExecutionResult
 from repro.devices.nvidia import nvidia_v100
 from repro.devices.amd import amd_mi250x
 from repro.devices.interpreter import Interpreter, ExecOptions, TraceEntry
+from repro.devices.batch import batch_stats, reset_batch_stats, run_batch
 
 __all__ = [
     "Vendor",
@@ -22,4 +23,7 @@ __all__ = [
     "Interpreter",
     "ExecOptions",
     "TraceEntry",
+    "run_batch",
+    "batch_stats",
+    "reset_batch_stats",
 ]

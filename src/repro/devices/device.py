@@ -9,8 +9,9 @@ exposing ``kernel`` and ``exec_options`` — see
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.devices.interpreter import ExecOptions, ExecutionResult, Interpreter
 from repro.devices.mathlib.base import MathLibrary
@@ -76,13 +77,33 @@ class Device:
             )
         options = compiled.exec_options
         if trace and not options.trace:
-            options = ExecOptions(
-                flush=options.flush,
-                trace=True,
-                max_steps=options.max_steps,
-                min_array_size=options.min_array_size,
-            )
+            options = dataclasses.replace(options, trace=True)
         return self.interpreter.run(compiled.kernel, inputs, options)
+
+    def execute_batch(
+        self,
+        compiled: "CompiledKernel",
+        input_rows: Sequence[Sequence[Union[float, int]]],
+        *,
+        vectorize: bool = True,
+    ) -> List[Optional[ExecutionResult]]:
+        """Run a compiled kernel once per input row (``None`` = trapped).
+
+        Bit-identical per row to calling :meth:`execute` row by row with
+        :class:`~repro.errors.TrapError` caught as ``None``; the common
+        straight-line case is vectorized over the row axis.
+        """
+        if compiled.vendor is not self.vendor:
+            raise ValueError(
+                f"binary compiled for {compiled.vendor.value} cannot run on "
+                f"{self.vendor.value} device {self.spec.name!r}"
+            )
+        return self.interpreter.run_batch(
+            compiled.kernel,
+            input_rows,
+            compiled.exec_options,
+            vectorize=vectorize,
+        )
 
     def __repr__(self) -> str:
         return f"Device({self.spec.name!r}, mathlib={self.mathlib.name})"

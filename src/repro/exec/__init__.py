@@ -20,6 +20,7 @@ The campaign engine, the fuzzer, the mechanism ablation, and the
 math-function sweep all execute through it.
 """
 
+from repro.exec.artifacts import ArtifactCache, kernel_text
 from repro.exec.backends import (
     Backend,
     ProcessPoolBackend,
@@ -34,6 +35,7 @@ from repro.exec.units import (
     CachePolicy,
     CHUNK_CACHE,
     CorpusTestSpec,
+    DerivedTestSpec,
     NO_CACHE,
     RunnerSpec,
     SHARED_CACHE,
@@ -42,11 +44,13 @@ from repro.exec.units import (
 )
 
 __all__ = [
+    "ArtifactCache",
     "Backend",
     "BoundRunCache",
     "CachePolicy",
     "CHUNK_CACHE",
     "CorpusTestSpec",
+    "DerivedTestSpec",
     "ExecMetrics",
     "ExecutionService",
     "make_backend",
@@ -62,4 +66,5 @@ __all__ = [
     "content_id",
     "content_text",
     "content_id_for",
+    "kernel_text",
 ]

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.exec.artifacts import ArtifactCache
 from repro.exec.backends import Backend, SerialBackend, make_backend
 from repro.exec.content import content_id, content_text
 from repro.exec.store import BoundRunCache, RunStore
@@ -58,6 +59,9 @@ class ExecMetrics:
     store_misses: int = 0
     store_evictions: int = 0
     store_disk_hits: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_disk_hits: int = 0
     elapsed_seconds: float = 0.0
     #: Always-on phase wall time (seconds), measured with bare
     #: ``perf_counter`` around the store view and the sweep body — no
@@ -92,6 +96,11 @@ class ExecMetrics:
                 "misses": self.store_misses,
                 "evictions": self.store_evictions,
                 "disk_hits": self.store_disk_hits,
+            },
+            "artifacts": {
+                "hits": self.artifact_hits,
+                "misses": self.artifact_misses,
+                "disk_hits": self.artifact_disk_hits,
             },
             "phase_seconds": {
                 "lookup": self.lookup_seconds,
@@ -159,16 +168,20 @@ class _TimedView(BoundRunCache):
 
 
 def _execute_requests(
-    requests: Sequence[SweepRequest], shared_store: Optional[RunStore] = None
+    requests: Sequence[SweepRequest],
+    shared_store: Optional[RunStore] = None,
+    shared_artifacts: Optional[ArtifactCache] = None,
 ) -> Tuple[List[SweepOutcome], Dict[str, float]]:
     """Run one chunk serially; the core every backend executes.
 
     ``shared_store`` is the service's own store (in-process execution
     only); chunk-scope requests — and shared-scope ones running in a
-    worker — use a store private to this chunk.
+    worker — use a store private to this chunk.  ``shared_artifacts`` is
+    the service's compiled-artifact cache under the same scoping rule.
     """
     tracer = get_tracer()
     chunk_store: Optional[RunStore] = None
+    chunk_artifacts: Optional[ArtifactCache] = None
     runners: Dict[Any, Any] = {}
     memo: Dict[object, TestCase] = {}
     seen: Dict[Tuple[object, ...], SweepOutcome] = {}
@@ -208,12 +221,24 @@ def _execute_requests(
             lhs = runner.stacks[0]
             view_key = key if lhs == "nvcc" else f"{lhs}@{key}"
             view = _TimedView(store, view_key, phases, compiler=lhs)
+        artifacts: Optional[ArtifactCache] = None
+        if req.cache.artifacts:
+            if req.cache.scope == "shared" and shared_artifacts is not None:
+                artifacts = shared_artifacts
+            else:
+                if chunk_artifacts is None:
+                    chunk_artifacts = ArtifactCache()
+                artifacts = chunk_artifacts
         nv0, hp0 = runner.lhs_executions, runner.rhs_executions
         hits0 = view.hits if view is not None else 0
         lk0, cm0 = phases["lookup"], phases["commit"]
         t0 = time.perf_counter_ns()
         pairs = runner.run_sweep(
-            test, req.opts, nvcc_cache=view, populate_cache=view
+            test,
+            req.opts,
+            lhs_cache=view,
+            populate_lhs_cache=view,
+            artifacts=artifacts,
         )
         t1 = time.perf_counter_ns()
         execute_seconds += (
@@ -249,6 +274,14 @@ def _execute_requests(
     stats: Dict[str, float] = (
         dict(chunk_store.stats()) if chunk_store is not None else {}
     )
+    if chunk_artifacts is not None:
+        # Shared-cache stats are *not* folded here (the service merges
+        # them once in stats()); only this chunk's private cache rides
+        # the stats dict back across the process boundary.
+        art = chunk_artifacts.stats()
+        stats["artifact_hits"] = art["hits"]
+        stats["artifact_misses"] = art["misses"]
+        stats["artifact_disk_hits"] = art["disk_hits"]
     stats["lookup_seconds"] = phases["lookup"]
     stats["execute_seconds"] = execute_seconds
     stats["commit_seconds"] = phases["commit"]
@@ -312,6 +345,51 @@ def _execute_indexed_chunk_task_traced(
     return index, outcomes, stats, records
 
 
+def _grouped(chunks: Iterable[Any], size: int) -> Iterator[List[Any]]:
+    """Batch consecutive items into lists of at most ``size``."""
+    group: List[Any] = []
+    for chunk in chunks:
+        group.append(chunk)
+        if len(group) >= size:
+            yield group
+            group = []
+    if group:
+        yield group
+
+
+def _execute_group_task(
+    group: Sequence[Sequence[SweepRequest]],
+) -> List[Tuple[List[SweepOutcome], Dict[str, float]]]:
+    """Several chunks in one pool task (one pickle/IPC round trip).
+
+    Each chunk still runs through :func:`_execute_requests` with its own
+    private store, so results are byte-identical to one-task-per-chunk;
+    only the transport granularity changes.
+    """
+    return [_execute_requests(requests) for requests in group]
+
+
+def _execute_group_task_traced(
+    group: Sequence[Sequence[SweepRequest]],
+) -> List[Tuple[List[SweepOutcome], Dict[str, float], List[SpanRecord]]]:
+    """Traced twin of :func:`_execute_group_task` (per-chunk span batches)."""
+    return [_run_chunk_traced(requests) for requests in group]
+
+
+def _execute_indexed_group_task(
+    group: Sequence[Tuple[int, Sequence[SweepRequest]]],
+) -> List[Tuple[int, List[SweepOutcome], Dict[str, float]]]:
+    """Grouped twin of :func:`_execute_indexed_chunk_task`."""
+    return [_execute_indexed_chunk_task(payload) for payload in group]
+
+
+def _execute_indexed_group_task_traced(
+    group: Sequence[Tuple[int, Sequence[SweepRequest]]],
+) -> List[Tuple[int, List[SweepOutcome], Dict[str, float], List[SpanRecord]]]:
+    """Grouped twin of :func:`_execute_indexed_chunk_task_traced`."""
+    return [_execute_indexed_chunk_task_traced(payload) for payload in group]
+
+
 class ExecutionService:
     """The one sweep interface every subsystem executes through."""
 
@@ -323,6 +401,9 @@ class ExecutionService:
         self.backend = backend if backend is not None else SerialBackend()
         # `is not None`, not `or`: an empty RunStore is falsy (__len__).
         self.store = store if store is not None else RunStore()
+        #: shared compiled-artifact cache for in-process shared-scope
+        #: requests (workers get chunk-private caches, like the store).
+        self.artifacts = ArtifactCache()
         self.metrics = ExecMetrics()
 
     @classmethod
@@ -339,11 +420,16 @@ class ExecutionService:
         chunk order as they complete (consume lazily to stream)."""
         tracer = get_tracer()
         if self.backend.remote:
+            group = getattr(self.backend, "group_requests", 0) or 0
+            payloads = (tuple(chunk) for chunk in chunks)
             if tracer.enabled:
-                traced = self.backend.imap(
-                    _execute_chunk_task_traced,
-                    (tuple(chunk) for chunk in chunks),
-                )
+                if group > 1:
+                    batches = self.backend.imap(
+                        _execute_group_task_traced, _grouped(payloads, group)
+                    )
+                    traced = (r for batch in batches for r in batch)
+                else:
+                    traced = self.backend.imap(_execute_chunk_task_traced, payloads)
                 # Ordered imap: arrival order == submission order, so
                 # enumerate() is the deterministic chunk index.
                 for index, (outcomes, stats, records) in enumerate(traced):
@@ -351,9 +437,13 @@ class ExecutionService:
                     self._absorb(outcomes, stats)
                     yield outcomes
                 return
-            results = self.backend.imap(
-                _execute_chunk_task, (tuple(chunk) for chunk in chunks)
-            )
+            if group > 1:
+                batches = self.backend.imap(
+                    _execute_group_task, _grouped(payloads, group)
+                )
+                results = (r for batch in batches for r in batch)
+            else:
+                results = self.backend.imap(_execute_chunk_task, payloads)
             for outcomes, stats in results:
                 self._absorb(outcomes, stats)
                 yield outcomes
@@ -362,7 +452,9 @@ class ExecutionService:
             if tracer.enabled:
                 t0 = time.perf_counter_ns()
                 outcomes, stats = _execute_requests(
-                    list(chunk), shared_store=self.store
+                    list(chunk),
+                    shared_store=self.store,
+                    shared_artifacts=self.artifacts,
                 )
                 tracer.record(
                     "exec.chunk",
@@ -373,7 +465,9 @@ class ExecutionService:
                 )
             else:
                 outcomes, stats = _execute_requests(
-                    list(chunk), shared_store=self.store
+                    list(chunk),
+                    shared_store=self.store,
+                    shared_artifacts=self.artifacts,
                 )
             self._absorb(outcomes, stats)
             yield outcomes
@@ -390,10 +484,18 @@ class ExecutionService:
         tracer = get_tracer()
         indexed = ((i, tuple(chunk)) for i, chunk in enumerate(chunks))
         if self.backend.remote:
+            group = getattr(self.backend, "group_requests", 0) or 0
             if tracer.enabled:
-                traced = self.backend.imap_unordered(
-                    _execute_indexed_chunk_task_traced, indexed
-                )
+                if group > 1:
+                    batches = self.backend.imap_unordered(
+                        _execute_indexed_group_task_traced,
+                        _grouped(indexed, group),
+                    )
+                    traced = (r for batch in batches for r in batch)
+                else:
+                    traced = self.backend.imap_unordered(
+                        _execute_indexed_chunk_task_traced, indexed
+                    )
                 # The chunk index rides inside the payload, so merging
                 # stays deterministic even though arrival order is not.
                 for index, outcomes, stats, records in traced:
@@ -401,7 +503,15 @@ class ExecutionService:
                     self._absorb(outcomes, stats)
                     yield index, outcomes
                 return
-            results = self.backend.imap_unordered(_execute_indexed_chunk_task, indexed)
+            if group > 1:
+                batches = self.backend.imap_unordered(
+                    _execute_indexed_group_task, _grouped(indexed, group)
+                )
+                results = (r for batch in batches for r in batch)
+            else:
+                results = self.backend.imap_unordered(
+                    _execute_indexed_chunk_task, indexed
+                )
             for index, outcomes, stats in results:
                 self._absorb(outcomes, stats)
                 yield index, outcomes
@@ -410,7 +520,9 @@ class ExecutionService:
             if tracer.enabled:
                 t0 = time.perf_counter_ns()
                 outcomes, stats = _execute_requests(
-                    list(chunk), shared_store=self.store
+                    list(chunk),
+                    shared_store=self.store,
+                    shared_artifacts=self.artifacts,
                 )
                 tracer.record(
                     "exec.chunk",
@@ -421,14 +533,20 @@ class ExecutionService:
                 )
             else:
                 outcomes, stats = _execute_requests(
-                    list(chunk), shared_store=self.store
+                    list(chunk),
+                    shared_store=self.store,
+                    shared_artifacts=self.artifacts,
                 )
             self._absorb(outcomes, stats)
             yield i, outcomes
 
     def run_chunk(self, requests: Sequence[SweepRequest]) -> List[SweepOutcome]:
         """One chunk, synchronously, on the calling process."""
-        outcomes, stats = _execute_requests(list(requests), shared_store=self.store)
+        outcomes, stats = _execute_requests(
+            list(requests),
+            shared_store=self.store,
+            shared_artifacts=self.artifacts,
+        )
         self._absorb(outcomes, stats)
         return outcomes
 
@@ -469,6 +587,9 @@ class ExecutionService:
         m.store_misses += stats.get("misses", 0)
         m.store_evictions += stats.get("evictions", 0)
         m.store_disk_hits += stats.get("disk_hits", 0)
+        m.artifact_hits += stats.get("artifact_hits", 0)
+        m.artifact_misses += stats.get("artifact_misses", 0)
+        m.artifact_disk_hits += stats.get("artifact_disk_hits", 0)
         m.lookup_seconds += stats.get("lookup_seconds", 0.0)
         m.execute_seconds += stats.get("execute_seconds", 0.0)
         m.commit_seconds += stats.get("commit_seconds", 0.0)
@@ -481,6 +602,10 @@ class ExecutionService:
         merged.store_misses += shared["misses"]
         merged.store_evictions += shared["evictions"]
         merged.store_disk_hits += shared["disk_hits"]
+        art = self.artifacts.stats()
+        merged.artifact_hits += art["hits"]
+        merged.artifact_misses += art["misses"]
+        merged.artifact_disk_hits += art["disk_hits"]
         return merged.as_dict()
 
     def close(self) -> None:

@@ -38,6 +38,7 @@ __all__ = [
     "SHARED_CACHE",
     "RunnerSpec",
     "CorpusTestSpec",
+    "DerivedTestSpec",
     "SweepRequest",
     "SweepOutcome",
 ]
@@ -57,10 +58,18 @@ class CachePolicy:
     store, so ``"shared"`` degrades to chunk scope remotely; callers that
     need identical counters at every worker count colocate the requests
     that must pair (native test + HIPIFY twin) in one chunk.
+
+    ``artifacts`` routes the request's compiles through a content-keyed
+    :class:`~repro.exec.artifacts.ArtifactCache` (scoped like the run
+    store: chunk-private, or the service's shared cache for
+    ``scope="shared"`` in-process requests).  Compilation is pure, so
+    this never changes a ledger byte — ``False`` exists for A/B
+    benchmarking, not correctness.
     """
 
     reuse: bool = True
     scope: str = "chunk"  # "chunk" | "shared"
+    artifacts: bool = True
 
     def __post_init__(self) -> None:
         if self.scope not in ("chunk", "shared"):
@@ -84,11 +93,16 @@ class RunnerSpec:
     pairs never collapse into each other.  ``ablation`` selects an
     equalized runner from :data:`repro.analysis.ablation.ABLATIONS`-style
     specs (ablations are defined on the legacy nvcc/hipcc pair).
+
+    ``vectorize=False`` forces the per-row scalar interpreter path — the
+    bit-identical reference lane the benchmarks and property tests
+    compare the batched path against.
     """
 
     ablation: Optional["AblationSpec"] = None
     record_flags: bool = False
     stacks: Tuple[str, str] = DEFAULT_STACK_PAIR
+    vectorize: bool = True
 
     def build(self) -> "DifferentialRunner":
         if self.ablation is not None:
@@ -97,7 +111,11 @@ class RunnerSpec:
             return build_ablated_runner(self.ablation)
         from repro.harness.runner import DifferentialRunner
 
-        return DifferentialRunner(record_flags=self.record_flags, stacks=self.stacks)
+        return DifferentialRunner(
+            record_flags=self.record_flags,
+            stacks=self.stacks,
+            vectorize=self.vectorize,
+        )
 
 
 DEFAULT_RUNNER = RunnerSpec()
@@ -136,10 +154,30 @@ class CorpusTestSpec:
 
 
 @dataclass(frozen=True)
+class DerivedTestSpec:
+    """A test derived from a concrete base case at resolve time.
+
+    Used for the HIPIFY twin of a non-regenerable test (fuzz mutants,
+    benchmark corpora shipped as concrete cases): the spec holds a
+    *reference* to the same :class:`~repro.varity.testcase.TestCase`
+    object the native request carries, so pickling a chunk containing
+    both serializes the program IR once (pickle's object memo), roughly
+    halving pool payloads, and the twin is materialized with
+    ``.hipified()`` on the worker.
+    """
+
+    base: TestCase
+    hipify: bool = True
+
+    def resolve(self, memo: Optional[Dict[object, TestCase]] = None) -> TestCase:
+        return self.base.hipified() if self.hipify else self.base
+
+
+@dataclass(frozen=True)
 class SweepRequest:
     """One unit of schedulable work: a test swept across opt settings."""
 
-    test: Union[TestCase, CorpusTestSpec]
+    test: Union[TestCase, CorpusTestSpec, DerivedTestSpec]
     opts: Tuple[OptSetting, ...]
     #: opaque caller metadata echoed on the outcome (arm name, index, ...).
     tag: Tuple[object, ...] = ()

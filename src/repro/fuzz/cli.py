@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cliutil import add_execution_args, resolve_execution_args
 from repro.errors import HarnessError
 from repro.fp.types import FPType
 from repro.fuzz.engine import FuzzConfig, run_fuzz
@@ -25,7 +26,7 @@ from repro.fuzz.mutators import MUTATION_NAMES
 from repro.fuzz.signature import signature_histogram
 from repro.oracle.relations import RELATION_NAMES
 from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
-from repro.telemetry.session import TelemetrySession, add_telemetry_args
+from repro.telemetry.session import TelemetrySession
 from repro.utils.tables import Table
 
 __all__ = ["main", "build_parser"]
@@ -60,24 +61,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--batch", type=int, default=None, help="ledger batch size (default 25)"
-    )
-    parser.add_argument(
-        "--workers", type=int, default=None,
-        help="process-pool size for mutant evaluation (0 = serial; the "
-        "ledger is byte-identical at any worker count)",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=["serial", "pool", "bridge"],
-        default=None,
-        help="execution backend (default: serial or pool from --workers; "
-        "bridge routes chunks through a repro-bridge server fleet)",
-    )
-    parser.add_argument(
-        "--bridge-url",
-        metavar="URL",
-        default=None,
-        help="address of a running `repro-bridge serve` (with --backend bridge)",
     )
     parser.add_argument(
         "--no-hipify", action="store_true", help="skip each mutant's HIPIFY twin"
@@ -120,7 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="also print the signature histogram of all findings",
     )
-    add_telemetry_args(parser)
+    add_execution_args(
+        parser,
+        workers_help="process-pool size for mutant evaluation (0 = serial; "
+        "the ledger is byte-identical at any worker count)",
+    )
     return parser
 
 
@@ -134,18 +121,14 @@ def _config_from_args(
         ("--inputs", args.inputs, 1),
         ("--mutants", args.mutants, 0),
         ("--batch", args.batch, 1),
-        ("--workers", args.workers, 0),
     ):
         if value is not None and value < minimum:
             parser.error(f"{name} must be >= {minimum} (got {value})")
+    resolve_execution_args(parser, args)
     if args.max_seconds is not None and args.max_seconds <= 0:
         parser.error(f"--max-seconds must be positive (got {args.max_seconds})")
     if args.resume and args.ledger is None:
         parser.error("--resume requires --ledger")
-    if args.backend == "bridge" and not args.bridge_url:
-        parser.error("--backend bridge requires --bridge-url")
-    if args.bridge_url and args.backend != "bridge":
-        parser.error("--bridge-url requires --backend bridge")
 
     base = FuzzConfig()
     mutations = base.mutations

@@ -78,6 +78,7 @@ from repro.compilers.options import OptSetting, PAPER_OPT_SETTINGS
 from repro.errors import HarnessError, ReproError
 from repro.exec import (
     CHUNK_CACHE,
+    DerivedTestSpec,
     ExecutionService,
     SweepOutcome,
     SweepRequest,
@@ -515,9 +516,12 @@ class _Evaluator:
                     )
                 )
                 if self.config.include_hipify:
+                    # DerivedTestSpec references the *same* TestCase as
+                    # the native request: pickle's memo then ships the
+                    # program IR once per chunk to pool workers.
                     requests.append(
                         SweepRequest(
-                            test=test.hipified(),
+                            test=DerivedTestSpec(base=test),
                             opts=self.config.opts,
                             tag=("hipify",),
                             cache=CHUNK_CACHE,

@@ -2,8 +2,10 @@
 
 :meth:`DifferentialRunner.run_sweep` is the execution service's unit of
 work: one test compiled once per compiler (front end shared across the
-optimization settings) and executed at every setting.  The ``nvcc_cache``
-/ ``populate_cache`` arguments take a cache *view* — any object with
+optimization settings) and executed at every setting — each setting's
+whole input grid in one :meth:`Device.execute_batch` call.  The
+``lhs_cache`` / ``populate_lhs_cache`` arguments take a cache *view* —
+any object with
 ``get(test_id, opt_label)``, ``put(test_id, opt_label, outcomes)`` and a
 ``hits`` counter, in practice a content-keyed
 :class:`~repro.exec.store.BoundRunCache` — letting a later request replay
@@ -35,6 +37,7 @@ from repro.stacks import DEFAULT_STACK_PAIR, get_stack
 from repro.varity.testcase import TestCase
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from repro.exec.artifacts import ArtifactCache
     from repro.exec.store import BoundRunCache
 
 __all__ = ["DifferentialRunner", "PairResult", "pair_discrepancies"]
@@ -111,6 +114,45 @@ def pair_discrepancies(
     return out
 
 
+def _execute_batch(device, compiled, rows, *, vectorize: bool, memo=None):
+    """``device.execute_batch`` with a scalar fallback for duck-typed
+    device wrappers (trap injectors, ablation shims) that only implement
+    ``execute``.
+
+    ``memo`` (a per-sweep list) dedups physical execution across opt
+    settings whose post-pass kernels came out identical — common for
+    small kernels, where O1/O2/O3 converge to the same IR.  Execution is
+    a pure function of (kernel, exec options, input rows), so reusing
+    the raw results is bit-exact; rows are matched by element *identity*
+    (NaN-safe, and only true for the same sweep's input tuples).  The
+    memo is never offered for wrapper devices without ``execute_batch``
+    — per-opt trap injectors are exactly the stubs whose behavior is
+    not a pure function of the compiled kernel.
+    """
+    batch = getattr(device, "execute_batch", None)
+    if batch is None:
+        out = []
+        for row in rows:
+            try:
+                out.append(device.execute(compiled, row))
+            except TrapError:
+                out.append(None)
+        return out
+    if memo is not None:
+        for prev_ck, prev_rows, prev_out in memo:
+            if (
+                prev_ck.exec_options == compiled.exec_options
+                and len(prev_rows) == len(rows)
+                and all(a is b for a, b in zip(prev_rows, rows))
+                and prev_ck.kernel == compiled.kernel
+            ):
+                return prev_out
+    out = batch(compiled, rows, vectorize=vectorize)
+    if memo is not None:
+        memo.append((compiled, rows, out))
+    return out
+
+
 class DifferentialRunner:
     """Owns one device + compiler per stack and runs tests through both.
 
@@ -134,6 +176,7 @@ class DifferentialRunner:
         record_flags: bool = False,
         *,
         stacks: Tuple[str, str] = DEFAULT_STACK_PAIR,
+        vectorize: bool = True,
     ) -> None:
         lhs_stack = get_stack(stacks[0])
         rhs_stack = get_stack(stacks[1])
@@ -143,6 +186,10 @@ class DifferentialRunner:
         self.lhs_compiler: Compiler = lhs_stack.compiler()
         self.rhs_compiler: Compiler = rhs_stack.compiler()
         self.record_flags = record_flags
+        #: route each (test, opt)'s input grid through the batched device
+        #: API (bit-identical per row; ``False`` forces the per-row
+        #: scalar reference path).
+        self.vectorize = vectorize
         self.lhs_executions = 0
         self.rhs_executions = 0
 
@@ -214,30 +261,64 @@ class DifferentialRunner:
         test: TestCase,
         opts: Sequence[OptSetting],
         *,
+        lhs_cache: Optional["BoundRunCache"] = None,
+        populate_lhs_cache: Optional["BoundRunCache"] = None,
+        artifacts: Optional["ArtifactCache"] = None,
         nvcc_cache: Optional["BoundRunCache"] = None,
         populate_cache: Optional["BoundRunCache"] = None,
     ) -> Dict[str, PairResult]:
         """One test across every optimization setting, keyed by opt label.
 
         Each compiler's front end runs once for the whole sweep (see
-        :meth:`Compiler.compile_sweep`).  When ``nvcc_cache`` (a
-        content-keyed store view; the parameter name predates the
-        registry — it caches the *left* stack) holds this test's entry
-        at an opt setting, the left side is replayed from the cached
-        outcomes instead of executing; ``populate_cache`` stores this
-        sweep's left-stack outcomes for a later request to reuse.
+        :meth:`Compiler.compile_sweep`); with ``artifacts`` (an
+        :class:`~repro.exec.artifacts.ArtifactCache`) both compiles are
+        served content-keyed, so an identical kernel compiled earlier —
+        the HIPIFY twin's CUDA side, a replayed fuzz ancestor — never
+        re-enters the pass pipeline.  When ``lhs_cache`` (a
+        content-keyed store view) holds this test's entry at an opt
+        setting, the left side is replayed from the cached outcomes
+        instead of executing; ``populate_lhs_cache`` stores this sweep's
+        left-stack outcomes for a later request to reuse.
+
+        .. deprecated:: PR 9
+           ``nvcc_cache`` / ``populate_cache`` are the pre-registry
+           spellings of ``lhs_cache`` / ``populate_lhs_cache`` (they
+           always cached the *left* stack, whatever it was); they remain
+           as keyword aliases.
         """
-        lhs_kernels = self.lhs_compiler.compile_sweep(test.program, opts)
-        rhs_kernels = self.rhs_compiler.compile_sweep(test.program, opts)
+        if lhs_cache is None:
+            lhs_cache = nvcc_cache
+        if populate_lhs_cache is None:
+            populate_lhs_cache = populate_cache
+        if artifacts is not None:
+            lhs_kernels = artifacts.compile_sweep(
+                self.lhs_compiler, test.program, opts
+            )
+            rhs_kernels = artifacts.compile_sweep(
+                self.rhs_compiler, test.program, opts
+            )
+        else:
+            lhs_kernels = self.lhs_compiler.compile_sweep(test.program, opts)
+            rhs_kernels = self.rhs_compiler.compile_sweep(test.program, opts)
         out: Dict[str, PairResult] = {}
+        # Per-sweep execution memos (one per side): opt settings whose
+        # pass pipelines produced identical kernels execute once and
+        # share raw results.  Counters are charged per opt regardless —
+        # they count the sweep's logical runs, byte-identical to the
+        # undeduped path.  Only the batched lane dedups; vectorize=False
+        # is the untouched per-row reference.
+        lhs_memo = [] if self.vectorize else None
+        rhs_memo = [] if self.vectorize else None
         for opt in opts:
             out[opt.label] = self._run_inputs(
                 test,
                 opt,
                 lhs_kernels[opt.label],
                 rhs_kernels[opt.label],
-                nvcc_cache=nvcc_cache,
-                populate_cache=populate_cache,
+                lhs_cache=lhs_cache,
+                populate_lhs_cache=populate_lhs_cache,
+                lhs_memo=lhs_memo,
+                rhs_memo=rhs_memo,
             )
         return out
 
@@ -262,50 +343,62 @@ class DifferentialRunner:
         ck_lhs: CompiledKernel,
         ck_rhs: CompiledKernel,
         *,
-        nvcc_cache: Optional["BoundRunCache"] = None,
-        populate_cache: Optional["BoundRunCache"] = None,
+        lhs_cache: Optional["BoundRunCache"] = None,
+        populate_lhs_cache: Optional["BoundRunCache"] = None,
+        lhs_memo=None,
+        rhs_memo=None,
     ) -> PairResult:
         cached = (
-            nvcc_cache.get(test.test_id, opt.label) if nvcc_cache is not None else None
+            lhs_cache.get(test.test_id, opt.label) if lhs_cache is not None else None
         )
         if cached is not None and len(cached) != len(test.inputs):
             raise HarnessError(
                 f"cached {self.stacks[0]} outcomes for {test.test_id!r} at "
                 f"{opt.label} cover {len(cached)} inputs, test has {len(test.inputs)}"
             )
-        lhs_outcomes: List[Optional[RunRecord]] = []
+        if cached is not None:
+            lhs_cache.hits += len(test.inputs)
+            lhs_outcomes: List[Optional[RunRecord]] = list(cached)
+        else:
+            self.lhs_executions += len(test.inputs)
+            lhs_results = _execute_batch(
+                self.lhs_device,
+                ck_lhs,
+                [vec.values for vec in test.inputs],
+                vectorize=self.vectorize,
+                memo=lhs_memo,
+            )
+            lhs_outcomes = [
+                None
+                if rl is None
+                else self._record(test, idx, opt, self.stacks[0], rl)
+                for idx, rl in enumerate(lhs_results)
+            ]
+        # A ``None`` outcome means the left side trapped (step budget):
+        # the test is dropped on both stacks, like a timed-out job in the
+        # real campaign, and the right side is never executed for that
+        # input.
+        skipped = [idx for idx, rec in enumerate(lhs_outcomes) if rec is None]
+        live = [idx for idx, rec in enumerate(lhs_outcomes) if rec is not None]
+        self.rhs_executions += len(live)
+        rhs_results = _execute_batch(
+            self.rhs_device,
+            ck_rhs,
+            [test.inputs[idx].values for idx in live],
+            vectorize=self.vectorize,
+            memo=rhs_memo,
+        )
         lhs_runs: List[RunRecord] = []
         rhs_runs: List[RunRecord] = []
-        skipped: List[int] = []
-        for idx, vec in enumerate(test.inputs):
-            if cached is not None:
-                nvcc_cache.hits += 1
-                rec = cached[idx]
-            else:
-                self.lhs_executions += 1
-                try:
-                    rl = self.lhs_device.execute(ck_lhs, vec.values)
-                except TrapError:
-                    rec = None
-                else:
-                    rec = self._record(test, idx, opt, self.stacks[0], rl)
-            lhs_outcomes.append(rec)
-            if rec is None:
-                # The left side trapped (step budget): the test is dropped
-                # on both stacks, like a timed-out job in the real
-                # campaign, and the right side is never executed.
+        for idx, rr in zip(live, rhs_results):
+            if rr is None:
                 skipped.append(idx)
                 continue
-            self.rhs_executions += 1
-            try:
-                rr = self.rhs_device.execute(ck_rhs, vec.values)
-            except TrapError:
-                skipped.append(idx)
-                continue
-            lhs_runs.append(rec)
+            lhs_runs.append(lhs_outcomes[idx])
             rhs_runs.append(self._record(test, idx, opt, self.stacks[1], rr))
-        if populate_cache is not None:
-            populate_cache.put(test.test_id, opt.label, lhs_outcomes)
+        skipped.sort()
+        if populate_lhs_cache is not None:
+            populate_lhs_cache.put(test.test_id, opt.label, lhs_outcomes)
         return PairResult(
             lhs_runs,
             rhs_runs,

@@ -19,12 +19,13 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cliutil import add_execution_args, resolve_execution_args
 from repro.errors import HarnessError
 from repro.fp.types import FPType
 from repro.oracle.engine import OracleConfig, run_oracle
 from repro.oracle.relations import RELATION_NAMES
 from repro.stacks import DEFAULT_STACK_PAIR, STACK_NAMES, resolve_stacks
-from repro.telemetry.session import TelemetrySession, add_telemetry_args
+from repro.telemetry.session import TelemetrySession
 
 __all__ = ["main", "build_parser"]
 
@@ -65,24 +66,6 @@ def build_parser() -> argparse.ArgumentParser:
         "relations check each stack of the pair independently",
     )
     parser.add_argument(
-        "--workers", type=int, default=None,
-        help="process-pool size (0 = serial; the ledger is byte-identical "
-        "at any worker count)",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=["serial", "pool", "bridge"],
-        default=None,
-        help="execution backend (default: serial or pool from --workers; "
-        "bridge routes chunks through a repro-bridge server fleet)",
-    )
-    parser.add_argument(
-        "--bridge-url",
-        metavar="URL",
-        default=None,
-        help="address of a running `repro-bridge serve` (with --backend bridge)",
-    )
-    parser.add_argument(
         "--ledger", metavar="PATH", default=None,
         help="append per-program results to this JSONL ledger",
     )
@@ -95,7 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print every violation and the execution-service "
         "cache/dedup metrics",
     )
-    add_telemetry_args(parser)
+    add_execution_args(
+        parser,
+        workers_help="process-pool size (0 = serial; the ledger is "
+        "byte-identical at any worker count)",
+    )
     return parser
 
 
@@ -108,16 +95,12 @@ def _config_from_args(
         ("--programs", args.programs, 1),
         ("--inputs", args.inputs, 1),
         ("--ulp-bound", args.ulp_bound, 0),
-        ("--workers", args.workers, 0),
     ):
         if value is not None and value < minimum:
             parser.error(f"{name} must be >= {minimum} (got {value})")
+    resolve_execution_args(parser, args)
     if args.resume and args.ledger is None:
         parser.error("--resume requires --ledger")
-    if args.backend == "bridge" and not args.bridge_url:
-        parser.error("--backend bridge requires --bridge-url")
-    if args.bridge_url and args.backend != "bridge":
-        parser.error("--bridge-url requires --backend bridge")
 
     base = OracleConfig()
     relations = base.relations
