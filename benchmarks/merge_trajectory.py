@@ -13,7 +13,10 @@ under ``benchmarks/results/`` into a single ``trajectory.json``:
 * a ``fuzz_smoke`` block summarizing the nightly fuzz ledger (iterations,
   batches, finding count) parsed directly from the JSONL;
 * a ``bridge`` block lifted from the exec-service summary when that run
-  included the bridge lane (seconds / workers / speedup vs serial).
+  included the bridge lane (seconds / workers / speedup vs serial);
+* a ``fuzz_yield`` block from the bench_fuzz_engine search lane when it
+  ran (mcts vs hybrid vs blind novel-signature and oracle-violation
+  yield at equal budget).
 
 New benches and lanes are gate-safe on first appearance by
 construction: the regression gate compares only pytest-benchmark
@@ -72,6 +75,13 @@ OPPORTUNISTIC_JSONS = {
 
 FUZZ_LEDGER = "nightly_fuzz.jsonl"
 
+#: Summary the bench_fuzz_engine search lane writes: per-arm
+#: novel-signature and oracle-violation yield for mcts / hybrid / blind
+#: at equal iteration budget.  Optional like the opportunistic JSONs
+#: (the lane may not have run), folded into a first-class ``fuzz_yield``
+#: block so the strategy gap trends night over night.
+SEARCH_YIELD = "fuzz_search_yield.json"
+
 #: Flat metrics snapshot written by ``--metrics-out`` during the fuzz
 #: smoke; its ``*_seconds`` counters become the ``phases`` block so the
 #: regression gate can name the phase that got slower, not just the
@@ -95,6 +105,40 @@ def _summarize_metrics_snapshot(path: Path) -> Dict[str, float]:
         for name, value in sorted(counters.items())
         if name.endswith("_seconds") and isinstance(value, (int, float))
     }
+
+
+def _summarize_search_yield(path: Path) -> Dict[str, object]:
+    """The search lane's summary → the trajectory's ``fuzz_yield`` block.
+
+    Keeps the scalar trend lines (the mcts-vs-hybrid ratio and each
+    arm's per-krun rates) and drops the per-arm bookkeeping; a malformed
+    file yields an empty dict (the lane is optional, never a crash).
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    arms = data.get("arms", {})
+    if not isinstance(arms, dict):
+        arms = {}
+    out: Dict[str, object] = {
+        "scale": data.get("scale", ""),
+        "budget": data.get("budget", 0),
+        "mcts_vs_hybrid_ratio": data.get("mcts_vs_hybrid_ratio"),
+    }
+    for name, arm in sorted(arms.items()):
+        if not isinstance(arm, dict):
+            continue
+        out[f"{name}_novel_per_krun"] = arm.get("novel_per_krun")
+        out[f"{name}_violations_per_krun"] = arm.get("violations_per_krun")
+    tree = data.get("tree", {})
+    if isinstance(tree, dict):
+        out["tree_nodes"] = tree.get("nodes")
+        out["tree_max_depth"] = tree.get("max_depth")
+        out["coverage_features"] = tree.get("coverage_features")
+    return out
 
 
 def _meta() -> Dict[str, object]:
@@ -258,6 +302,14 @@ def merge(results_dir: Path) -> Dict[str, object]:
         payload["fuzz_smoke"] = _summarize_fuzz_ledger(ledger)
     else:
         skipped.append(FUZZ_LEDGER)
+    # The search-strategy yield comparison: mcts vs hybrid vs blind
+    # novel-signature and oracle-violation rates at equal budget.
+    # Gate-safe like bridge/hot_path — a dict, not a per-bench list.
+    search_yield = results_dir / SEARCH_YIELD
+    if search_yield.exists():
+        summary = _summarize_search_yield(search_yield)
+        if summary:
+            payload["fuzz_yield"] = summary
     snapshot = results_dir / METRICS_SNAPSHOT
     if snapshot.exists():
         phases = _summarize_metrics_snapshot(snapshot)

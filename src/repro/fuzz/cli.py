@@ -10,11 +10,13 @@ stacks and prints the novel findings.  Examples::
     repro-fuzz --max-seconds 120 --mutants 100000 --ledger findings.jsonl
     repro-fuzz --mutants 400 --workers 4      # same ledger, less wall clock
     repro-fuzz --stacks nvcc,hipcc,cpu        # per-pair findings, format-4 ledger
+    repro-fuzz --search mcts --coverage-report  # tree search, format-5 ledger
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -92,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
         "non-default selections bump the ledger fingerprint to format 4",
     )
     parser.add_argument(
+        "--search",
+        choices=["bandit", "mcts"],
+        default="bandit",
+        help="iteration-selection strategy: the flat mutation bandit "
+        "(default) or UCB1 tree search over IR-edit sequences, whose "
+        "reward blends signature novelty, oracle violations, and grammar "
+        "coverage (bumps the ledger fingerprint to format 5)",
+    )
+    parser.add_argument(
+        "--coverage-report", action="store_true",
+        help="print the grammar-feature coverage histogram after the "
+        "session (requires --search mcts, which tracks coverage)",
+    )
+    parser.add_argument(
+        "--coverage-out", metavar="PATH", default=None,
+        help="write the grammar-feature coverage summary as JSON "
+        "(requires --search mcts)",
+    )
+    parser.add_argument(
         "--ledger", metavar="PATH", default=None,
         help="append findings to this JSONL ledger",
     )
@@ -129,6 +150,10 @@ def _config_from_args(
         parser.error(f"--max-seconds must be positive (got {args.max_seconds})")
     if args.resume and args.ledger is None:
         parser.error("--resume requires --ledger")
+    if args.coverage_report and args.search != "mcts":
+        parser.error("--coverage-report requires --search mcts")
+    if args.coverage_out is not None and args.search != "mcts":
+        parser.error("--coverage-out requires --search mcts")
 
     base = FuzzConfig()
     mutations = base.mutations
@@ -179,6 +204,7 @@ def _config_from_args(
         workers=args.workers if args.workers is not None else base.workers,
         backend=args.backend,
         bridge_url=args.bridge_url,
+        search=args.search,
     )
 
 
@@ -229,9 +255,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"oracle: {result.oracle_violations} relation violations on "
             f"committed iterations"
         )
+    if config.search == "mcts":
+        stats = result.search_stats
+        print(
+            f"mcts tree: {stats.get('nodes', 0)} nodes "
+            f"(max depth {stats.get('max_depth', 0)}, "
+            f"{stats.get('dead_nodes', 0)} dead, "
+            f"{stats.get('explore_programs', 0)} explore programs), "
+            f"{result.coverage.get('features', 0)} grammar features covered"
+        )
+    if args.coverage_out is not None:
+        with open(args.coverage_out, "w", encoding="utf-8") as fh:
+            json.dump(result.coverage, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     print(f"novel findings: {len(result.findings)} (stopped by {result.stopped_by})")
     for finding in result.findings:
         print(f"  {finding.describe()}")
+    if args.coverage_report:
+        counts = result.coverage.get("counts", {})
+        coverage_table = Table(
+            title="Grammar-feature coverage (rarest first)",
+            headers=["Feature", "Programs"],
+        )
+        for feature, count in sorted(counts.items(), key=lambda kv: (kv[1], kv[0])):  # type: ignore[union-attr]
+            coverage_table.add_row([feature, count])
+        print()
+        print(coverage_table.render())
     if args.report:
         print()
         print(

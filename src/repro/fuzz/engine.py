@@ -89,8 +89,16 @@ from repro.exec import (
 from repro.exec.units import RunnerSpec
 from repro.fp.classify import OutcomeClass
 from repro.fp.types import FPType
-from repro.fuzz.ledger import Finding, FindingsLedger, LedgerState, LineageStep, Promotion
+from repro.fuzz.ledger import (
+    Finding,
+    FindingsLedger,
+    LedgerState,
+    LineageStep,
+    Promotion,
+    SearchTrace,
+)
 from repro.fuzz.mutators import MUTATION_NAMES, MUTATORS, apply_mutation
+from repro.fuzz.search import MctsSearch, PreparedIteration as _Prep
 from repro.fuzz.signature import DiscrepancySignature, signature_histogram
 from repro.harness.differential import Discrepancy, classify_pair
 from repro.harness.runner import DifferentialRunner
@@ -178,6 +186,14 @@ class FuzzConfig:
     #: fingerprint.
     backend: Optional[str] = None
     bridge_url: Optional[str] = None
+    #: iteration-selection strategy.  ``"bandit"`` (the default) is the
+    #: flat win-count bandit over mutators; ``"mcts"`` is UCB1 tree
+    #: search over IR-edit sequences (:mod:`repro.fuzz.search`), whose
+    #: reward blends signature novelty, oracle violations, and grammar
+    #: coverage.  Result-determining, so part of the fingerprint
+    #: (format 5) — but only in mcts mode, keeping bandit ledgers
+    #: byte-compatible.
+    search: str = "bandit"
 
     def __post_init__(self) -> None:
         if self.n_seed_programs < 1:
@@ -196,6 +212,10 @@ class FuzzConfig:
         except ValueError as exc:
             raise HarnessError(str(exc)) from None
         resolve_stacks(self.stacks)  # raises HarnessError on bad names
+        if self.search not in ("bandit", "mcts"):
+            raise HarnessError(
+                f"unknown search strategy: {self.search!r} (bandit or mcts)"
+            )
 
     @property
     def corpus_seed(self) -> int:
@@ -246,6 +266,14 @@ class FuzzConfig:
         4``, ``stacks``) are emitted only for non-default selections; a
         default-pair config fingerprints exactly as before, so every
         format-2 and format-3 ledger still resumes (tested explicitly).
+
+        Format 5 is tree search: an mcts session's batch lines carry a
+        per-iteration ``search`` trace (selected node + reward) that a
+        bandit engine cannot replay, and its selection reads tree
+        statistics no bandit ledger records.  The format-5 keys
+        (``format: 5``, ``search``) are emitted only when ``search`` is
+        not the default bandit, so every format-2/3/4 ledger still
+        resumes under default-search configs (tested explicitly).
         """
         fp: Dict[str, object] = {
             "format": 2,
@@ -269,6 +297,9 @@ class FuzzConfig:
         if tuple(self.stacks) != DEFAULT_STACK_PAIR:
             fp["format"] = 4
             fp["stacks"] = list(self.stacks)
+        if self.search != "bandit":
+            fp["format"] = 5
+            fp["search"] = self.search
         return fp
 
 
@@ -378,6 +409,12 @@ class FuzzResult:
     #: always-on ``phase_seconds`` aggregates.  Out-of-band like
     #: ``elapsed_seconds``.
     exec_metrics: Dict[str, object] = field(default_factory=dict)
+    #: tree statistics from :meth:`repro.fuzz.search.MctsSearch.stats`
+    #: (mcts sessions only; empty for bandit).  Out-of-band telemetry.
+    search_stats: Dict[str, object] = field(default_factory=dict)
+    #: grammar-feature coverage summary
+    #: (:meth:`repro.fuzz.coverage.CoverageTracker.as_dict`; mcts only).
+    coverage: Dict[str, object] = field(default_factory=dict)
 
     @property
     def novel_signatures(self) -> List[DiscrepancySignature]:
@@ -727,22 +764,9 @@ def _replay_lineage(
     return kernel
 
 
-@dataclass
-class _Prep:
-    """One speculated iteration: everything selection decided, nothing
-    committed.  ``skip`` names the counter a non-evaluable iteration
-    lands in; otherwise ``test`` is the candidate to evaluate."""
-
-    iteration: int
-    arm: str
-    skip: Optional[str] = None  # "no_site" | "invalid" | "noop" | "duplicate"
-    kind: str = ""  # "explore" | "mutant"
-    test: Optional[TestCase] = None
-    content: str = ""
-    content_id: str = ""
-    corpus_index: int = -1
-    lineage: Tuple[LineageStep, ...] = ()
-    parent: Optional[_PoolEntry] = None
+# The speculated-iteration record (``_Prep``) lives in
+# :mod:`repro.fuzz.search` as ``PreparedIteration`` — both strategies
+# produce it, and the engine's window loop consumes it identically.
 
 
 # ---------------------------------------------------------------------------
@@ -861,6 +885,12 @@ def run_fuzz(
             pool[index].energy += config.novelty_bonus
 
         scheduler = _Scheduler(config)
+        # The mcts strategy owns its own state (the tree + the coverage
+        # map); the bandit state (scheduler wins, pool energies) keeps
+        # running but is never consulted when search is active.
+        search: Optional[MctsSearch] = None
+        if config.search == "mcts":
+            search = MctsSearch(config, corpus, hot_indices)
 
         # --------------------------------------- replay prior pool events
         evaluated: Set[str] = set()
@@ -894,36 +924,69 @@ def run_fuzz(
             evaluated.add(_mutant_content_id(config.fptype, content))
 
         promoted_energy = config.promotion_energy
-        # Re-simulate the completed iterations' *selections* (cheap: no
-        # compilation, no execution) while applying the ledger's findings
-        # and promotions at the iterations they occurred — this
-        # reconstructs the scheduler's counters and the pool's evolution
-        # exactly.
-        events_by_iter: Dict[int, List[Tuple[str, object]]] = {}
-        for kind, event in state.pool_events:
-            events_by_iter.setdefault(event.iteration, []).append((kind, event))  # type: ignore[union-attr]
-        for i in range(state.iterations_completed):
-            rng = random.Random(derive_seed(config.seed, "select", i))
-            scheduler.pick(rng)
-            for kind, event in events_by_iter.get(i, ()):
-                if kind == "finding":
-                    f = event  # type: Finding
-                    seen.add(f.signature.key)
-                    scheduler.record_win(
-                        f.lineage[-1].mutation if f.lineage else "explore"
-                    )
-                    if f.lineage:
-                        parent = by_key.get((f.corpus_index, f.lineage[:-1]))
-                        if parent is not None:
-                            parent.energy += config.novelty_bonus
-                    if (f.corpus_index, f.lineage) not in by_key:
-                        add_pool_entry(
-                            f.corpus_index, f.lineage, 1.0 + config.novelty_bonus
+        if search is not None:
+            # Re-run each completed iteration's *selection* against the
+            # growing tree (cheap: mutation application only, never
+            # execution) and fold in the ledger-recorded rewards.  This
+            # rebuilds the tree statistics, the coverage map, and —
+            # stricter than the bandit's pool-only reconstruction — the
+            # full evaluated-content dedup set, so the continuation is
+            # byte-identical to an uninterrupted session.
+            for f in state.findings:
+                seen.add(f.signature.key)
+            trace_by_iter = {t.iteration: t for t in state.search_steps}
+            for i in range(state.iterations_completed):
+                p = search.prepare(i, evaluated, set())
+                rec = trace_by_iter.get(i)
+                if p.skip is not None:
+                    if rec is not None:
+                        raise HarnessError(
+                            "ledger search trace does not replay: iteration "
+                            f"{i} re-prepared as a {p.skip} skip"
                         )
-                else:
-                    p = event  # type: Promotion
-                    if (p.corpus_index, p.lineage) not in by_key:
-                        add_pool_entry(p.corpus_index, p.lineage, promoted_energy)
+                    search.commit_skip(p)
+                    continue
+                if (
+                    rec is None
+                    or rec.corpus_index != p.corpus_index
+                    or rec.lineage != p.lineage
+                ):
+                    raise HarnessError(
+                        f"ledger search trace does not replay at iteration {i}"
+                    )
+                evaluated.add(p.content_id)
+                search.commit_replay(p, rec.reward, rec.diverged)
+        else:
+            # Re-simulate the completed iterations' *selections* (cheap: no
+            # compilation, no execution) while applying the ledger's findings
+            # and promotions at the iterations they occurred — this
+            # reconstructs the scheduler's counters and the pool's evolution
+            # exactly.
+            events_by_iter: Dict[int, List[Tuple[str, object]]] = {}
+            for kind, event in state.pool_events:
+                events_by_iter.setdefault(event.iteration, []).append((kind, event))  # type: ignore[union-attr]
+            for i in range(state.iterations_completed):
+                rng = random.Random(derive_seed(config.seed, "select", i))
+                scheduler.pick(rng)
+                for kind, event in events_by_iter.get(i, ()):
+                    if kind == "finding":
+                        f = event  # type: Finding
+                        seen.add(f.signature.key)
+                        scheduler.record_win(
+                            f.lineage[-1].mutation if f.lineage else "explore"
+                        )
+                        if f.lineage:
+                            parent = by_key.get((f.corpus_index, f.lineage[:-1]))
+                            if parent is not None:
+                                parent.energy += config.novelty_bonus
+                        if (f.corpus_index, f.lineage) not in by_key:
+                            add_pool_entry(
+                                f.corpus_index, f.lineage, 1.0 + config.novelty_bonus
+                            )
+                    else:
+                        p = event  # type: Promotion
+                        if (p.corpus_index, p.lineage) not in by_key:
+                            add_pool_entry(p.corpus_index, p.lineage, promoted_energy)
 
         result = FuzzResult(
             config=config,
@@ -939,6 +1002,7 @@ def run_fuzz(
         runs0 = evaluator.pair_runs
         batch_findings: List[Finding] = []
         batch_promotions: List[Promotion] = []
+        batch_search: List[SearchTrace] = []
         batch_start = state.iterations_completed
         batches_written = state.batches_completed
         stopped_by = "budget"
@@ -947,10 +1011,15 @@ def run_fuzz(
 
         def flush_batch(stop: int) -> None:
             nonlocal batch_start, batches_written, batch_findings, batch_promotions
-            nonlocal batch_t0
+            nonlocal batch_search, batch_t0
             if book is not None and stop > batch_start:
                 book.append_batch(
-                    batches_written, batch_start, stop, batch_findings, batch_promotions
+                    batches_written,
+                    batch_start,
+                    stop,
+                    batch_findings,
+                    batch_promotions,
+                    search=batch_search if search is not None else None,
                 )
                 batches_written += 1
             if loop_tracer.enabled and stop > batch_start:
@@ -970,13 +1039,19 @@ def run_fuzz(
             batch_start = stop
             batch_findings = []
             batch_promotions = []
+            batch_search = []
 
         def prepare_iteration(i: int, overlay: Set[str]) -> _Prep:
             """Select and mutate against the *current* state, committing
             nothing: scheduler counters, result counters, and the dedup
             set are untouched (``overlay`` carries the window's own
             content ids so speculated iterations dedup against each
-            other the way committed ones would)."""
+            other the way committed ones would).  The mcts strategy's
+            prepare additionally applies its prepare-time tree marks,
+            every one recorded in an undo delta (see
+            :mod:`repro.fuzz.search`)."""
+            if search is not None:
+                return search.prepare(i, evaluated, overlay)
             rng = random.Random(derive_seed(config.seed, "select", i))
             arm_choice = scheduler.select(rng)
 
@@ -1045,14 +1120,106 @@ def run_fuzz(
                 parent=parent,
             )
 
+        def build_finding(
+            p: _Prep, platform_arm: str, d: Discrepancy, sig: DiscrepancySignature
+        ) -> Finding:
+            """Minimize and record one novel signature's finding (shared
+            by both strategies)."""
+            target = p.test.hipified() if platform_arm == "hipify" else p.test
+            reduced_size: Optional[int] = None
+            reduced_cuda: Optional[str] = None
+            # Oracle findings are single-stack relation verdicts, not
+            # cross-vendor discrepancies; the differential delta
+            # debugger cannot reproduce them, so they stay unminimized.
+            if config.minimize and platform_arm != "oracle":
+                try:
+                    reduction = reduce_testcase(
+                        target,
+                        OptSetting.from_label(d.opt_label),
+                        d.input_index,
+                        runner=evaluator.runner_for(platform_arm),
+                    )
+                    reduced_size = reduction.reduced_size
+                    reduced_cuda = render_cuda(reduction.reduced.program)
+                except (ValueError, ReproError):
+                    pass  # finding stays unminimized; still novel
+            return Finding(
+                iteration=p.iteration,
+                arm=platform_arm,
+                mutant_id=p.test.test_id,
+                corpus_index=p.corpus_index,
+                lineage=p.lineage,
+                signature=sig,
+                discrepancy=d,
+                original_size=kernel_size(p.test.program.kernel),
+                reduced_size=reduced_size,
+                reduced_cuda=reduced_cuda,
+            )
+
+        def commit_mcts(
+            p: _Prep,
+            found: List[Tuple[str, Discrepancy]],
+            violations: List[RelationViolation],
+        ) -> bool:
+            """The mcts commit: counters and findings exactly as the
+            bandit's, then reward backprop instead of pool/scheduler
+            feedback.  True only for a nonzero reward — a zero-reward
+            commit adds nothing tree selection reads, so the speculative
+            window survives it (the engine's parallelism improves as the
+            coverage map saturates)."""
+            assert search is not None
+            if p.skip is not None:
+                if p.skip == "no_site":
+                    result.mutants_no_site += 1
+                elif p.skip == "invalid":
+                    result.mutants_invalid += 1
+                elif p.skip == "noop":
+                    result.mutants_noop += 1
+                else:
+                    result.duplicates += 1
+                search.commit_skip(p)
+                return False
+            evaluated.add(p.content_id)
+            if p.kind == "explore":
+                result.fresh_explored += 1
+            else:
+                result.mutants_run += 1
+            result.raw_discrepancies += len(found)
+            result.oracle_violations += len(violations)
+            novel = 0
+            if found or violations:
+                entries = evaluator.signatures_for(
+                    p.test, found
+                ) + evaluator.oracle_entries(violations)
+                for platform_arm, d, sig in entries:
+                    if sig.key in seen:
+                        continue
+                    seen.add(sig.key)
+                    novel += 1
+                    finding = build_finding(p, platform_arm, d, sig)
+                    findings.append(finding)
+                    batch_findings.append(finding)
+            diverged = bool(found)
+            reward = search.commit_evaluated(
+                p, novel, len(violations), diverged=diverged
+            )
+            batch_search.append(
+                SearchTrace(p.iteration, p.corpus_index, p.lineage, reward, diverged)
+            )
+            # A promotion (diverged) grows the tree even at zero reward,
+            # so speculation is stale either way.
+            return reward != 0.0 or diverged
+
         def commit_iteration(
             p: _Prep,
             found: List[Tuple[str, Discrepancy]],
             violations: List[RelationViolation],
         ) -> bool:
             """Apply one iteration's results in order; True when it
-            changed the pool/scheduler state (which invalidates anything
-            speculated after it)."""
+            changed state a later speculated selection reads (which
+            invalidates anything speculated after it)."""
+            if search is not None:
+                return commit_mcts(p, found, violations)
             scheduler.count_attempt(p.arm)
             if p.skip is not None:
                 if p.skip == "no_site":
@@ -1089,36 +1256,7 @@ def run_fuzz(
                 if sig.key in seen:
                     continue
                 seen.add(sig.key)
-                target = p.test.hipified() if platform_arm == "hipify" else p.test
-                reduced_size: Optional[int] = None
-                reduced_cuda: Optional[str] = None
-                # Oracle findings are single-stack relation verdicts, not
-                # cross-vendor discrepancies; the differential delta
-                # debugger cannot reproduce them, so they stay unminimized.
-                if config.minimize and platform_arm != "oracle":
-                    try:
-                        reduction = reduce_testcase(
-                            target,
-                            OptSetting.from_label(d.opt_label),
-                            d.input_index,
-                            runner=evaluator.runner_for(platform_arm),
-                        )
-                        reduced_size = reduction.reduced_size
-                        reduced_cuda = render_cuda(reduction.reduced.program)
-                    except (ValueError, ReproError):
-                        pass  # finding stays unminimized; still novel
-                finding = Finding(
-                    iteration=p.iteration,
-                    arm=platform_arm,
-                    mutant_id=p.test.test_id,
-                    corpus_index=p.corpus_index,
-                    lineage=p.lineage,
-                    signature=sig,
-                    discrepancy=d,
-                    original_size=kernel_size(p.test.program.kernel),
-                    reduced_size=reduced_size,
-                    reduced_cuda=reduced_cuda,
-                )
+                finding = build_finding(p, platform_arm, d, sig)
                 findings.append(finding)
                 batch_findings.append(finding)
                 if p.parent is not None:
@@ -1180,7 +1318,16 @@ def run_fuzz(
                     found: List[Tuple[str, Discrepancy]] = []
                     violations: List[RelationViolation] = []
                     if p.test is not None:
+                        span_mcts = search is not None and loop_tracer.enabled
+                        eval_t0 = time.perf_counter_ns() if span_mcts else 0
                         found, violations = evaluator.absorb(next(outcome_iter))
+                        if span_mcts:
+                            loop_tracer.record(
+                                "fuzz.mcts.evaluate",
+                                eval_t0,
+                                time.perf_counter_ns(),
+                                iteration=p.iteration,
+                            )
                     changed = commit_iteration(p, found, violations)
                     i = p.iteration + 1
                     result.iterations = i
@@ -1192,11 +1339,15 @@ def run_fuzz(
                         if progress is not None:
                             progress("fuzz", i, config.max_mutants)
                     if changed:
-                        # The pool changed: every later speculation chose
-                        # parents against stale state.  Drain and discard
-                        # (their runs are never counted), then re-speculate.
+                        # The pool (or tree) changed: every later
+                        # speculation selected against stale state.  Drain
+                        # and discard (their runs are never counted), undo
+                        # the tree's speculative prepare-marks, then
+                        # re-speculate.
                         for _ in outcome_iter:
                             pass
+                        if search is not None:
+                            search.invalidate()
                         break
             flush_batch(result.iterations)
             if progress is not None and result.iterations:
@@ -1211,6 +1362,9 @@ def run_fuzz(
         result.elapsed_seconds = time.perf_counter() - t0
         result.stopped_by = stopped_by
         result.exec_metrics = service.stats()
+        if search is not None:
+            result.search_stats = search.stats()
+            result.coverage = search.coverage.as_dict()
         return result
     finally:
         service.close()

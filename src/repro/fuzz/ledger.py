@@ -36,7 +36,14 @@ the other's trajectory.  Format 4 — the stack registry — adds per-pair
 findings (``arm`` carries a pair name like ``nvcc-cpu`` and the signature
 records a ``stacks`` pair); its keys are emitted only for non-default
 ``stacks`` selections, so default-pair configs fingerprint exactly as
-before and every format-2 and format-3 ledger still resumes.
+before and every format-2 and format-3 ledger still resumes.  Format 5 —
+tree search — adds a per-batch ``search`` trace: one
+``[iteration, corpus_index, lineage, reward]`` record per *evaluated*
+iteration, which is what lets a resumed mcts session rebuild its tree
+statistics (rewards are evaluation results, not replayable from the
+config).  The ``search`` key is emitted only when ``FuzzConfig.search``
+is ``"mcts"``, so bandit-mode ledgers — the default — stay byte-for-byte
+format 2/3/4 and keep resuming under older engines.
 
 A :class:`Finding` records, besides the discrepancy and its signature,
 the full *lineage* of the mutant: the corpus index it started from and
@@ -55,7 +62,7 @@ from repro.fuzz.signature import DiscrepancySignature
 from repro.harness.differential import Discrepancy
 from repro.utils.checkpoint import JsonlCheckpoint
 
-__all__ = ["LineageStep", "Finding", "Promotion", "FindingsLedger"]
+__all__ = ["LineageStep", "Finding", "Promotion", "SearchTrace", "FindingsLedger"]
 
 
 @dataclass(frozen=True)
@@ -178,6 +185,48 @@ class Promotion:
         )
 
 
+@dataclass(frozen=True)
+class SearchTrace:
+    """One evaluated mcts iteration: which node, what reward (format 5).
+
+    Skipped iterations are *not* recorded: tree selection is a pure
+    function of the tree state and the iteration's derived rng, so a
+    resumed session reproduces them by replaying ``prepare``.  The
+    reward is the only evaluation-dependent quantity the tree absorbs,
+    which is why it is the only thing the trace must carry;
+    ``corpus_index``/``lineage`` double as a consistency check that the
+    replayed selection matches the recorded one.
+    """
+
+    iteration: int
+    corpus_index: int
+    lineage: Tuple[LineageStep, ...]
+    reward: float
+    #: whether the program diverged at all (novel signature or not) —
+    #: divergence promotes the mutant into the tree without paying
+    #: ancestor reward, so replay needs it alongside the reward.
+    diverged: bool = False
+
+    def to_json(self) -> List[object]:
+        return [
+            self.iteration,
+            self.corpus_index,
+            [step.to_json() for step in self.lineage],
+            self.reward,
+            1 if self.diverged else 0,
+        ]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "SearchTrace":
+        return cls(
+            iteration=int(data[0]),  # type: ignore[arg-type]
+            corpus_index=int(data[1]),  # type: ignore[arg-type]
+            lineage=tuple(LineageStep.from_json(s) for s in data[2]),  # type: ignore[union-attr]
+            reward=float(data[3]),  # type: ignore[arg-type]
+            diverged=bool(data[4]) if len(data) > 4 else False,  # type: ignore[arg-type]
+        )
+
+
 @dataclass
 class LedgerState:
     """Everything a resumed session reloads from an existing ledger."""
@@ -189,6 +238,9 @@ class LedgerState:
     #: interleaved pool events in ledger order, for exact state replay:
     #: ``("finding", Finding)`` and ``("promotion", Promotion)``.
     pool_events: List[Tuple[str, object]] = field(default_factory=list)
+    #: format-5 (mcts) per-iteration search records, in ledger order;
+    #: empty for bandit-mode ledgers.
+    search_steps: List[SearchTrace] = field(default_factory=list)
     iterations_completed: int = 0
     batches_completed: int = 0
     has_baseline: bool = False
@@ -226,6 +278,9 @@ class FindingsLedger(JsonlCheckpoint):
                     Promotion.from_json(p) for p in data.get("promoted", [])
                 ]
                 state.findings.extend(findings)
+                state.search_steps.extend(
+                    SearchTrace.from_json(s) for s in data.get("search", [])
+                )
                 # Interleave in live-run order: all of one iteration's
                 # findings land before that iteration's promotion.
                 events = [(f.iteration, 0, "finding", f) for f in findings]
@@ -260,14 +315,20 @@ class FindingsLedger(JsonlCheckpoint):
         stop: int,
         findings: Sequence[Finding],
         promoted: Sequence[Promotion] = (),
+        search: Optional[Sequence[SearchTrace]] = None,
     ) -> None:
-        self.append_record(
-            {
-                "kind": "batch",
-                "index": index,
-                "start": start,
-                "stop": stop,
-                "findings": [f.to_json_dict() for f in findings],
-                "promoted": [p.to_json() for p in promoted],
-            }
-        )
+        """``search=None`` (bandit mode) omits the format-5 key entirely,
+        keeping bandit batch lines byte-identical to earlier formats; an
+        mcts session passes a list — empty batches included — so every
+        format-5 batch line is self-describing."""
+        record: Dict[str, object] = {
+            "kind": "batch",
+            "index": index,
+            "start": start,
+            "stop": stop,
+            "findings": [f.to_json_dict() for f in findings],
+            "promoted": [p.to_json() for p in promoted],
+        }
+        if search is not None:
+            record["search"] = [s.to_json() for s in search]
+        self.append_record(record)

@@ -1,0 +1,674 @@
+"""MCTS/UCB1 tree search over IR-edit sequences.
+
+The bandit strategy picks a *single* mutation of an energy-weighted pool
+entry each iteration; its unit of learning is the mutation operator.
+This module's unit of learning is the **edit sequence**: tree nodes are
+``(corpus_index, lineage)`` programs — exactly the identity the ledger
+already uses — rooted at the seed pool.  Selection walks the tree by
+UCB1; at the selected node the search *expands*: it applies one of the
+registered mutators (chosen by a per-node UCB1 over mutation arms, each
+arm re-triable with every iteration's fresh derived seed — a fertile
+program can be re-mutated indefinitely, which is what the flat bandit's
+pool promotions do well).  A mutant that earns reward is promoted to a
+child node, so paying edit sequences compound into deeper chains; a
+zero-reward mutant leaves only arm statistics behind.  A root-level
+*explore arm* generates a fresh corpus program, competing with the seed
+subtrees on the same UCB terms.  Reward is a deterministic blend of what
+the session actually wants:
+
+* novel discrepancy signatures (weight 1.0) — the paper's currency;
+* oracle-relation violations (0.25) — dense single-stack signal the
+  tree can steer toward (violations are program-structural, so they
+  cluster in subtrees);
+* new grammar-coverage features (0.125, :mod:`repro.fuzz.coverage`) —
+  densest early, steering toward under-covered program shapes before
+  any signature has been seen.
+
+``reward = raw / (1 + raw)`` keeps every simulation's reward in
+``[0, 1)`` so UCB1's exploration term stays calibrated.
+
+Determinism and the speculative window
+--------------------------------------
+
+The engine evaluates a window of upcoming iterations concurrently and
+commits in order (see :mod:`repro.fuzz.engine`).  Classic MCTS breaks
+that — every simulation touches the tree.  The resolution here is to
+split each simulation's state changes by *what they depend on*:
+
+* **Prepare-time** (``prepare``): visit increments (path, root, explore,
+  per-arm) and dead marks (a mutation with no applicable site, a node
+  with nothing left to try).  These depend only on the tree as it
+  stands — never on the new program's evaluation — so speculated
+  iterations may apply them eagerly.  Every change is recorded in an
+  undo delta.
+* **Commit-time** (``commit_evaluated`` / ``commit_replay``): reward
+  backpropagation, child-node promotion, coverage observation.  These
+  need the evaluation's results and run strictly in iteration order.
+
+A commit whose reward is ``0.0`` changes nothing any later ``prepare``
+reads (no promotion, nothing added to any reward sum), so the engine
+keeps its speculation.  A nonzero reward invalidates the window; the
+engine calls :meth:`MctsSearch.invalidate`, which unwinds the
+outstanding deltas in reverse order, and re-prepares against the updated
+tree.  The committed trajectory is therefore exactly the serial one and
+the ledger stays byte-identical at every worker count.
+
+Resume
+------
+
+The ledger's per-iteration ``search`` trace (format 5) records
+``(iteration, corpus_index, lineage, reward)`` for every *evaluated*
+iteration.  Skipped iterations need no record: ``prepare`` is a pure
+function of the tree state and the iteration's derived rng, so replaying
+``prepare`` reproduces the same skips, the same dead marks, and the same
+visit counts.  Replay therefore re-runs ``prepare`` for each completed
+iteration, checks the prepared ``(corpus_index, lineage)`` against the
+recorded one, and commits the *recorded* reward — rebuilding the tree
+statistics, the promoted nodes, the coverage map, and the full
+evaluated-content dedup set without re-executing anything.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import HarnessError
+from repro.exec import content_id, content_text
+from repro.fuzz.coverage import CoverageTracker, kernel_features
+from repro.fuzz.ledger import LineageStep
+from repro.fuzz.mutators import MUTATORS, apply_mutation
+from repro.ir.program import Program
+from repro.ir.validate import validate_kernel
+from repro.telemetry.spans import get_tracer
+from repro.utils.rng import derive_seed
+from repro.varity.testcase import TestCase
+
+__all__ = [
+    "MAX_DEPTH",
+    "EXPLORATION_C",
+    "MctsSearch",
+    "PreparedIteration",
+    "blend_reward",
+]
+
+#: Edit-sequence depth cap.  Deep chains are the point of tree search,
+#: but mutants further than this from any seed are mostly mutation noise;
+#: the cap also bounds the ledger's lineage records.
+MAX_DEPTH = 8
+
+#: UCB1 exploration constant.  Rewards live in [0, 1) but most
+#: simulations score 0, so the empirical means UCB compares are small;
+#: a sub-1 constant keeps selection exploitative enough to re-mutate
+#: paying programs instead of sweeping the whole frontier round-robin.
+EXPLORATION_C = 0.5
+
+#: The explore arm's optimistic prior (virtual wins): fresh programs
+#: stay competitive until the seed subtrees prove they pay better.
+EXPLORE_PRIOR = 2.0
+
+#: Each node's expand action starts with one virtual win too, so a
+#: freshly promoted node gets re-mutated before its subtree must win
+#: selection on real evidence.
+EXPAND_PRIOR = 1.0
+
+#: How much global (cross-node) arm evidence seeds a node's own
+#: mutation bandit — virtual pulls at the global mean, so a fresh node
+#: starts from what the whole session has learned about each mutator
+#: instead of re-sampling all arms in registry order.
+GLOBAL_PRIOR_WEIGHT = 2.0
+
+#: Reward blend weights (see module docstring).
+REWARD_NOVEL = 1.0
+REWARD_ORACLE = 0.25
+REWARD_COVERAGE = 0.125
+
+#: A diverged-but-stale mutant (known signature) earns no backprop —
+#: otherwise a discrepancy-rich subtree addicts selection while minting
+#: nothing new — but it IS promoted into the tree, seeded with this
+#: prior, because discrepant programs are fertile ground for further
+#: edits (the flat bandit's pool promotions exploit exactly this).
+DIVERGED_PRIOR = 0.125
+
+
+def blend_reward(novel: int, violations: int, new_features: int) -> float:
+    """The deterministic reward for one evaluated program."""
+    raw = (
+        REWARD_NOVEL * novel
+        + REWARD_ORACLE * violations
+        + REWARD_COVERAGE * new_features
+    )
+    return raw / (1.0 + raw)
+
+
+@dataclass
+class PreparedIteration:
+    """One speculated iteration: everything selection decided, nothing
+    committed.  ``skip`` names the counter a non-evaluable iteration
+    lands in; otherwise ``test`` is the candidate to evaluate.  (Shared
+    with the bandit strategy, whose ``parent`` field carries its pool
+    entry; the mcts strategy leaves it ``None``.)"""
+
+    iteration: int
+    arm: str
+    skip: Optional[str] = None  # "no_site" | "invalid" | "noop" | "duplicate"
+    kind: str = ""  # "explore" | "mutant"
+    test: Optional[TestCase] = None
+    content: str = ""
+    content_id: str = ""
+    corpus_index: int = -1
+    lineage: Tuple[LineageStep, ...] = ()
+    parent: Optional[object] = None
+
+
+@dataclass
+class _Node:
+    """One *rewarded* edit sequence: a corpus program plus zero or more
+    mutations, promoted into the tree because it paid.
+
+    ``arm_visits``/``arm_reward`` are the node's own mutation bandit:
+    every arm may be tried any number of times (each iteration derives a
+    fresh mutation seed), so a fertile program keeps producing distinct
+    mutants.  ``dead_arms`` holds mutations with no applicable site in
+    this program — a property of the content, not of the seed, so one
+    failure retires the arm."""
+
+    corpus_index: int
+    lineage: Tuple[LineageStep, ...]
+    test: TestCase
+    content: str
+    parent: Optional["_Node"]
+    visits: int = 1
+    reward_sum: float = 0.0
+    arm_visits: Dict[str, int] = field(default_factory=dict)
+    arm_reward: Dict[str, float] = field(default_factory=dict)
+    dead_arms: Set[str] = field(default_factory=set)
+    children: List["_Node"] = field(default_factory=list)
+    dead: bool = False
+
+    @property
+    def depth(self) -> int:
+        return len(self.lineage)
+
+    @property
+    def mean(self) -> float:
+        return self.reward_sum / self.visits
+
+
+#: Sentinel for the root's fresh-generation arm.
+_EXPLORE = object()
+
+
+@dataclass
+class _Outstanding:
+    """A prepared-but-uncommitted iteration's tree bookkeeping: the undo
+    delta, the selection path, and everything commit needs to credit the
+    arm and (when the reward is nonzero) promote the mutant."""
+
+    delta: List[Tuple[str, object]]
+    path: List[_Node] = field(default_factory=list)
+    node: Optional[_Node] = None  # the expansion site (mutants only)
+    arm: str = ""
+    test: Optional[TestCase] = None
+    content: str = ""
+    corpus_index: int = -1
+    lineage: Tuple[LineageStep, ...] = ()
+    explore: bool = False
+
+
+class MctsSearch:
+    """The ``search="mcts"`` strategy behind :func:`repro.fuzz.engine.run_fuzz`."""
+
+    def __init__(self, config, corpus, hot_indices: Sequence[int]) -> None:
+        self.config = config
+        self.corpus = corpus
+        self.coverage = CoverageTracker()
+        self.mutations: Tuple[str, ...] = config.mutations
+        self.explore_enabled: bool = config.explore
+        #: root children, in creation order: the seed pool, then every
+        #: rewarded program the explore arm generated.
+        self.children: List[_Node] = []
+        self.root_visits = 0
+        self.explore_visits = 0
+        self.explore_reward = 0.0
+        #: cross-node mutation-arm evidence: visits accrue at prepare
+        #: (undo-able), reward only at commit — the prior every node's
+        #: own arm bandit shrinks toward.
+        self.global_arm_visits: Dict[str, int] = {}
+        self.global_arm_reward: Dict[str, float] = {}
+        self._outstanding: Dict[int, _Outstanding] = {}
+        hot = set(hot_indices)
+        for index, test in enumerate(corpus.seed_tests()):
+            node = _Node(
+                corpus_index=index,
+                lineage=(),
+                test=test,
+                content=content_text(test.program.kernel, test.inputs),
+                parent=None,
+                reward_sum=1.0 if index in hot else 0.0,
+            )
+            self.children.append(node)
+            self.coverage.observe(kernel_features(test.program.kernel))
+            self.root_visits += 1
+        if self.explore_enabled:
+            self.explore_visits = 1
+            self.explore_reward = EXPLORE_PRIOR
+            self.root_visits += 1
+
+    # ------------------------------------------------------------ selection
+    def _ucb(self, mean: float, visits: int, parent_visits: int) -> float:
+        return mean + EXPLORATION_C * math.sqrt(
+            math.log(parent_visits + 1.0) / visits
+        )
+
+    def _select_root(self):
+        """The root action: a live child subtree, ``_EXPLORE``, or None
+        (everything dead and exploration disabled).  Deterministic:
+        strict-greater comparison makes the earliest-created winner of a
+        tie stable, and the explore arm yields ties to subtrees."""
+        best = None
+        best_value = -math.inf
+        for node in self.children:
+            if node.dead:
+                continue
+            value = self._ucb(node.mean, node.visits, self.root_visits)
+            if value > best_value:
+                best, best_value = node, value
+        if self.explore_enabled:
+            value = self._ucb(
+                self.explore_reward / self.explore_visits,
+                self.explore_visits,
+                self.root_visits,
+            )
+            if value > best_value:
+                return _EXPLORE
+        return best
+
+    def _expand_stats(self, node: _Node) -> Tuple[float, int]:
+        """The node's expand action as (mean, visits): its own mutation
+        bandit's aggregate, under one optimistic virtual win."""
+        visits = 1 + sum(node.arm_visits.values())
+        total = EXPAND_PRIOR + sum(node.arm_reward.values())
+        return total / visits, visits
+
+    def _live_arms(self, node: _Node) -> List[str]:
+        if node.depth >= MAX_DEPTH:
+            return []
+        return [m for m in self.mutations if m not in node.dead_arms]
+
+    def _global_mean(self, arm: str) -> float:
+        visits = self.global_arm_visits.get(arm, 0)
+        if visits == 0:
+            return 1.0  # optimistic: globally untried arms get sampled
+        return self.global_arm_reward.get(arm, 0.0) / visits
+
+    def _select_arm(self, node: _Node, live: Sequence[str]) -> str:
+        """Per-node UCB1 over mutation arms, each node's sparse evidence
+        shrunk toward the global arm means; registry order breaks ties,
+        so the choice is deterministic."""
+        _, expand_visits = self._expand_stats(node)
+        best = None
+        best_value = -math.inf
+        for arm in live:
+            visits = node.arm_visits.get(arm, 0)
+            mean = (
+                node.arm_reward.get(arm, 0.0)
+                + GLOBAL_PRIOR_WEIGHT * self._global_mean(arm)
+            ) / (visits + GLOBAL_PRIOR_WEIGHT)
+            value = self._ucb(mean, visits + 1, expand_visits)
+            if value > best_value:
+                best, best_value = arm, value
+        assert best is not None
+        return best
+
+    def _content_id(self, content: str) -> str:
+        return content_id(self.config.fptype, content, prefix="fuzz")
+
+    # -------------------------------------------------------------- prepare
+    def prepare(
+        self, i: int, evaluated: Set[str], overlay: Set[str]
+    ) -> PreparedIteration:
+        """One simulation's select+expand, against the current tree.
+
+        Mutates only prepare-time state (visit counts, dead marks), all
+        recorded in an undo delta; commit-time state (rewards, promoted
+        nodes, coverage, counters) is untouched.  ``overlay`` carries
+        the window's own content ids so speculated iterations dedup
+        against each other exactly as committed ones would.
+        """
+        tracer = get_tracer()
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
+        rng = random.Random(derive_seed(self.config.seed, "select", i))
+        delta: List[Tuple[str, object]] = []
+        while True:
+            choice = self._select_root()
+            if choice is None:
+                # Exploration disabled and every subtree exhausted: the
+                # iteration is deterministically unproductive.
+                self._outstanding[i] = _Outstanding(delta=delta)
+                return PreparedIteration(
+                    iteration=i, arm=self.mutations[0], skip="no_site"
+                )
+            if choice is _EXPLORE:
+                if tracer.enabled:
+                    tracer.record(
+                        "fuzz.mcts.select", t0, time.perf_counter_ns(),
+                        iteration=i, action="explore",
+                    )
+                return self._prepare_explore(i, evaluated, overlay, delta)
+            node = choice
+            path = [node]
+            while True:
+                live = self._live_arms(node)
+                # The expand action (mutate *this* program, one more
+                # time) competes with descending into each child
+                # subtree on the same UCB terms; children must strictly
+                # beat it, so a paying node is milked before its
+                # descendants take over.
+                descend: Optional[_Node] = None
+                best_value = -math.inf
+                if live:
+                    mean, visits = self._expand_stats(node)
+                    best_value = self._ucb(mean, visits, node.visits)
+                for child in node.children:
+                    if child.dead:
+                        continue
+                    value = self._ucb(child.mean, child.visits, node.visits)
+                    if value > best_value:
+                        descend, best_value = child, value
+                if descend is not None:
+                    node = descend
+                    path.append(node)
+                    continue
+                if live:
+                    if tracer.enabled:
+                        tracer.record(
+                            "fuzz.mcts.select", t0, time.perf_counter_ns(),
+                            iteration=i, action="expand", depth=node.depth,
+                        )
+                    return self._prepare_expansion(
+                        i, node, path, live, rng, evaluated, overlay, delta
+                    )
+                # No live arm and no live child: the subtree is spent.
+                # Prune and restart from the root — each restart kills
+                # one node, so the walk terminates.
+                node.dead = True
+                delta.append(("dead", node))
+                break
+
+    def _bump_visits(
+        self, path: Sequence[_Node], delta: List[Tuple[str, object]]
+    ) -> None:
+        self.root_visits += 1
+        delta.append(("root-visit", None))
+        for node in path:
+            node.visits += 1
+            delta.append(("visit", node))
+
+    def _prepare_explore(
+        self,
+        i: int,
+        evaluated: Set[str],
+        overlay: Set[str],
+        delta: List[Tuple[str, object]],
+    ) -> PreparedIteration:
+        """The fresh-generation arm: corpus program ``n_seed_programs + i``
+        (the same index rule as the bandit's explore arm, so a finding's
+        ``(corpus_index, ())`` replays); promoted to a root child at
+        commit if it earns reward."""
+        corpus_index = self.config.n_seed_programs + i
+        test = self.corpus.get(corpus_index)
+        content = content_text(test.program.kernel, test.inputs)
+        cid = self._content_id(content)
+        self._bump_visits((), delta)
+        self.explore_visits += 1
+        delta.append(("explore-visit", None))
+        if cid in evaluated or cid in overlay:
+            self._outstanding[i] = _Outstanding(delta=delta)
+            return PreparedIteration(iteration=i, arm="explore", skip="duplicate")
+        overlay.add(cid)
+        self._outstanding[i] = _Outstanding(
+            delta=delta,
+            test=test,
+            content=content,
+            corpus_index=corpus_index,
+            lineage=(),
+            explore=True,
+        )
+        return PreparedIteration(
+            iteration=i,
+            arm="explore",
+            kind="explore",
+            test=test,
+            content=content,
+            content_id=cid,
+            corpus_index=corpus_index,
+            lineage=(),
+        )
+
+    def _prepare_expansion(
+        self,
+        i: int,
+        node: _Node,
+        path: List[_Node],
+        live: List[str],
+        rng: random.Random,
+        evaluated: Set[str],
+        overlay: Set[str],
+        delta: List[Tuple[str, object]],
+    ) -> PreparedIteration:
+        """Apply one mutation at ``node`` with this iteration's derived
+        seed.  A mutation with no applicable site retires that arm (a
+        property of the program text); any other failure just costs the
+        arm one unrewarded visit."""
+        tracer = get_tracer()
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
+        arm = self._select_arm(node, live)
+        node.arm_visits[arm] = node.arm_visits.get(arm, 0) + 1
+        delta.append(("arm-visit", (node, arm)))
+        self.global_arm_visits[arm] = self.global_arm_visits.get(arm, 0) + 1
+        delta.append(("global-arm-visit", arm))
+        mseed = derive_seed(self.config.seed, "mutant", i)
+        donor_index: Optional[int] = None
+        donor = None
+        if MUTATORS[arm].needs_donor:
+            # Donors are corpus-backed root children (flat lineages),
+            # drawn reward-weighted: paying subtrees' material travels.
+            candidates = [c for c in self.children if not c.lineage]
+            donor_node = rng.choices(
+                candidates, weights=[1.0 + c.reward_sum for c in candidates], k=1
+            )[0]
+            donor_index = donor_node.corpus_index
+            donor = donor_node.test.program.kernel
+        kernel = apply_mutation(node.test.program.kernel, arm, mseed, donor)
+        skip: Optional[str] = None
+        content = ""
+        cid = ""
+        if kernel is None:
+            skip = "no_site"
+            node.dead_arms.add(arm)
+            delta.append(("dead-arm", (node, arm)))
+        elif validate_kernel(kernel):
+            skip = "invalid"
+        else:
+            content = content_text(kernel, node.test.inputs)
+            if content == node.content:
+                skip = "noop"
+            else:
+                cid = self._content_id(content)
+                if cid in evaluated or cid in overlay:
+                    skip = "duplicate"
+        self._bump_visits(path, delta)
+        if tracer.enabled:
+            tracer.record(
+                "fuzz.mcts.expand", t0, time.perf_counter_ns(),
+                iteration=i, mutation=arm, outcome=skip or "mutant",
+            )
+        if skip is not None:
+            self._outstanding[i] = _Outstanding(delta=delta)
+            return PreparedIteration(iteration=i, arm=arm, skip=skip)
+        overlay.add(cid)
+        program = Program(
+            program_id=cid, kernel=kernel, seed=mseed, source_note="fuzz mutant"
+        )
+        lineage = node.lineage + (LineageStep(arm, mseed, donor_index),)
+        test = TestCase(program, node.test.inputs)
+        self._outstanding[i] = _Outstanding(
+            delta=delta,
+            path=path,
+            node=node,
+            arm=arm,
+            test=test,
+            content=content,
+            corpus_index=node.corpus_index,
+            lineage=lineage,
+        )
+        return PreparedIteration(
+            iteration=i,
+            arm=arm,
+            kind="mutant",
+            test=test,
+            content=content,
+            content_id=cid,
+            corpus_index=node.corpus_index,
+            lineage=lineage,
+        )
+
+    # --------------------------------------------------------------- commit
+    def commit_evaluated(
+        self,
+        prep: PreparedIteration,
+        novel: int,
+        violations: int,
+        diverged: bool = False,
+    ) -> float:
+        """Fold one evaluated iteration's results in, in iteration order;
+        returns the blended reward (nonzero ⇒ later speculation is stale)."""
+        rec = self._pop(prep)
+        assert rec.test is not None
+        new_features = self.coverage.observe(
+            kernel_features(rec.test.program.kernel)
+        )
+        reward = blend_reward(novel, violations, new_features)
+        self._absorb(rec, reward, diverged, prep.iteration)
+        return reward
+
+    def commit_replay(
+        self, prep: PreparedIteration, reward: float, diverged: bool = False
+    ) -> None:
+        """Resume path: commit the ledger-recorded reward and re-observe
+        coverage, rebuilding the exact live-run state."""
+        rec = self._pop(prep)
+        assert rec.test is not None
+        self.coverage.observe(kernel_features(rec.test.program.kernel))
+        self._absorb(rec, reward, diverged, prep.iteration)
+
+    def commit_skip(self, prep: PreparedIteration) -> None:
+        """A skipped iteration's prepare-time marks simply stand."""
+        self._pop(prep)
+
+    def _pop(self, prep: PreparedIteration) -> _Outstanding:
+        rec = self._outstanding.pop(prep.iteration, None)
+        if rec is None:
+            raise HarnessError(
+                f"mcts commit without prepare at iteration {prep.iteration}"
+            )
+        return rec
+
+    def _absorb(
+        self, rec: _Outstanding, reward: float, diverged: bool, iteration: int
+    ) -> None:
+        """Backpropagate the reward and promote the mutant to a tree node
+        when it paid — or when it merely diverged, in which case it joins
+        the tree (fertile material for deeper chains) without crediting
+        its ancestors (a stale discrepancy is not evidence the subtree
+        will mint anything new)."""
+        tracer = get_tracer()
+        t0 = time.perf_counter_ns() if tracer.enabled else 0
+        if reward:
+            for node in rec.path:
+                node.reward_sum += reward
+            if rec.explore:
+                self.explore_reward += reward
+            else:
+                site = rec.node
+                assert site is not None
+                site.arm_reward[rec.arm] = (
+                    site.arm_reward.get(rec.arm, 0.0) + reward
+                )
+                self.global_arm_reward[rec.arm] = (
+                    self.global_arm_reward.get(rec.arm, 0.0) + reward
+                )
+        if reward or diverged:
+            assert rec.test is not None
+            child = _Node(
+                corpus_index=rec.corpus_index,
+                lineage=rec.lineage,
+                test=rec.test,
+                content=rec.content,
+                parent=rec.node,
+                reward_sum=reward if reward else DIVERGED_PRIOR,
+            )
+            if rec.explore:
+                self.children.append(child)
+            elif len(rec.lineage) <= MAX_DEPTH:
+                assert rec.node is not None
+                rec.node.children.append(child)
+        if tracer.enabled:
+            tracer.record(
+                "fuzz.mcts.backprop", t0, time.perf_counter_ns(),
+                iteration=iteration, reward=reward, depth=len(rec.path),
+            )
+
+    # ----------------------------------------------------------- invalidate
+    def invalidate(self) -> None:
+        """Unwind every prepared-but-uncommitted iteration, newest first,
+        restoring the tree to the last committed state."""
+        for i in sorted(self._outstanding, reverse=True):
+            rec = self._outstanding.pop(i)
+            for kind, payload in reversed(rec.delta):
+                if kind == "visit":
+                    payload.visits -= 1  # type: ignore[union-attr]
+                elif kind == "root-visit":
+                    self.root_visits -= 1
+                elif kind == "explore-visit":
+                    self.explore_visits -= 1
+                elif kind == "arm-visit":
+                    node, arm = payload  # type: ignore[misc]
+                    node.arm_visits[arm] -= 1
+                    if node.arm_visits[arm] == 0:
+                        del node.arm_visits[arm]
+                elif kind == "global-arm-visit":
+                    self.global_arm_visits[payload] -= 1  # type: ignore[index]
+                    if self.global_arm_visits[payload] == 0:  # type: ignore[index]
+                        del self.global_arm_visits[payload]  # type: ignore[arg-type]
+                elif kind == "dead-arm":
+                    node, arm = payload  # type: ignore[misc]
+                    node.dead_arms.discard(arm)
+                else:  # "dead"
+                    payload.dead = False  # type: ignore[union-attr]
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, object]:
+        nodes = 0
+        dead = 0
+        max_depth = 0
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            dead += 1 if node.dead else 0
+            max_depth = max(max_depth, node.depth)
+            stack.extend(node.children)
+        return {
+            "nodes": nodes,
+            "dead_nodes": dead,
+            "max_depth": max_depth,
+            "root_visits": self.root_visits,
+            "explore_visits": self.explore_visits,
+            "explore_programs": len(self.children) - self.corpus.n_seed_programs,
+            "coverage_features": len(self.coverage.counts),
+        }

@@ -13,6 +13,12 @@ and the signature is the in-model encoding of "mechanism".
 
 Built on :func:`repro.analysis.triage.triage_discrepancy`: the cause and
 function attribution come straight from its probes.
+
+The signature key is also the search strategies' reward currency: the
+bandit credits the mutation arm one win per unseen key, and the mcts
+strategy (:mod:`repro.fuzz.search`) backpropagates the count of unseen
+keys — weighted against oracle violations and grammar-coverage gains —
+through the tree of IR-edit sequences that produced the mutant.
 """
 
 from __future__ import annotations
